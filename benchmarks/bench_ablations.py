@@ -1,0 +1,65 @@
+"""Ablation benches: the design-choice sweeps DESIGN.md calls out.
+
+Each bench runs one ablation at reduced scale, attaches the measured
+numbers as ``extra_info`` and asserts the qualitative claim the design
+relies on.
+"""
+
+from repro.bench.ablations import (
+    ablation_arity,
+    ablation_batch_size,
+    ablation_fanout,
+    ablation_join_plan,
+)
+
+
+def test_ablation_fanout(benchmark, size_small):
+    rows = benchmark.pedantic(
+        ablation_fanout,
+        kwargs={"size": size_small, "fanouts": (3, 4, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    gas = {row.value: row.metrics["avg_gas"] for row in rows}
+    benchmark.extra_info.update({str(k): round(v) for k, v in gas.items()})
+    # The paper's F=4 must not be worse than the extremes of the sweep.
+    assert gas[4] <= max(gas[3], gas[8])
+
+
+def test_ablation_arity(benchmark, size_small):
+    rows = benchmark.pedantic(
+        ablation_arity,
+        kwargs={"size": max(60, size_small // 2), "arities": (2, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    vo = {row.value: row.metrics["vo_kb"] for row in rows}
+    benchmark.extra_info.update({str(k): round(v, 2) for k, v in vo.items()})
+    # Higher arity shortens proof chains, shrinking the VO.
+    assert vo[4] < vo[2]
+
+
+def test_ablation_join_plan(benchmark, size_small):
+    rows = benchmark.pedantic(
+        ablation_join_plan,
+        kwargs={"size": size_small, "num_queries": 5},
+        rounds=1,
+        iterations=1,
+    )
+    vo = {row.value: row.metrics["vo_kb"] for row in rows}
+    benchmark.extra_info.update({k: round(v, 2) for k, v in vo.items()})
+    # On sparse conjunctions the semi-join plan ships smaller VOs.
+    assert vo["semijoin"] <= vo["cyclic"]
+
+
+def test_ablation_batch_size(benchmark, size_small):
+    rows = benchmark.pedantic(
+        ablation_batch_size,
+        kwargs={"size": max(40, size_small // 2), "batch_sizes": (1, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    gas = {row.value: row.metrics["avg_gas"] for row in rows}
+    benchmark.extra_info.update({str(k): round(v) for k, v in gas.items()})
+    # Batching amortises C_tx: strictly cheaper per object.
+    assert gas[8] < gas[1]

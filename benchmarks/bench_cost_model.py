@@ -1,0 +1,36 @@
+"""Analytical model vs simulator: Table II's formulas, quantitatively.
+
+Prints predicted vs measured per-object gas for every scheme and
+asserts the paper's claim that the measurements "conform to the
+theoretical cost analysis".
+"""
+
+from repro.bench.runner import SCHEME_LABELS, measure_maintenance
+from repro.core.cost_model import predict_insert_cost, predicted_ordering
+
+
+def test_cost_model_vs_simulator(benchmark, size_small):
+    def run():
+        return {
+            scheme: measure_maintenance(scheme, "twitter", size_small)
+            for scheme in ("mi", "smi", "ci", "ci*")
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    tree_size = max(10, size_small // 8)
+    keywords = 6.0
+    print("\nAnalytical model vs simulator (gas/object)")
+    print(f"{'scheme':<8}{'predicted':>12}{'measured':>12}{'ratio':>8}")
+    for scheme, row in measured.items():
+        predicted = predict_insert_cost(scheme, tree_size, keywords)
+        ratio = predicted.per_object_gas / row.avg_gas
+        print(
+            f"{SCHEME_LABELS[scheme]:<8}{predicted.per_object_gas:>12,.0f}"
+            f"{row.avg_gas:>12,.0f}{ratio:>8.2f}"
+        )
+        benchmark.extra_info[scheme] = round(ratio, 2)
+        assert 1 / 3 <= ratio <= 3
+    measured_order = [
+        s for s, _ in sorted(measured.items(), key=lambda kv: kv[1].avg_gas)
+    ]
+    assert measured_order == predicted_ordering(tree_size, keywords)

@@ -1,0 +1,97 @@
+"""Micro-benchmarks for the cryptographic substrate.
+
+Documents the performance asymmetry the paper leans on: CVC (pairing /
+group-exponentiation) verification is orders of magnitude slower than
+hashing, which is why Chameleon^inv* trades Bloom-filter words on-chain
+for skipped CVC verifications at the client (Section V-D).
+"""
+
+import pytest
+
+from repro.core import mbtree
+from repro.core.chameleon import ChameleonTreeDO, ChameleonTreeSP, verify_membership
+from repro.crypto import vc
+from repro.crypto.hashing import sha3
+from repro.crypto.prf import generate_key
+
+
+@pytest.fixture(scope="module")
+def cvc_pair():
+    pp, td = vc.shared_test_params(3)
+    return vc.ChameleonVectorCommitment(3, _pp=pp, _td=td)
+
+
+def test_sha3_hash(benchmark):
+    benchmark(sha3, b"x" * 64)
+
+
+def test_cvc_verify(benchmark, cvc_pair):
+    c, aux = cvc_pair.commit([b"m", None, None], randomiser=5)
+    proof = cvc_pair.open(1, b"m", aux)
+    result = benchmark(cvc_pair.verify, c, 1, b"m", proof)
+    assert result
+
+
+def test_cvc_collision(benchmark, cvc_pair):
+    c, aux = cvc_pair.commit_empty(randomiser=5)
+
+    def collide():
+        return cvc_pair.collide(c, 1, None, b"m", aux, check=False)
+
+    benchmark(collide)
+
+
+def test_mbtree_append(benchmark):
+    def build():
+        tree = mbtree.MBTree(fanout=4)
+        for key in range(200):
+            tree.insert(key, sha3(b"%d" % key))
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == 200
+
+
+def test_mbtree_membership_verify(benchmark):
+    tree = mbtree.MBTree(fanout=4)
+    for key in range(500):
+        tree.insert(key, sha3(b"%d" % key))
+    entry, path = tree.prove(250)
+    result = benchmark(path.compute_root, entry)
+    assert result == tree.root_hash
+
+
+def test_chameleon_membership_verify(benchmark, cvc_pair):
+    do = ChameleonTreeDO(cvc_pair, generate_key(seed=1), "kw", arity=2)
+    sp = ChameleonTreeSP(do.root_commitment, arity=2)
+    for oid in range(1, 32):
+        sp.apply_insertion(do.insert(oid, sha3(b"%d" % oid)))
+    entry = sp.entry_at(20)
+    proof = sp.prove_membership(20)
+    benchmark(
+        verify_membership,
+        cvc_pair.pp,
+        do.root_commitment,
+        sp.count,
+        2,
+        entry.key,
+        entry.value_hash,
+        proof,
+    )
+
+
+def test_hash_vs_cvc_gap(cvc_pair):
+    """The motivating claim: CVC verify >> hash, by orders of magnitude."""
+    import time
+
+    c, aux = cvc_pair.commit([b"m", None, None], randomiser=5)
+    proof = cvc_pair.open(1, b"m", aux)
+    t0 = time.perf_counter()
+    for _ in range(200):
+        sha3(b"x" * 64)
+    hash_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(200):
+        cvc_pair.verify(c, 1, b"m", proof)
+    cvc_time = time.perf_counter() - t0
+    assert cvc_time > 20 * hash_time

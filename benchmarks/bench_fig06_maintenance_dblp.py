@@ -1,0 +1,17 @@
+"""Fig. 6 — average maintenance gas on DBLP: MI vs GEM^2 vs SMI.
+
+Paper shape: MI is the most expensive, the GEM^2-tree saves part of the
+cost by partial suppression, and the fully suppressed SMI is cheapest of
+the three Merkle-family schemes.
+"""
+
+from repro.bench.runner import SCHEME_LABELS, experiment_fig6
+
+
+def test_fig6_maintenance_dblp(benchmark, size_small):
+    rows = benchmark.pedantic(
+        experiment_fig6, kwargs={"size": size_small}, rounds=1, iterations=1
+    )
+    gas = {SCHEME_LABELS[r.scheme]: round(r.avg_gas) for r in rows}
+    benchmark.extra_info.update(gas)
+    assert gas["MI"] > gas["GEM2"] > gas["SMI"]

@@ -1,0 +1,29 @@
+"""Fig. 10 — gas per object insertion vs dataset size, all four schemes.
+
+Paper shape: every proposed scheme (SMI, CI, CI*) beats the MI baseline;
+MI grows with dataset size while CI/CI* stay flat and SMI grows only in
+its cheap (txdata/hash) component.
+"""
+
+from repro.bench.runner import experiment_fig10
+
+
+def test_fig10_gas_vs_size(benchmark, size_small):
+    sizes = tuple(max(20, size_small // f) for f in (8, 4, 2, 1))
+    rows = benchmark.pedantic(
+        experiment_fig10,
+        kwargs={"sizes": sizes},
+        rounds=1,
+        iterations=1,
+    )
+    by_key = {(r.dataset, r.scheme, r.corpus_size): r.avg_gas for r in rows}
+    benchmark.extra_info["points"] = len(rows)
+    for dataset in ("dblp", "twitter"):
+        largest = max(n for (d, s, n) in by_key if d == dataset and s == "mi")
+        mi = by_key[(dataset, "mi", largest)]
+        smi = by_key[(dataset, "smi", largest)]
+        ci = by_key[(dataset, "ci", largest)]
+        ci_star = by_key[(dataset, "ci*", largest)]
+        # Who-wins ordering at the largest size (paper's Fig. 10).
+        assert mi > smi > ci
+        assert ci < ci_star < mi

@@ -1,0 +1,38 @@
+"""Fig. 11 — query processing & verification vs #keywords (Twitter).
+
+Paper shape: all metrics grow with the number of query keywords; CI*'s
+Bloom filters yield smaller VOs than CI and cut part of the CVC-heavy
+verification time; the Merkle family verifies fastest (hashing only).
+"""
+
+import statistics
+
+from repro.bench.runner import experiment_fig11
+
+
+def test_fig11_query_twitter(benchmark, size_small):
+    rows = benchmark.pedantic(
+        experiment_fig11,
+        kwargs={
+            "size": size_small,
+            "keyword_counts": (2, 4, 6),
+            "num_queries": 5,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    by_scheme = {}
+    for row in rows:
+        by_scheme.setdefault(row.scheme, []).append(row)
+    benchmark.extra_info["points"] = len(rows)
+    mean_verify = {
+        s: statistics.mean(r.verify_ms for r in rs)
+        for s, rs in by_scheme.items()
+    }
+    mean_vo = {
+        s: statistics.mean(r.vo_kb for r in rs) for s, rs in by_scheme.items()
+    }
+    # Merkle-family verification (hash-only) beats the CVC-based schemes.
+    assert mean_verify["mi"] < mean_verify["ci"]
+    # Bloom filters shrink CI's VO.
+    assert mean_vo["ci*"] < mean_vo["ci"]

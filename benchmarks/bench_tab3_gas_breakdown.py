@@ -1,0 +1,28 @@
+"""Table III — gas cost breakdown in US$ (Twitter).
+
+Paper shape: MI's cost is write-dominated (C_sstore/C_supdate); SMI's is
+dominated by the "others" bucket (the logarithmic UpdVO as txdata); CI
+pays almost only writes (cnt updates) and zero reads; CI* roughly
+doubles CI's write cost for the Bloom filter words.
+"""
+
+from repro.bench.runner import experiment_tab3
+
+
+def test_tab3_gas_breakdown(benchmark, size_medium):
+    rows = benchmark.pedantic(
+        experiment_tab3, kwargs={"size": size_medium}, rounds=1, iterations=1
+    )
+    split = {r.scheme: r.breakdown_usd() for r in rows}
+    benchmark.extra_info.update(
+        {s: round(b["total"], 4) for s, b in split.items()}
+    )
+    # MI: writes dominate.
+    assert split["mi"]["write"] > split["mi"]["others"]
+    # SMI: txdata/hash dominate the storage operations.
+    assert split["smi"]["others"] > split["smi"]["write"]
+    # CI: no read cost at all; cheapest total.
+    assert split["ci"]["read"] == 0.0
+    assert split["ci"]["total"] < split["smi"]["total"] < split["mi"]["total"]
+    # CI*: costs more than CI (filters) but stays near-constant.
+    assert split["ci"]["total"] < split["ci*"]["total"] < split["mi"]["total"]

@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Experiment benches are deterministic gas measurements wrapped in
+``benchmark.pedantic(rounds=1)`` — the interesting output is the gas
+table (printed, and attached as ``extra_info``), not the wall time.
+Micro-benches (crypto, tree ops) are ordinary timed benchmarks.
+
+Scale knobs: set ``REPRO_BENCH_SIZE`` to override corpus sizes.
+"""
+
+import os
+
+import pytest
+
+
+def bench_size(default: int) -> int:
+    return int(os.environ.get("REPRO_BENCH_SIZE", default))
+
+
+@pytest.fixture(scope="session")
+def size_small():
+    return bench_size(120)
+
+
+@pytest.fixture(scope="session")
+def size_medium():
+    return bench_size(240)

@@ -1,0 +1,55 @@
+"""Gas-cost explorer: how maintenance cost scales with dataset size.
+
+A miniature, self-contained version of the paper's Fig. 10: stream a
+synthetic Twitter-like corpus through each ADS scheme at several sizes
+and watch the baseline grow while the Chameleon schemes stay flat.
+
+Run with::
+
+    python examples/gas_cost_explorer.py [max_size]
+"""
+
+import sys
+
+from repro.bench.runner import SCHEME_LABELS, measure_maintenance
+from repro.ethereum.gas import gas_to_usd
+
+
+def main() -> None:
+    max_size = int(sys.argv[1]) if len(sys.argv) > 1 else 240
+    sizes = [max(20, max_size // f) for f in (4, 2, 1)]
+    schemes = ("mi", "smi", "ci", "ci*")
+
+    print(f"Steady-state maintenance gas per object (Twitter-like corpus)\n")
+    header = f"{'n':>8}" + "".join(f"{SCHEME_LABELS[s]:>14}" for s in schemes)
+    print(header)
+    rows = {}
+    for size in sizes:
+        cells = []
+        for scheme in schemes:
+            row = measure_maintenance(scheme, "twitter", size)
+            rows[(scheme, size)] = row
+            cells.append(f"{row.avg_gas:>14,.0f}")
+        print(f"{size:>8}" + "".join(cells))
+
+    print("\nIn US$ per object (15 Gwei, US$229/ETH, as in the paper):")
+    print(header)
+    for size in sizes:
+        cells = [
+            f"{gas_to_usd(rows[(scheme, size)].avg_gas):>14.4f}"
+            for scheme in schemes
+        ]
+        print(f"{size:>8}" + "".join(cells))
+
+    largest = sizes[-1]
+    mi = rows[("mi", largest)].avg_gas
+    for scheme in ("smi", "ci", "ci*"):
+        saving = 100 * (1 - rows[(scheme, largest)].avg_gas / mi)
+        print(
+            f"\n{SCHEME_LABELS[scheme]} saves {saving:.0f}% of the baseline's "
+            f"maintenance gas at n={largest}"
+        )
+
+
+if __name__ == "__main__":
+    main()

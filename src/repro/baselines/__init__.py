@@ -1,0 +1,10 @@
+"""Prior-work baselines the paper compares against.
+
+Currently the GEM^2-tree of Zhang et al. (ICDE 2019), the partially
+suppressed gas-efficient structure whose maintenance cost Fig. 6 plots
+between the Merkle^inv baseline and the Suppressed Merkle^inv index.
+"""
+
+from repro.baselines.gem2 import Gem2Contract
+
+__all__ = ["Gem2Contract"]

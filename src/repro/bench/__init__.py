@@ -1,0 +1,39 @@
+"""Benchmark harness: one experiment per paper table/figure.
+
+Run from the command line (``repro-bench --exp fig10``) or import the
+``experiment_*`` functions from :mod:`repro.bench.runner` directly.
+"""
+
+from repro.bench.runner import (
+    EXPERIMENTS,
+    MaintenanceRow,
+    QueryRow,
+    build_system,
+    experiment_fig6,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_tab2,
+    experiment_tab3,
+    measure_maintenance,
+    measure_queries,
+    run_all,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "MaintenanceRow",
+    "QueryRow",
+    "build_system",
+    "experiment_fig6",
+    "experiment_fig10",
+    "experiment_fig11",
+    "experiment_fig12",
+    "experiment_fig13",
+    "experiment_tab2",
+    "experiment_tab3",
+    "measure_maintenance",
+    "measure_queries",
+    "run_all",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` dispatches to the CLI."""
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

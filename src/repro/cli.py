@@ -1,0 +1,215 @@
+"""``repro`` — command-line front end for the hybrid-storage system.
+
+A small operational CLI over the persistence layer (event-sourced
+snapshots; see :mod:`repro.core.persistence`).  State lives in a
+directory; every command replays the object log, applies its action and
+re-saves.  Intended for exploration and demos — long-lived deployments
+should embed the library directly.
+
+Examples::
+
+    repro init ./registry --scheme ci* --seed 42
+    repro add ./registry --id 1 --keywords covid-19,vaccine --content "trial"
+    repro add ./registry --from-jsonl corpus.jsonl
+    repro query ./registry "covid-19 AND vaccine"
+    repro info ./registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import sys
+from pathlib import Path
+
+from repro.core.objects import DataObject
+from repro.core.persistence import load_system, save_system
+from repro.core.system import HybridStorageSystem
+from repro.errors import ReproError
+from repro.ethereum.gas import gas_to_usd
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Authenticated keyword search over a hybrid-storage "
+        "blockchain (ICDE 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    init = sub.add_parser("init", help="create a new system directory")
+    init.add_argument("directory")
+    init.add_argument(
+        "--scheme", default="ci*", choices=["mi", "smi", "ci", "ci*"]
+    )
+    init.add_argument("--seed", type=int, default=7)
+    init.add_argument("--fanout", type=int, default=4)
+    init.add_argument("--arity", type=int, default=2)
+    init.add_argument("--bloom-capacity", type=int, default=30)
+
+    add = sub.add_parser("add", help="notarise one or more objects")
+    add.add_argument("directory")
+    add.add_argument("--id", type=int, help="object ID (monotonic)")
+    add.add_argument("--keywords", help="comma-separated keywords")
+    add.add_argument("--content", help="object content (text)")
+    add.add_argument(
+        "--from-jsonl",
+        help="bulk-add from a JSONL file with id/keywords/content fields",
+    )
+
+    query = sub.add_parser("query", help="run a verified keyword search")
+    query.add_argument("directory")
+    query.add_argument("expression", help='e.g. "covid-19 AND vaccine"')
+    query.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    info = sub.add_parser("info", help="show system statistics")
+    info.add_argument("directory")
+    return parser
+
+
+def _seed_of(directory: str) -> int:
+    manifest = json.loads(
+        (Path(directory) / "manifest.json").read_text()
+    )
+    return manifest["seed"]
+
+
+def cmd_init(args) -> int:
+    """Handle ``repro init``."""
+    system = HybridStorageSystem(
+        scheme=args.scheme,
+        seed=args.seed,
+        fanout=args.fanout,
+        arity=args.arity,
+        bloom_capacity=args.bloom_capacity,
+    )
+    path = save_system(system, args.directory, seed=args.seed)
+    print(f"initialised {args.scheme} system at {path}")
+    return 0
+
+
+def _objects_from_args(args):
+    if args.from_jsonl:
+        with open(args.from_jsonl) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                content = record["content"]
+                if isinstance(content, str):
+                    try:
+                        raw = base64.b64decode(content, validate=True)
+                    except Exception:
+                        raw = content.encode("utf-8")
+                else:
+                    raw = bytes(content)
+                yield DataObject(
+                    object_id=record["id"],
+                    keywords=tuple(record["keywords"]),
+                    content=raw,
+                )
+        return
+    if args.id is None or not args.keywords or args.content is None:
+        raise ReproError(
+            "either --from-jsonl or all of --id/--keywords/--content required"
+        )
+    yield DataObject(
+        object_id=args.id,
+        keywords=tuple(k for k in args.keywords.split(",") if k.strip()),
+        content=args.content.encode("utf-8"),
+    )
+
+
+def cmd_add(args) -> int:
+    """Handle ``repro add``."""
+    system = load_system(args.directory)
+    added = 0
+    gas = 0
+    for obj in _objects_from_args(args):
+        report = system.add_object(obj)
+        gas += report.gas
+        added += 1
+    save_system(system, args.directory, seed=_seed_of(args.directory))
+    print(
+        f"added {added} object(s); maintenance gas {gas:,} "
+        f"(US${gas_to_usd(gas):.4f})"
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Handle ``repro query``."""
+    system = load_system(args.directory)
+    result = system.query(args.expression)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "query": str(result.query),
+                    "verified": result.verified,
+                    "result_ids": result.result_ids,
+                    "vo_bytes": result.vo_total_bytes,
+                    "objects": {
+                        oid: base64.b64encode(obj.content).decode("ascii")
+                        for oid, obj in result.objects.items()
+                    },
+                }
+            )
+        )
+        return 0
+    print(f"query:    {result.query}")
+    print(f"verified: {result.verified}")
+    print(f"results:  {result.result_ids}")
+    for oid in result.result_ids:
+        preview = result.objects[oid].content[:60]
+        print(f"  #{oid}: {preview!r}")
+    print(
+        f"VO: {result.vo_total_bytes:,} bytes "
+        f"(SP {result.vo_sp_bytes:,} + chain {result.vo_chain_bytes:,}); "
+        f"verify {1e3 * result.verify_seconds:.1f} ms"
+    )
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Handle ``repro info``."""
+    system = load_system(args.directory)
+    meter = system.maintenance_meter()
+    print(f"scheme:        {system.scheme.value}")
+    print(f"objects:       {len(system)}")
+    print(f"chain height:  {system.chain.height}")
+    print(f"chain linked:  {system.chain.verify_chain()}")
+    print(
+        f"gas total:     {meter.total:,} (US${gas_to_usd(meter.total):.4f})"
+    )
+    if len(system):
+        avg = system.average_gas_per_object()
+        print(f"gas/object:    {avg:,.0f} (US${gas_to_usd(avg):.4f})")
+    return 0
+
+
+_COMMANDS = {
+    "init": cmd_init,
+    "add": cmd_add,
+    "query": cmd_query,
+    "info": cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

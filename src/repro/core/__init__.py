@@ -1,0 +1,28 @@
+"""Core library: the paper's ADS schemes and query machinery.
+
+Layout:
+
+* ``objects`` — data objects and on-chain meta-data;
+* ``mbtree`` — Merkle B-trees with positional proofs and the
+  Algorithm 1/2 suppressed-update machinery;
+* ``chameleon`` — CVC-backed Chameleon trees (Algorithms 3–6);
+* ``merkle_family`` / ``merkle_inv`` / ``suppressed`` — the MI baseline
+  and the Suppressed Merkle^inv index;
+* ``chameleon_index`` / ``chameleon_star`` — the Chameleon^inv index and
+  its Bloom-filter-optimised variant;
+* ``query`` — DNF parsing, the authenticated join engine, VO structures
+  and client-side verification;
+* ``system`` — the :class:`~repro.core.system.HybridStorageSystem`
+  facade wiring DO, chain, SP and client together.
+"""
+
+from repro.core.objects import DataObject, ObjectMetadata, ObjectStore
+from repro.core.system import HybridStorageSystem, Scheme
+
+__all__ = [
+    "DataObject",
+    "HybridStorageSystem",
+    "ObjectMetadata",
+    "ObjectStore",
+    "Scheme",
+]

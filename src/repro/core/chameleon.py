@@ -1,0 +1,382 @@
+"""Chameleon trees (Section V): CVC-backed positional trees.
+
+A Chameleon tree for keyword ``w`` is a ``q``-ary tree whose node at
+position ``pos`` (BFS numbering, root = 0) carries a chameleon vector
+commitment over ``q + 1`` slots: slot 1 holds the node's data value and
+slots ``2..q+1`` hold the commitments of its children.  Every node's
+commitment is *pre-determined* — ``Com(<0,...,0>, PRF(sk, pos||w))`` —
+and never changes; insertions use the trapdoor to find collisions that
+splice new values into the fixed commitments.  The on-chain footprint is
+therefore constant: the root commitment ``c_0`` (written once) and the
+object count ``cnt``.
+
+Data binding.  The paper stores ``h(o)`` in slot 1.  We store the tagged
+entry digest ``h(id || h(o))`` (the same binding the MB-tree uses for
+its leaf entries) so that the *object ID* claimed for a boundary node is
+authenticated even when the verifier does not hold the raw object — a
+detail the paper leaves implicit but that completeness checking relies
+on.
+
+Positions double as an order index: object IDs arrive monotonically and
+node positions are assigned in insertion order, so position order equals
+ID order.  Adjacency (completeness) checks reduce to ``pos_u == pos_l + 1``
+and termination to ``pos == cnt`` (Algorithm 6).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.mbtree import Entry, entry_digest
+from repro.crypto import vc
+from repro.crypto.prf import node_randomness
+from repro.errors import ReproError, VerificationError
+
+#: Default tree arity (the paper's running example uses q = 2).
+DEFAULT_ARITY = 2
+
+
+def parent_position(pos: int, arity: int) -> tuple[int, int]:
+    """``getPar(pos)``: the parent position and 1-based child index ``j``."""
+    if pos < 1:
+        raise ReproError("only non-root positions have parents")
+    return (pos - 1) // arity, (pos - 1) % arity + 1
+
+
+def child_position(parent: int, j: int, arity: int) -> int:
+    """Inverse of :func:`parent_position`."""
+    if not 1 <= j <= arity:
+        raise ReproError(f"child index {j} out of range for arity {arity}")
+    return parent * arity + j
+
+
+@dataclass(frozen=True)
+class InsertionProof:
+    """What the DO hands the SP for one inserted object (Algorithm 4).
+
+    ``<cnt, o, h(o), c_pos, pi_pos, rho_par_j>`` — the object itself
+    travels separately; this records the cryptographic material.
+    """
+
+    position: int
+    object_id: int
+    object_hash: bytes
+    commitment: int  # c_pos
+    slot1_proof: int  # pi_pos
+    parent_link_proof: int  # rho_{par, j}
+    parent_position: int
+    child_index: int  # j, 1-based
+
+
+@dataclass(frozen=True)
+class ChameleonLink:
+    """One parent-child edge in a membership proof."""
+
+    child_index: int  # j in 1..q
+    child_commitment: int
+    proof: int  # parent's slot j+1 opens to child_commitment
+
+    def byte_size(self, value_bytes: int) -> int:
+        """Serialised size in bytes."""
+        return 1 + 2 * value_bytes
+
+
+@dataclass(frozen=True)
+class MembershipProof:
+    """``Pi``: proves ``<id, h(o)>`` sits at ``position`` under ``c_0``.
+
+    ``links`` runs bottom-up; ``links[0]`` connects the proven node to
+    its parent and the last link's parent is the root.  Ancestor nodes
+    contribute only their link (their slot-1 payloads are irrelevant),
+    matching the paper's example proof shape.
+    """
+
+    position: int
+    entry_commitment: int  # c_pos of the proven node
+    slot1_proof: int  # pi_pos
+    links: tuple[ChameleonLink, ...]
+
+    def byte_size(self, value_bytes: int = 128) -> int:
+        """Serialised size: commitments and proofs are group elements."""
+        base = 8 + 2 * value_bytes  # position + c_pos + pi
+        return base + sum(link.byte_size(value_bytes) for link in self.links)
+
+    def derived_position(self, arity: int) -> int:
+        """Recompute the position from the child-index chain (top-down)."""
+        pos = 0
+        for link in reversed(self.links):
+            pos = child_position(pos, link.child_index, arity)
+        return pos
+
+
+def verify_membership(
+    pp: vc.CVCPublicParams,
+    root_commitment: int,
+    count: int,
+    arity: int,
+    object_id: int,
+    object_hash: bytes,
+    proof: MembershipProof,
+) -> None:
+    """Verify a membership proof against the on-chain ``<c_0, cnt>``.
+
+    Raises :class:`VerificationError` with the failed check's name; the
+    position encoded in the link chain is authenticated, not trusted.
+    """
+    if not proof.links:
+        raise VerificationError("membership proof has no links to the root")
+    if proof.links[0].child_commitment != proof.entry_commitment:
+        raise VerificationError("proof's first link does not carry the node")
+    derived = proof.derived_position(arity)
+    if derived != proof.position:
+        raise VerificationError(
+            f"claimed position {proof.position} does not match the "
+            f"link-derived position {derived}"
+        )
+    if not 1 <= proof.position <= count:
+        raise VerificationError(
+            f"position {proof.position} outside the committed count {count}"
+        )
+    expected_entry = entry_digest(object_id, object_hash)
+    if not vc.verify(
+        pp, proof.entry_commitment, 1, expected_entry, proof.slot1_proof
+    ):
+        raise VerificationError("slot-1 opening of the node commitment failed")
+    for depth, link in enumerate(proof.links):
+        if depth + 1 < len(proof.links):
+            parent_commitment = proof.links[depth + 1].child_commitment
+        else:
+            parent_commitment = root_commitment
+        if not vc.verify(
+            pp,
+            parent_commitment,
+            link.child_index + 1,
+            link.child_commitment,
+            link.proof,
+        ):
+            raise VerificationError(
+                f"parent link at depth {depth} failed commitment verification"
+            )
+
+
+class ChameleonTreeDO:
+    """The data owner's view of one keyword's Chameleon tree.
+
+    Owns the trapdoor and the per-node ``aux`` values; produces the
+    insertion proofs consumed by the SP (Algorithms 3 and 4).
+    """
+
+    def __init__(
+        self,
+        cvc: vc.ChameleonVectorCommitment,
+        prf_key: bytes,
+        keyword: str,
+        arity: int = DEFAULT_ARITY,
+    ) -> None:
+        if not cvc.has_trapdoor:
+            raise ReproError("the DO's tree requires the CVC trapdoor")
+        if cvc.arity != arity + 1:
+            raise ReproError(
+                f"CVC arity must be q+1 = {arity + 1}, got {cvc.arity}"
+            )
+        self.cvc = cvc
+        self.prf_key = prf_key
+        self.keyword = keyword
+        self.arity = arity
+        self.count = 0
+        self._aux: dict[int, vc.CVCAux] = {}
+        self._commitments: dict[int, int] = {}
+        self._setup()
+
+    def _setup(self) -> None:
+        """Algorithm 3: create the root node's commitment ``c_0``."""
+        self.root_commitment, root_aux = self._fresh_node(0)
+        self._aux[0] = root_aux
+        self._commitments[0] = self.root_commitment
+
+    def _fresh_node(self, position: int) -> tuple[int, vc.CVCAux]:
+        """Pre-determined empty commitment for ``position``."""
+        randomiser = node_randomness(self.prf_key, position, self.keyword)
+        return self.cvc.commit_empty(randomiser)
+
+    def insert(self, object_id: int, object_hash: bytes) -> InsertionProof:
+        """Algorithm 4: add an object, returning its insertion proof."""
+        self.count += 1
+        pos = self.count
+        c_pos, aux_pos = self._fresh_node(pos)
+        entry = entry_digest(object_id, object_hash)
+        aux_pos = self.cvc.collide(c_pos, 1, None, entry, aux_pos, check=False)
+        pi_pos = self.cvc.open(1, entry, aux_pos)
+        par, j = parent_position(pos, self.arity)
+        c_par = self._commitments[par]
+        aux_par = self.cvc.collide(
+            c_par, j + 1, None, c_pos, self._aux[par], check=False
+        )
+        rho = self.cvc.open(j + 1, c_pos, aux_par)
+        self._aux[pos] = aux_pos
+        self._aux[par] = aux_par
+        self._commitments[pos] = c_pos
+        return InsertionProof(
+            position=pos,
+            object_id=object_id,
+            object_hash=object_hash,
+            commitment=c_pos,
+            slot1_proof=pi_pos,
+            parent_link_proof=rho,
+            parent_position=par,
+            child_index=j,
+        )
+
+
+@dataclass
+class _SPNode:
+    """SP-side record of one tree node."""
+
+    object_id: int
+    object_hash: bytes
+    commitment: int
+    slot1_proof: int
+    parent_link_proof: int
+    child_index: int
+
+
+@dataclass(frozen=True)
+class ChameleonBoundarySearch:
+    """Boundary lookup result mirroring the MB-tree's, in proof form."""
+
+    target: int
+    lower: Entry | None
+    lower_proof: MembershipProof | None
+    upper: Entry | None
+    upper_proof: MembershipProof | None
+
+    @property
+    def matched(self) -> bool:
+        """True when the lower boundary equals the target key."""
+        return self.lower is not None and self.lower.key == self.target
+
+
+class ChameleonTreeSP:
+    """The SP's complete copy of one keyword's Chameleon tree.
+
+    Stores the insertion proofs streamed by the DO, keeps the
+    ID-to-position map (positions equal ranks because IDs arrive in
+    order), and assembles membership proofs for query processing.
+    """
+
+    def __init__(self, root_commitment: int, arity: int = DEFAULT_ARITY) -> None:
+        self.root_commitment = root_commitment
+        self.arity = arity
+        self._nodes: dict[int, _SPNode] = {}
+        self._ids: list[int] = []  # _ids[k] is the ID at position k+1
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def count(self) -> int:
+        """Number of objects in the tree (the on-chain ``cnt``)."""
+        return len(self._ids)
+
+    def apply_insertion(self, proof: InsertionProof) -> None:
+        """Ingest one DO insertion proof (in position order)."""
+        expected = len(self._ids) + 1
+        if proof.position != expected:
+            raise ReproError(
+                f"insertion proofs must arrive in order; expected position "
+                f"{expected}, got {proof.position}"
+            )
+        if self._ids and proof.object_id <= self._ids[-1]:
+            raise ReproError("object IDs must be strictly increasing")
+        self._nodes[proof.position] = _SPNode(
+            object_id=proof.object_id,
+            object_hash=proof.object_hash,
+            commitment=proof.commitment,
+            slot1_proof=proof.slot1_proof,
+            parent_link_proof=proof.parent_link_proof,
+            child_index=proof.child_index,
+        )
+        self._ids.append(proof.object_id)
+
+    def id_at_position(self, pos: int) -> int:
+        """The object ID stored at a 1-based position."""
+        if not 1 <= pos <= len(self._ids):
+            raise ReproError(f"position {pos} outside tree of size {len(self._ids)}")
+        return self._ids[pos - 1]
+
+    def position_of(self, object_id: int) -> int | None:
+        """``getPos``: position of an exact ID, or None."""
+        idx = bisect.bisect_left(self._ids, object_id)
+        if idx < len(self._ids) and self._ids[idx] == object_id:
+            return idx + 1
+        return None
+
+    def entry_at(self, pos: int) -> Entry:
+        """The ``<id, h(o)>`` entry at a 1-based position."""
+        node = self._nodes[pos]
+        return Entry(key=node.object_id, value_hash=node.object_hash)
+
+    def prove_membership(self, pos: int) -> MembershipProof:
+        """Assemble ``Pi`` for the node at ``pos`` from stored material."""
+        if pos not in self._nodes:
+            raise ReproError(f"no node at position {pos}")
+        node = self._nodes[pos]
+        links: list[ChameleonLink] = []
+        current = pos
+        while current != 0:
+            record = self._nodes[current]
+            links.append(
+                ChameleonLink(
+                    child_index=record.child_index,
+                    child_commitment=record.commitment,
+                    proof=record.parent_link_proof,
+                )
+            )
+            current, _ = parent_position(current, self.arity)
+        return MembershipProof(
+            position=pos,
+            entry_commitment=node.commitment,
+            slot1_proof=node.slot1_proof,
+            links=tuple(links),
+        )
+
+    def first(self) -> tuple[Entry, MembershipProof] | None:
+        """The first entry with its membership proof, or None."""
+        if not self._ids:
+            return None
+        return self.entry_at(1), self.prove_membership(1)
+
+    def last(self) -> tuple[Entry, MembershipProof] | None:
+        """The last entry with its membership proof, or None."""
+        if not self._ids:
+            return None
+        return self.entry_at(self.count), self.prove_membership(self.count)
+
+    def boundaries(self, target: int) -> ChameleonBoundarySearch:
+        """Boundary entries around ``target`` with membership proofs."""
+        idx = bisect.bisect_right(self._ids, target)  # count of ids <= target
+        lower = None
+        lower_proof = None
+        upper = None
+        upper_proof = None
+        if idx > 0:
+            lower = self.entry_at(idx)
+            lower_proof = self.prove_membership(idx)
+        if idx < len(self._ids):
+            upper = self.entry_at(idx + 1)
+            upper_proof = self.prove_membership(idx + 1)
+        return ChameleonBoundarySearch(
+            target=target,
+            lower=lower,
+            lower_proof=lower_proof,
+            upper=upper,
+            upper_proof=upper_proof,
+        )
+
+    def all_entries(self) -> list[tuple[Entry, MembershipProof]]:
+        """Every entry with proof, position order (single-keyword scans)."""
+        return [
+            (self.entry_at(pos), self.prove_membership(pos))
+            for pos in range(1, self.count + 1)
+        ]

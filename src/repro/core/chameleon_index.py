@@ -1,0 +1,343 @@
+"""The Chameleon^inv index (Section V): constant on-chain maintenance.
+
+Per keyword the smart contract holds only the invariant root commitment
+``c_0`` (written once at keyword setup) and the object count ``cnt``
+(one ``C_supdate`` per insertion) — the ``O(L * C_1)`` constant cost of
+Table II.  The data owner performs all the cryptographic work off-chain
+(Algorithm 4) and streams insertion proofs to the SP; the DO's single
+transaction per object updates the counts of all its keywords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chameleon import (
+    DEFAULT_ARITY,
+    ChameleonTreeDO,
+    ChameleonTreeSP,
+    MembershipProof,
+    verify_membership,
+)
+from repro.core.objects import ObjectMetadata
+from repro.core.query.vo import ProvenEntry
+from repro.crypto import vc
+from repro.crypto.bloom import BloomFilterChain
+from repro.crypto.hashing import DIGEST_SIZE
+from repro.errors import ReproError, VerificationError
+from repro.ethereum.contract import SmartContract
+
+
+def commitment_to_words(value: int, value_bytes: int) -> list[bytes]:
+    """Split a group element into 32-byte storage words."""
+    raw = value.to_bytes(value_bytes, "big")
+    return [raw[i : i + DIGEST_SIZE] for i in range(0, len(raw), DIGEST_SIZE)]
+
+
+def words_to_commitment(words: list[bytes]) -> int:
+    """Reassemble a group element from storage words."""
+    return int.from_bytes(b"".join(words), "big")
+
+
+@dataclass(frozen=True)
+class CountUpdate:
+    """One keyword's new count inside the DO's update transaction."""
+
+    keyword: str
+    count: int
+
+
+class ChameleonContract(SmartContract):
+    """On-chain side of the Chameleon^inv index."""
+
+    def __init__(self, value_bytes: int = 128) -> None:
+        super().__init__()
+        self.value_bytes = value_bytes
+
+    def setup_keyword(self, keyword: str, commitment: int) -> None:
+        """Store a new keyword's invariant root commitment ``c_0``.
+
+        Paid once per keyword; the commitment spans several words.
+        """
+        words = commitment_to_words(commitment, self.value_bytes)
+        self.env.read_calldata(b"".join(words))
+        for i, word in enumerate(words):
+            self.storage.store(("c0", keyword, i), word)
+        self.storage.store(("c0words", keyword), len(words))
+        self.emit("KeywordSetup", keyword=keyword)
+
+    def insert_object(
+        self,
+        object_id: int,
+        object_hash: bytes,
+        updates: list[CountUpdate],
+        new_keywords: list[tuple[str, int]] = (),
+    ) -> None:
+        """DO entry point: register meta-data and bump every count.
+
+        First-seen keywords piggyback their one-time ``c_0`` setup on the
+        same transaction via ``new_keywords``.
+        """
+        self.env.read_calldata(object_hash)
+        self.storage.store(("objhash", object_id), object_hash)
+        for keyword, commitment in new_keywords:
+            self.setup_keyword(keyword, commitment)
+        for update in updates:
+            self.storage.store(("cnt", update.keyword), update.count)
+        self.emit(
+            "ObjectInserted", object_id=object_id, keywords=len(updates)
+        )
+
+    def insert_objects(self, batch: list[tuple]) -> None:
+        """Batched DO entry point: many objects in one transaction.
+
+        Each batch item is ``(object_id, object_hash, updates,
+        new_keywords)``.  Per-object work is identical to
+        :meth:`insert_object`; the 21,000-gas transaction base cost is
+        paid once for the whole batch — the amortisation studied by the
+        batch-size ablation.
+        """
+        for object_id, object_hash, updates, new_keywords in batch:
+            self.insert_object(object_id, object_hash, updates, new_keywords)
+        self.emit("BatchInserted", count=len(batch))
+
+    # -- free views --------------------------------------------------------------
+
+    def view_digest(self, keyword: str) -> tuple[int | None, int]:
+        """``<c_0, cnt>`` for one keyword (``None`` if never set up)."""
+        n_words = self.storage.peek_int(("c0words", keyword))
+        if n_words == 0:
+            return None, 0
+        words = [
+            self.storage.peek(("c0", keyword, i)) for i in range(n_words)
+        ]
+        count = self.storage.peek_int(("cnt", keyword))
+        return words_to_commitment(words), count
+
+    def view_object_hash(self, object_id: int) -> bytes:
+        """Free view: the registered hash of one object."""
+        return self.storage.peek(("objhash", object_id))
+
+
+class ChameleonDataOwner:
+    """DO-side state for the whole Chameleon^inv index.
+
+    Owns the CVC trapdoor and PRF key; lazily creates one
+    :class:`ChameleonTreeDO` per keyword and emits the insertion proofs
+    the SP needs plus the count updates the chain needs.
+    """
+
+    def __init__(
+        self,
+        cvc: vc.ChameleonVectorCommitment,
+        prf_key: bytes,
+        arity: int = DEFAULT_ARITY,
+    ) -> None:
+        if not cvc.has_trapdoor:
+            raise ReproError("the data owner requires the CVC trapdoor")
+        self.cvc = cvc
+        self.prf_key = prf_key
+        self.arity = arity
+        self.trees: dict[str, ChameleonTreeDO] = {}
+
+    def tree_for(self, keyword: str) -> tuple[ChameleonTreeDO, bool]:
+        """The keyword's DO tree; second element marks first use."""
+        created = keyword not in self.trees
+        if created:
+            self.trees[keyword] = ChameleonTreeDO(
+                self.cvc, self.prf_key, keyword, arity=self.arity
+            )
+        return self.trees[keyword], created
+
+    def insert(self, metadata: ObjectMetadata):
+        """Run Algorithm 4 for every keyword of a new object.
+
+        Returns ``(insertion_proofs, count_updates, new_keywords)`` where
+        ``new_keywords`` maps first-seen keywords to their ``c_0``.
+        """
+        proofs = {}
+        counts = []
+        new_keywords = {}
+        for keyword in metadata.keywords:
+            tree, created = self.tree_for(keyword)
+            if created:
+                new_keywords[keyword] = tree.root_commitment
+            proofs[keyword] = tree.insert(
+                metadata.object_id, metadata.object_hash
+            )
+            counts.append(CountUpdate(keyword=keyword, count=tree.count))
+        return proofs, counts, new_keywords
+
+
+@dataclass
+class ChameleonView:
+    """IndexView adapter over one keyword's SP-side Chameleon tree.
+
+    ``bloom`` is populated only by the starred variant; when set, the
+    join engine can skip probes for IDs the on-chain filters prove
+    absent.
+    """
+
+    keyword: str
+    tree: ChameleonTreeSP
+    bloom: BloomFilterChain | None = None
+
+    def __len__(self) -> int:
+        return self.tree.count
+
+    def first_proven(self) -> ProvenEntry | None:
+        """The smallest entry with proof, or None when empty."""
+        pair = self.tree.first()
+        if pair is None:
+            return None
+        entry, proof = pair
+        return ProvenEntry(
+            object_id=entry.key, object_hash=entry.value_hash, proof=proof
+        )
+
+    def boundaries_proven(
+        self, target: int
+    ) -> tuple[ProvenEntry | None, ProvenEntry | None]:
+        """Boundary entries with proofs around a target."""
+        search = self.tree.boundaries(target)
+        lower = None
+        upper = None
+        if search.lower is not None:
+            lower = ProvenEntry(
+                object_id=search.lower.key,
+                object_hash=search.lower.value_hash,
+                proof=search.lower_proof,
+            )
+        if search.upper is not None:
+            upper = ProvenEntry(
+                object_id=search.upper.key,
+                object_hash=search.upper.value_hash,
+                proof=search.upper_proof,
+            )
+        return lower, upper
+
+    def all_proven(self) -> list[ProvenEntry]:
+        """Every entry with proof, in key order."""
+        return [
+            ProvenEntry(
+                object_id=entry.key, object_hash=entry.value_hash, proof=proof
+            )
+            for entry, proof in self.tree.all_entries()
+        ]
+
+    def definitely_absent(self, object_id: int) -> bool:
+        """Whether on-chain filters prove the ID absent."""
+        if self.bloom is None:
+            return False
+        return self.bloom.definitely_absent(object_id)
+
+
+@dataclass
+class ChameleonSP:
+    """The SP's complete Chameleon^inv index."""
+
+    pp: vc.CVCPublicParams
+    arity: int = DEFAULT_ARITY
+    trees: dict[str, ChameleonTreeSP] = field(default_factory=dict)
+
+    def register_keyword(self, keyword: str, root_commitment: int) -> None:
+        """Register a keyword's root commitment."""
+        if keyword not in self.trees:
+            self.trees[keyword] = ChameleonTreeSP(
+                root_commitment, arity=self.arity
+            )
+
+    def apply_insertion(self, keyword: str, proof) -> None:
+        """Ingest one DO insertion proof."""
+        if keyword not in self.trees:
+            raise ReproError(f"keyword {keyword!r} was never set up")
+        self.trees[keyword].apply_insertion(proof)
+
+    def view(self, keyword: str) -> ChameleonView:
+        """The join engine's IndexView for one keyword."""
+        tree = self.trees.get(keyword)
+        if tree is None:
+            # Unknown keyword: an empty placeholder (len == 0 routes the
+            # join engine to the emptiness short-circuit).
+            tree = ChameleonTreeSP(root_commitment=0, arity=self.arity)
+        return ChameleonView(keyword=keyword, tree=tree)
+
+
+@dataclass
+class ChameleonProofSystem:
+    """Client verifier for CVC membership VOs (Algorithm 6 checks).
+
+    ``digests`` binds each queried keyword to its on-chain ``<c_0, cnt>``;
+    ``blooms`` (starred variant only) carries the on-chain Bloom filter
+    snapshots used to validate skip rounds.
+    """
+
+    pp: vc.CVCPublicParams
+    digests: dict[str, tuple[int | None, int]]
+    arity: int = DEFAULT_ARITY
+    blooms: dict[str, BloomFilterChain] | None = None
+    value_bytes: int = 128
+
+    def _digest(self, keyword: str) -> tuple[int | None, int]:
+        return self.digests.get(keyword, (None, 0))
+
+    def verify_entry(self, keyword: str, entry: ProvenEntry) -> None:
+        """Authenticate one proven entry; raises on failure."""
+        proof = entry.proof
+        if not isinstance(proof, MembershipProof):
+            raise VerificationError("expected a CVC membership proof")
+        commitment, count = self._digest(keyword)
+        if commitment is None:
+            raise VerificationError(
+                f"keyword {keyword!r} has no on-chain commitment"
+            )
+        verify_membership(
+            self.pp,
+            commitment,
+            count,
+            self.arity,
+            entry.object_id,
+            entry.object_hash,
+            proof,
+        )
+
+    def is_first(self, keyword: str, entry: ProvenEntry) -> bool:
+        """Whether the entry is provably the tree's first."""
+        proof = entry.proof
+        return isinstance(proof, MembershipProof) and proof.position == 1
+
+    def is_last(self, keyword: str, entry: ProvenEntry) -> bool:
+        """Whether the entry is provably the tree's last."""
+        proof = entry.proof
+        _, count = self._digest(keyword)
+        return isinstance(proof, MembershipProof) and proof.position == count
+
+    def adjacent(
+        self, keyword: str, lower: ProvenEntry, upper: ProvenEntry
+    ) -> bool:
+        """Whether two verified entries are consecutive."""
+        lp, up = lower.proof, upper.proof
+        if not isinstance(lp, MembershipProof) or not isinstance(
+            up, MembershipProof
+        ):
+            return False
+        return up.position == lp.position + 1
+
+    def keyword_empty(self, keyword: str) -> bool:
+        """Whether VO_chain shows the keyword's tree empty."""
+        commitment, count = self._digest(keyword)
+        return commitment is None or count == 0
+
+    def definitely_absent(self, keyword: str, object_id: int) -> bool:
+        """Whether on-chain filters prove the ID absent."""
+        if self.blooms is None or keyword not in self.blooms:
+            return False
+        return self.blooms[keyword].definitely_absent(object_id)
+
+    def chain_digest_bytes(self) -> int:
+        """``VO_chain`` size: ``c_0`` + ``cnt`` per keyword, plus filters."""
+        total = len(self.digests) * (self.value_bytes + 8)
+        if self.blooms is not None:
+            for chain in self.blooms.values():
+                total += len(chain) * (32 + 8)
+        return total

@@ -1,0 +1,111 @@
+"""Signed digest checkpoints for offline clients.
+
+In the base system model the client reads ``VO_chain`` from the
+blockchain.  Light or offline clients may instead rely on *checkpoints*:
+the data owner periodically signs a snapshot of the authenticated
+digests (per-keyword root hashes or ``<c_0, cnt>`` pairs) bound to a
+block height with an RSA-FDH signature.  Anyone holding the DO's public
+key can then verify query answers against a checkpoint without chain
+access — at the cost of freshness being bounded by the checkpoint
+interval (a stale checkpoint verifies answers as of *its* height).
+
+This mirrors the classical "DO signs the ADS root" deployment of
+authenticated query processing [7, 8] layered onto the paper's system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha3
+from repro.crypto.signatures import PublicKey, SigningKey
+from repro.errors import VerificationError
+
+
+def _canonical_digest_blob(height: int, digests: dict[str, bytes]) -> bytes:
+    """Deterministic byte encoding of a digest snapshot."""
+    parts = [b"checkpoint", height.to_bytes(8, "big")]
+    for keyword in sorted(digests):
+        encoded = keyword.encode("utf-8")
+        parts.append(len(encoded).to_bytes(2, "big"))
+        parts.append(encoded)
+        value = digests[keyword]
+        parts.append(len(value).to_bytes(2, "big"))
+        parts.append(value)
+    return sha3(b"".join(parts))
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A signed snapshot of authenticated digests at one block height."""
+
+    height: int
+    digests: dict[str, bytes]
+    signature: int
+
+    def digest_for(self, keyword: str) -> bytes | None:
+        """The digest recorded for one keyword."""
+        return self.digests.get(keyword)
+
+    def byte_size(self) -> int:
+        """Serialised size in bytes."""
+        payload = sum(
+            len(k.encode()) + len(v) + 4 for k, v in self.digests.items()
+        )
+        return 8 + payload + 128
+
+
+class CheckpointIssuer:
+    """DO side: signs digest snapshots."""
+
+    def __init__(self, signing_key: SigningKey) -> None:
+        self._key = signing_key
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The matching verification key."""
+        return self._key.public_key
+
+    def issue(self, height: int, digests: dict[str, bytes]) -> Checkpoint:
+        """Sign a snapshot of digests taken at ``height``."""
+        blob = _canonical_digest_blob(height, digests)
+        return Checkpoint(
+            height=height,
+            digests=dict(digests),
+            signature=self._key.sign(blob),
+        )
+
+
+class CheckpointVerifier:
+    """Client side: validates checkpoints against the DO's public key."""
+
+    def __init__(self, public_key: PublicKey) -> None:
+        self._key = public_key
+        self._latest: Checkpoint | None = None
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        """The most recently accepted checkpoint, or None."""
+        return self._latest
+
+    def accept(self, checkpoint: Checkpoint) -> None:
+        """Verify a checkpoint's signature and monotonic height."""
+        blob = _canonical_digest_blob(checkpoint.height, checkpoint.digests)
+        if not self._key.verify(blob, checkpoint.signature):
+            raise VerificationError("checkpoint signature invalid")
+        if self._latest is not None and checkpoint.height < self._latest.height:
+            raise VerificationError(
+                "checkpoint height regression (possible rollback attack)"
+            )
+        self._latest = checkpoint
+
+    def digest_for(self, keyword: str) -> bytes:
+        """The latest accepted digest for ``keyword``."""
+        if self._latest is None:
+            raise VerificationError("no checkpoint accepted yet")
+        value = self._latest.digests.get(keyword)
+        if value is None:
+            raise VerificationError(
+                f"checkpoint carries no digest for keyword {keyword!r}"
+            )
+        return value

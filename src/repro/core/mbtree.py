@@ -1,0 +1,682 @@
+"""Merkle B-tree (MB-tree): the multi-way authenticated index of [7].
+
+Each keyword in the Merkle inverted index owns one MB-tree keyed by
+object ID.  The tree is a B+-tree of fan-out ``F`` whose every node
+carries a digest:
+
+* a *leaf entry* ``<id, h(o)>`` has digest ``h(id || h(o))`` (tagged);
+* a *leaf node* hashes the concatenation of its entry digests;
+* an *internal node* hashes the concatenation of its child digests.
+
+Proof machinery
+---------------
+:class:`MerklePath` authenticates a single leaf entry and — crucially for
+completeness proofs — encodes the entry's *position* at every level
+(digests of siblings to the left and right).  Two verified paths can
+therefore be checked for adjacency (:func:`paths_adjacent`), for being
+the tree's first entry (:meth:`MerklePath.is_leftmost`) and for being its
+last (:meth:`MerklePath.is_rightmost`), which is exactly what the
+authenticated join of Section III-B needs.
+
+Suppressed maintenance (Section IV)
+-----------------------------------
+:meth:`MBTree.gen_update_proof` implements Algorithm 1 — the SP extracts
+the right-most branch as an :class:`UpdateSpine` — and
+:func:`reconstruct_root` / :func:`compute_updated_root` implement the
+smart contract's side of Algorithm 2 as pure functions over injectable
+hash callables, so the on-chain code can meter every hash while reusing
+the identical logic the tests validate against the real tree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol
+
+from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.errors import IntegrityError, ReproError
+
+#: Default fan-out, per Section VII-A: the largest F with
+#: ``(F-1)*l_d + F*l_p + l_p < 32`` bytes.
+DEFAULT_FANOUT = 4
+
+_ENTRY_TAG = sha3(b"mb-entry")
+_LEAF_TAG = sha3(b"mb-leaf")
+_NODE_TAG = sha3(b"mb-node")
+
+HashFn = Callable[[bytes], bytes]
+
+
+def entry_payload(key: int, value_hash: bytes) -> bytes:
+    """Byte layout hashed into a leaf-entry digest."""
+    return _ENTRY_TAG + _ENTRY_TAG + key.to_bytes(8, "big") + value_hash
+
+
+def leaf_payload(entry_digests: tuple[bytes, ...] | list[bytes]) -> bytes:
+    """Byte layout hashed into a leaf-node digest."""
+    return _LEAF_TAG + _LEAF_TAG + b"".join(entry_digests)
+
+
+def node_payload(child_digests: tuple[bytes, ...] | list[bytes]) -> bytes:
+    """Byte layout hashed into an internal-node digest."""
+    return _NODE_TAG + _NODE_TAG + b"".join(child_digests)
+
+
+def entry_digest(key: int, value_hash: bytes, hash_fn: HashFn = sha3) -> bytes:
+    """Digest of one leaf entry."""
+    return hash_fn(entry_payload(key, value_hash))
+
+
+def leaf_digest(entry_digests, hash_fn: HashFn = sha3) -> bytes:
+    """Digest of a leaf node from its entry digests."""
+    return hash_fn(leaf_payload(entry_digests))
+
+
+def node_digest(child_digests, hash_fn: HashFn = sha3) -> bytes:
+    """Digest of an internal node from its child digests."""
+    return hash_fn(node_payload(child_digests))
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A leaf entry ``<id, h(o)>``."""
+
+    key: int
+    value_hash: bytes
+
+    def digest(self) -> bytes:
+        """Canonical digest of this value."""
+        return entry_digest(self.key, self.value_hash)
+
+
+# ---------------------------------------------------------------------------
+# Merkle paths
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One level of a Merkle path: our index plus sibling digests.
+
+    ``before``/``after`` hold the digests of siblings to our left and
+    right at this level, so the verifier can both recompute the parent
+    digest and reason about positions.
+    """
+
+    index: int
+    before: tuple[bytes, ...]
+    after: tuple[bytes, ...]
+
+    def fold(self, current: bytes, is_leaf_level: bool) -> bytes:
+        """Combine ``current`` with the siblings into the parent digest."""
+        digests = self.before + (current,) + self.after
+        if is_leaf_level:
+            return leaf_digest(digests)
+        return node_digest(digests)
+
+
+@dataclass(frozen=True)
+class MerklePath:
+    """Authentication path of one leaf entry, leaf level first."""
+
+    steps: tuple[PathStep, ...]
+
+    def compute_root(self, entry: Entry) -> bytes:
+        """Fold the path upward from ``entry``'s digest to the root."""
+        current = entry.digest()
+        for level, step in enumerate(self.steps):
+            current = step.fold(current, is_leaf_level=(level == 0))
+        return current
+
+    def is_leftmost(self) -> bool:
+        """True when this is the first entry of the whole tree."""
+        return all(step.index == 0 for step in self.steps)
+
+    def is_rightmost(self) -> bool:
+        """True when this is the last entry of the whole tree."""
+        return all(not step.after for step in self.steps)
+
+    @property
+    def depth(self) -> int:
+        """Number of levels in the path."""
+        return len(self.steps)
+
+    def byte_size(self) -> int:
+        """Serialised size: sibling digests plus one index byte per level."""
+        digests = sum(len(s.before) + len(s.after) for s in self.steps)
+        return 32 * digests + 2 * len(self.steps)
+
+
+def paths_adjacent(left: MerklePath, right: MerklePath) -> bool:
+    """Check that ``left`` immediately precedes ``right`` in leaf order.
+
+    Both paths must already have been verified against the same root.
+    Walking top-down, the paths must agree until a single divergence
+    level where ``right``'s branch index is ``left``'s plus one; below
+    the divergence ``left`` must hug the right edge and ``right`` the
+    left edge of their respective subtrees.
+    """
+    if left.depth != right.depth:
+        return False
+    diverged = False
+    # steps are leaf-first; iterate from the root downward.
+    for step_l, step_r in zip(reversed(left.steps), reversed(right.steps)):
+        if not diverged:
+            if step_l.index == step_r.index:
+                continue
+            if step_r.index != step_l.index + 1:
+                return False
+            diverged = True
+            # At the divergence level both steps describe the same node,
+            # so their sibling multisets must be mutually consistent.
+            full_l = step_l.before + (None,) + step_l.after
+            full_r = step_r.before + (None,) + step_r.after
+            if len(full_l) != len(full_r):
+                return False
+        else:
+            if step_l.after or step_r.before or step_r.index != 0:
+                return False
+    return diverged
+
+
+# ---------------------------------------------------------------------------
+# Tree nodes
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    __slots__ = ("digest",)
+
+    def __init__(self) -> None:
+        self.digest: bytes = EMPTY_DIGEST
+
+    def min_key(self) -> int:  # pragma: no cover - overridden
+        """Smallest key stored under this node."""
+        raise NotImplementedError
+
+
+class LeafNode(_Node):
+    """A leaf node holding sorted ``<id, h(o)>`` entries."""
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: list[Entry] | None = None) -> None:
+        super().__init__()
+        self.entries: list[Entry] = entries or []
+        self.rehash()
+
+    def min_key(self) -> int:
+        """Smallest key stored under this node."""
+        return self.entries[0].key
+
+    def rehash(self) -> None:
+        """Recompute this node's digest from its children."""
+        if self.entries:
+            self.digest = leaf_digest([e.digest() for e in self.entries])
+        else:
+            self.digest = EMPTY_DIGEST
+
+
+class InternalNode(_Node):
+    """An internal node holding child subtrees."""
+    __slots__ = ("children",)
+
+    def __init__(self, children: list[_Node]) -> None:
+        super().__init__()
+        self.children: list[_Node] = children
+        self.rehash()
+
+    def min_key(self) -> int:
+        """Smallest key stored under this node."""
+        return self.children[0].min_key()
+
+    def rehash(self) -> None:
+        """Recompute this node's digest from its children."""
+        self.digest = node_digest([c.digest for c in self.children])
+
+
+class InsertObserver(Protocol):
+    """Hook interface letting callers meter structural operations.
+
+    The Merkle inverted index's on-chain contract implements this to
+    charge gas exactly where the paper's cost analysis places it; the
+    SP-side trees pass no observer and pay nothing.
+    """
+
+    def node_visited(self, node: _Node) -> None:
+        """Hook: a node's content word was fetched."""
+        ...
+
+    def entry_inserted(self, leaf: LeafNode) -> None:
+        """Hook: a new entry was stored into ``leaf``."""
+        ...
+
+    def node_rehashed(self, node: _Node) -> None:
+        """Hook: a node's digest was recomputed and stored."""
+        ...
+
+    def node_split(self, original: _Node, new_sibling: _Node) -> None:
+        """Hook: an overflowing node was split."""
+        ...
+
+    def root_replaced(self, new_root: _Node) -> None:
+        """Hook: the tree gained a new root node."""
+        ...
+
+
+@dataclass(frozen=True)
+class BoundarySearch:
+    """Result of a boundary lookup for a target key.
+
+    ``lower`` is the largest entry with ``key <= target`` (the matching
+    object when keys are equal); ``upper`` is the smallest entry with
+    ``key > target``.  Either may be ``None`` at the tree edges.
+    """
+
+    target: int
+    lower: Entry | None
+    lower_path: MerklePath | None
+    upper: Entry | None
+    upper_path: MerklePath | None
+
+    @property
+    def matched(self) -> bool:
+        """True when the lower boundary equals the target key."""
+        return self.lower is not None and self.lower.key == self.target
+
+
+class MBTree:
+    """A Merkle B+-tree over ``<id, h(o)>`` entries.
+
+    Supports arbitrary-order insertion (splits propagate upward), though
+    the paper's workload only ever appends monotonically increasing IDs.
+    """
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT) -> None:
+        if fanout < 3:
+            raise ReproError("MB-tree fan-out must be at least 3")
+        self.fanout = fanout
+        self._root: _Node | None = None
+        self._count = 0
+        self._max_key: int | None = None
+        self._keys: list[int] = []
+
+    # -- basic properties -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def root_hash(self) -> bytes:
+        """The tree's authenticated digest (EMPTY_DIGEST when empty)."""
+        if self._root is None:
+            return EMPTY_DIGEST
+        return self._root.digest
+
+    @property
+    def max_key(self) -> int | None:
+        """Largest key inserted so far, or None."""
+        return self._max_key
+
+    @property
+    def height(self) -> int:
+        """Number of levels (0 for an empty tree)."""
+        levels = 0
+        node = self._root
+        while node is not None:
+            levels += 1
+            node = node.children[0] if isinstance(node, InternalNode) else None
+        return levels
+
+    # -- insertion --------------------------------------------------------------
+
+    def insert(
+        self, key: int, value_hash: bytes, observer: InsertObserver | None = None
+    ) -> None:
+        """Insert ``<key, value_hash>``; duplicate keys are rejected."""
+        entry = Entry(key=key, value_hash=value_hash)
+        if self._root is None:
+            self._root = LeafNode([entry])
+            self._count = 1
+            self._max_key = key
+            self._keys.append(key)
+            if observer is not None:
+                observer.root_replaced(self._root)
+                observer.node_rehashed(self._root)
+            return
+        path = self._descend(key, observer)
+        leaf = path[-1]
+        assert isinstance(leaf, LeafNode)
+        position = self._entry_position(leaf, key)
+        leaf.entries.insert(position, entry)
+        if observer is not None:
+            observer.entry_inserted(leaf)
+        self._count += 1
+        bisect.insort(self._keys, key)
+        if self._max_key is None or key > self._max_key:
+            self._max_key = key
+        self._split_and_rehash(path, observer)
+
+    def _entry_position(self, leaf: LeafNode, key: int) -> int:
+        lo, hi = 0, len(leaf.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            mid_key = leaf.entries[mid].key
+            if mid_key == key:
+                raise ReproError(f"duplicate key {key} in MB-tree")
+            if mid_key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _descend(
+        self, key: int, observer: InsertObserver | None
+    ) -> list[_Node]:
+        """Root-to-leaf path guiding an insertion of ``key``."""
+        path: list[_Node] = []
+        node = self._root
+        while True:
+            assert node is not None
+            if observer is not None:
+                observer.node_visited(node)
+            path.append(node)
+            if isinstance(node, LeafNode):
+                return path
+            child_index = len(node.children) - 1
+            for i in range(1, len(node.children)):
+                if key < node.children[i].min_key():
+                    child_index = i - 1
+                    break
+            node = node.children[child_index]
+
+    def _split_and_rehash(
+        self, path: list[_Node], observer: InsertObserver | None
+    ) -> None:
+        """Walk the insert path bottom-up, splitting overflowing nodes."""
+        half = (self.fanout + 2) // 2  # ceil((F + 1) / 2), paper's policy
+        carry: list[_Node] | None = None  # replacement for the child below
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if carry is not None:
+                assert isinstance(node, InternalNode)
+                child = path[depth + 1]
+                idx = node.children.index(child)
+                node.children[idx : idx + 1] = carry
+            carry = None
+            if isinstance(node, LeafNode):
+                overflow = len(node.entries) > self.fanout
+            else:
+                overflow = len(node.children) > self.fanout
+            if overflow:
+                sibling = self._split_node(node, half)
+                if observer is not None:
+                    observer.node_split(node, sibling)
+                    observer.node_rehashed(node)
+                    observer.node_rehashed(sibling)
+                carry = [node, sibling]
+            else:
+                node.rehash()
+                if observer is not None:
+                    observer.node_rehashed(node)
+        if carry is not None:
+            new_root = InternalNode(carry)
+            self._root = new_root
+            if observer is not None:
+                observer.root_replaced(new_root)
+                observer.node_rehashed(new_root)
+
+    def _split_node(self, node: _Node, half: int) -> _Node:
+        if isinstance(node, LeafNode):
+            sibling = LeafNode(node.entries[half:])
+            node.entries = node.entries[:half]
+        else:
+            assert isinstance(node, InternalNode)
+            sibling = InternalNode(node.children[half:])
+            node.children = node.children[:half]
+        node.rehash()
+        return sibling
+
+    # -- lookups -----------------------------------------------------------------
+
+    def iter_entries(self) -> Iterator[Entry]:
+        """All entries in key order."""
+
+        def walk(node: _Node) -> Iterator[Entry]:
+            """Depth-first in-order traversal."""
+            if isinstance(node, LeafNode):
+                yield from node.entries
+            else:
+                assert isinstance(node, InternalNode)
+                for child in node.children:
+                    yield from walk(child)
+
+        if self._root is not None:
+            yield from walk(self._root)
+
+    def first_entry(self) -> tuple[Entry, MerklePath] | None:
+        """The smallest entry with its path, or None for an empty tree."""
+        if self._count == 0:
+            return None
+        return self._entry_at_edge(leftmost=True)
+
+    def last_entry(self) -> tuple[Entry, MerklePath] | None:
+        """The largest entry with its path, or None for an empty tree."""
+        if self._count == 0:
+            return None
+        return self._entry_at_edge(leftmost=False)
+
+    def _entry_at_edge(self, leftmost: bool) -> tuple[Entry, MerklePath]:
+        node = self._root
+        steps: list[PathStep] = []
+        assert node is not None
+        while isinstance(node, InternalNode):
+            idx = 0 if leftmost else len(node.children) - 1
+            steps.append(self._node_step(node, idx))
+            node = node.children[idx]
+        assert isinstance(node, LeafNode)
+        idx = 0 if leftmost else len(node.entries) - 1
+        steps.append(self._leaf_step(node, idx))
+        steps.reverse()
+        return node.entries[idx], MerklePath(steps=tuple(steps))
+
+    def prove(self, key: int) -> tuple[Entry, MerklePath]:
+        """Membership proof for an existing key."""
+        search = self.boundaries(key)
+        if not search.matched:
+            raise ReproError(f"key {key} not present in MB-tree")
+        assert search.lower is not None and search.lower_path is not None
+        return search.lower, search.lower_path
+
+    def boundaries(self, target: int) -> BoundarySearch:
+        """Locate the boundary entries around ``target`` with paths.
+
+        ``lower`` = largest entry with key <= target (the match, if any);
+        ``upper`` = smallest entry with key > target.  The sorted key
+        registry picks the boundary keys in O(log n); each proof is a
+        fresh O(log n) descent.
+        """
+        position = bisect.bisect_right(self._keys, target)
+        lower_key = self._keys[position - 1] if position > 0 else None
+        upper_key = self._keys[position] if position < len(self._keys) else None
+        lower = self._prove_by_key(lower_key) if lower_key is not None else None
+        upper = self._prove_by_key(upper_key) if upper_key is not None else None
+        return BoundarySearch(
+            target=target,
+            lower=lower[0] if lower else None,
+            lower_path=lower[1] if lower else None,
+            upper=upper[0] if upper else None,
+            upper_path=upper[1] if upper else None,
+        )
+
+    def _prove_by_key(self, key: int) -> tuple[Entry, MerklePath]:
+        node = self._root
+        steps: list[PathStep] = []
+        assert node is not None
+        while isinstance(node, InternalNode):
+            idx = len(node.children) - 1
+            for i in range(1, len(node.children)):
+                if key < node.children[i].min_key():
+                    idx = i - 1
+                    break
+            steps.append(self._node_step(node, idx))
+            node = node.children[idx]
+        assert isinstance(node, LeafNode)
+        for i, entry in enumerate(node.entries):
+            if entry.key == key:
+                steps.append(self._leaf_step(node, i))
+                steps.reverse()
+                return entry, MerklePath(steps=tuple(steps))
+        raise ReproError(f"key {key} vanished during proof construction")
+
+    @staticmethod
+    def _node_step(node: InternalNode, idx: int) -> PathStep:
+        digests = [c.digest for c in node.children]
+        return PathStep(
+            index=idx,
+            before=tuple(digests[:idx]),
+            after=tuple(digests[idx + 1 :]),
+        )
+
+    @staticmethod
+    def _leaf_step(leaf: LeafNode, idx: int) -> PathStep:
+        digests = [e.digest() for e in leaf.entries]
+        return PathStep(
+            index=idx,
+            before=tuple(digests[:idx]),
+            after=tuple(digests[idx + 1 :]),
+        )
+
+    # -- suppressed maintenance (Algorithms 1 & 2) --------------------------------
+
+    def gen_update_proof(self, new_key: int) -> "UpdateSpine":
+        """Algorithm 1: extract the right-most branch as the ``UpdVO``.
+
+        Must be called *before* inserting ``new_key``; appends only
+        (``new_key`` greater than every existing key) are supported,
+        matching the monotonic-ID assumption of Section IV-C.
+        """
+        if self._max_key is not None and new_key <= self._max_key:
+            raise ReproError(
+                "UpdVO generation requires monotonically increasing keys"
+            )
+        internal_levels: list[tuple[bytes, ...]] = []
+        node = self._root
+        if node is None:
+            return UpdateSpine(internal_levels=(), leaf_entries=())
+        while isinstance(node, InternalNode):
+            digests = [c.digest for c in node.children]
+            internal_levels.append(tuple(digests[:-1]))
+            node = node.children[-1]
+        assert isinstance(node, LeafNode)
+        leaf_entries = tuple(e.digest() for e in node.entries)
+        return UpdateSpine(
+            internal_levels=tuple(internal_levels), leaf_entries=leaf_entries
+        )
+
+
+@dataclass(frozen=True)
+class UpdateSpine:
+    """The ``UpdVO`` of Algorithm 1: the tree's right-most branch.
+
+    ``internal_levels`` lists, top-down, the digests of each right-most
+    internal node's children *except the last* (the branch continues
+    there); ``leaf_entries`` holds every entry digest of the right-most
+    leaf.
+    """
+
+    internal_levels: tuple[tuple[bytes, ...], ...]
+    leaf_entries: tuple[bytes, ...]
+
+    def byte_size(self) -> int:
+        """Serialised size in bytes (charged as ``C_txdata``)."""
+        digests = sum(len(level) for level in self.internal_levels)
+        digests += len(self.leaf_entries)
+        # One length byte per level plus the digests themselves.
+        return 32 * digests + len(self.internal_levels) + 2
+
+    def serialise(self) -> bytes:
+        """Canonical wire encoding (what actually rides in the tx)."""
+        out = [len(self.internal_levels).to_bytes(1, "big")]
+        for level in self.internal_levels:
+            out.append(len(level).to_bytes(1, "big"))
+            out.extend(level)
+        out.append(len(self.leaf_entries).to_bytes(1, "big"))
+        out.extend(self.leaf_entries)
+        return b"".join(out)
+
+    @classmethod
+    def deserialise(cls, data: bytes) -> "UpdateSpine":
+        """Parse the canonical wire encoding."""
+        view = memoryview(data)
+        offset = 0
+
+        def take(n: int) -> bytes:
+            """Consume exactly ``n`` bytes or fail."""
+            nonlocal offset
+            chunk = bytes(view[offset : offset + n])
+            if len(chunk) != n:
+                raise IntegrityError("truncated UpdVO payload")
+            offset += n
+            return chunk
+
+        n_levels = take(1)[0]
+        levels = []
+        for _ in range(n_levels):
+            n_digests = take(1)[0]
+            levels.append(tuple(take(32) for _ in range(n_digests)))
+        n_entries = take(1)[0]
+        entries = tuple(take(32) for _ in range(n_entries))
+        if offset != len(data):
+            raise IntegrityError("trailing bytes in UpdVO payload")
+        return cls(internal_levels=tuple(levels), leaf_entries=entries)
+
+
+def reconstruct_root(spine: UpdateSpine, hash_fn: HashFn = sha3) -> bytes:
+    """Recompute the pre-insertion root hash from an ``UpdVO``.
+
+    The smart contract compares this against its stored root to verify
+    the SP's update proof (Algorithm 2, line 1).  Returns
+    ``EMPTY_DIGEST`` for the empty-tree spine.
+    """
+    if not spine.leaf_entries and not spine.internal_levels:
+        return EMPTY_DIGEST
+    current = leaf_digest(spine.leaf_entries, hash_fn)
+    for level in reversed(spine.internal_levels):
+        current = node_digest(level + (current,), hash_fn)
+    return current
+
+
+def compute_updated_root(
+    spine: UpdateSpine,
+    new_entry: bytes,
+    fanout: int,
+    hash_fn: HashFn = sha3,
+) -> bytes:
+    """Algorithm 2's root recomputation: append ``new_entry`` and re-fold.
+
+    Handles cascading node splits with the same ``ceil((F+1)/2)`` policy
+    as :class:`MBTree`, so the returned digest equals the real tree's
+    root after the corresponding insertion — verified by tests.
+    """
+    half = (fanout + 2) // 2
+    entries = spine.leaf_entries + (new_entry,)
+    if len(entries) > fanout:
+        carry = [
+            leaf_digest(entries[:half], hash_fn),
+            leaf_digest(entries[half:], hash_fn),
+        ]
+    else:
+        carry = [leaf_digest(entries, hash_fn)]
+    for level in reversed(spine.internal_levels):
+        children = list(level) + carry
+        if len(children) > fanout:
+            carry = [
+                node_digest(children[:half], hash_fn),
+                node_digest(children[half:], hash_fn),
+            ]
+        else:
+            carry = [node_digest(children, hash_fn)]
+    if len(carry) == 2:
+        return node_digest(carry, hash_fn)
+    return carry[0]

@@ -1,0 +1,182 @@
+"""Shared SP-side machinery for the Merkle inverted index family.
+
+The baseline Merkle^inv (MI) and the Suppressed Merkle^inv (SMI) differ
+only in how the *on-chain* side is maintained; the SP keeps identical
+complete MB-trees for query processing, and clients verify both with the
+same Merkle-path proof system.  This module holds that common ground:
+
+* :class:`MerkleInvertedSP` — the SP's keyword -> MB-tree map;
+* :class:`MBTreeView` — the join engine's :class:`IndexView` adapter;
+* :class:`MerkleProofSystem` — the client's verifier bound to the root
+  hashes read from the blockchain (``VO_chain``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mbtree import (
+    DEFAULT_FANOUT,
+    Entry,
+    MBTree,
+    MerklePath,
+    paths_adjacent,
+)
+from repro.core.objects import ObjectMetadata
+from repro.core.query.vo import ProvenEntry
+from repro.crypto.hashing import EMPTY_DIGEST
+from repro.errors import VerificationError
+
+
+@dataclass
+class MBTreeView:
+    """Adapts one keyword's MB-tree to the join engine's IndexView."""
+
+    keyword: str
+    tree: MBTree
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def first_proven(self) -> ProvenEntry | None:
+        """The smallest entry with proof, or None when empty."""
+        pair = self.tree.first_entry()
+        if pair is None:
+            return None
+        entry, path = pair
+        return ProvenEntry(
+            object_id=entry.key, object_hash=entry.value_hash, proof=path
+        )
+
+    def boundaries_proven(
+        self, target: int
+    ) -> tuple[ProvenEntry | None, ProvenEntry | None]:
+        """Boundary entries with proofs around a target."""
+        search = self.tree.boundaries(target)
+        lower = None
+        upper = None
+        if search.lower is not None:
+            lower = ProvenEntry(
+                object_id=search.lower.key,
+                object_hash=search.lower.value_hash,
+                proof=search.lower_path,
+            )
+        if search.upper is not None:
+            upper = ProvenEntry(
+                object_id=search.upper.key,
+                object_hash=search.upper.value_hash,
+                proof=search.upper_path,
+            )
+        return lower, upper
+
+    def all_proven(self) -> list[ProvenEntry]:
+        """Every entry with proof, in key order."""
+        out: list[ProvenEntry] = []
+        for entry in self.tree.iter_entries():
+            _, path = self.tree.prove(entry.key)
+            out.append(
+                ProvenEntry(
+                    object_id=entry.key,
+                    object_hash=entry.value_hash,
+                    proof=path,
+                )
+            )
+        return out
+
+    def definitely_absent(self, object_id: int) -> bool:
+        # No on-chain filters in the Merkle family.
+        """Whether on-chain filters prove the ID absent."""
+        return False
+
+
+@dataclass
+class MerkleInvertedSP:
+    """The SP's complete Merkle inverted index (keyword -> MB-tree)."""
+
+    fanout: int = DEFAULT_FANOUT
+    trees: dict[str, MBTree] = field(default_factory=dict)
+
+    def tree_for(self, keyword: str) -> MBTree:
+        """Get or lazily create the keyword's tree."""
+        if keyword not in self.trees:
+            self.trees[keyword] = MBTree(fanout=self.fanout)
+        return self.trees[keyword]
+
+    def insert(self, metadata: ObjectMetadata) -> None:
+        """Mirror a newly confirmed object into every keyword tree."""
+        for keyword in metadata.keywords:
+            self.tree_for(keyword).insert(
+                metadata.object_id, metadata.object_hash
+            )
+
+    def view(self, keyword: str) -> MBTreeView:
+        """The join engine's IndexView for one keyword."""
+        return MBTreeView(keyword=keyword, tree=self.tree_for(keyword))
+
+    def root_hash(self, keyword: str) -> bytes:
+        """The tree's authenticated root digest."""
+        tree = self.trees.get(keyword)
+        return tree.root_hash if tree is not None else EMPTY_DIGEST
+
+
+@dataclass
+class MerkleProofSystem:
+    """Client verifier for Merkle-path VOs, bound to on-chain roots.
+
+    ``roots`` maps each queried keyword to the root hash fetched from
+    the smart contract; keywords absent from the chain map to the empty
+    digest, which is itself the completeness evidence for non-existing
+    keywords (footnote 4 of the paper).
+    """
+
+    roots: dict[str, bytes]
+    value_bytes: int = 32
+
+    def _root(self, keyword: str) -> bytes:
+        return self.roots.get(keyword, EMPTY_DIGEST)
+
+    def verify_entry(self, keyword: str, entry: ProvenEntry) -> None:
+        """Authenticate one proven entry; raises on failure."""
+        path = entry.proof
+        if not isinstance(path, MerklePath):
+            raise VerificationError("expected a Merkle path proof")
+        computed = path.compute_root(
+            Entry(key=entry.object_id, value_hash=entry.object_hash)
+        )
+        if computed != self._root(keyword):
+            raise VerificationError(
+                f"Merkle path for object {entry.object_id} does not match "
+                f"the on-chain root of keyword {keyword!r}"
+            )
+
+    def is_first(self, keyword: str, entry: ProvenEntry) -> bool:
+        """Whether the entry is provably the tree's first."""
+        path = entry.proof
+        return isinstance(path, MerklePath) and path.is_leftmost()
+
+    def is_last(self, keyword: str, entry: ProvenEntry) -> bool:
+        """Whether the entry is provably the tree's last."""
+        path = entry.proof
+        return isinstance(path, MerklePath) and path.is_rightmost()
+
+    def adjacent(
+        self, keyword: str, lower: ProvenEntry, upper: ProvenEntry
+    ) -> bool:
+        """Whether two verified entries are consecutive."""
+        if not isinstance(lower.proof, MerklePath) or not isinstance(
+            upper.proof, MerklePath
+        ):
+            return False
+        return paths_adjacent(lower.proof, upper.proof)
+
+    def keyword_empty(self, keyword: str) -> bool:
+        """Whether VO_chain shows the keyword's tree empty."""
+        return self._root(keyword) == EMPTY_DIGEST
+
+    def definitely_absent(self, keyword: str, object_id: int) -> bool:
+        """Whether on-chain filters prove the ID absent."""
+        return False
+
+    def chain_digest_bytes(self) -> int:
+        """``VO_chain`` size: one 32-byte root per queried keyword."""
+        return 32 * len(self.roots)

@@ -1,0 +1,120 @@
+"""Data objects and on-chain meta-data (Section II-B system model).
+
+Each data object is a tuple ``o_i = <id, {w_j}, v>``: a monotonically
+increasing integer ID, a set of keywords, and the raw content.  The data
+owner sends the full object to the SP and only the meta-data
+``<id, {w_j}, h(o_i)>`` to the blockchain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import tagged_hash
+from repro.errors import DatasetError
+
+
+def normalise_keyword(keyword: str) -> str:
+    """Canonical keyword form: stripped, lower-cased, non-empty."""
+    cleaned = keyword.strip().lower()
+    if not cleaned:
+        raise DatasetError("keywords must be non-empty")
+    return cleaned
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """A raw data object held off-chain by the SP.
+
+    ``object_id`` plays the role of the paper's monotonically increasing
+    32-bit identifier (e.g. a transaction timestamp); ``keywords`` are
+    already stop-word-filtered; ``content`` is the opaque payload.
+    """
+
+    object_id: int
+    keywords: tuple[str, ...]
+    content: bytes
+
+    def __post_init__(self) -> None:
+        if self.object_id < 0:
+            raise DatasetError("object IDs are non-negative")
+        normalised = tuple(dict.fromkeys(normalise_keyword(w) for w in self.keywords))
+        object.__setattr__(self, "keywords", normalised)
+
+    def digest(self) -> bytes:
+        """``h(o_i)``: binds the ID, the keyword set and the content."""
+        keyword_blob = b"\x00".join(w.encode("utf-8") for w in self.keywords)
+        return tagged_hash(
+            "data-object",
+            self.object_id.to_bytes(8, "big"),
+            keyword_blob,
+            self.content,
+        )
+
+    def keyword_set(self) -> frozenset[str]:
+        """The object's keywords as a frozen set."""
+        return frozenset(self.keywords)
+
+    def matches_conjunction(self, required: frozenset[str]) -> bool:
+        """True when the object carries every keyword in ``required``."""
+        return required <= self.keyword_set()
+
+
+@dataclass(frozen=True)
+class ObjectMetadata:
+    """The on-chain record ``<id, {w_j}, h(o_i)>`` sent by the DO."""
+
+    object_id: int
+    keywords: tuple[str, ...]
+    object_hash: bytes
+
+    @classmethod
+    def of(cls, obj: DataObject) -> "ObjectMetadata":
+        """Build the on-chain meta-data record for an object."""
+        return cls(
+            object_id=obj.object_id,
+            keywords=obj.keywords,
+            object_hash=obj.digest(),
+        )
+
+    def payload_bytes(self) -> bytes:
+        """Wire encoding whose length is charged as ``C_txdata``."""
+        keyword_blob = b"\x00".join(w.encode("utf-8") for w in self.keywords)
+        return (
+            self.object_id.to_bytes(8, "big")
+            + len(self.keywords).to_bytes(2, "big")
+            + keyword_blob
+            + self.object_hash
+        )
+
+
+@dataclass
+class ObjectStore:
+    """The SP's raw-object repository, addressable by ID."""
+
+    _objects: dict[int, DataObject] = field(default_factory=dict)
+
+    def put(self, obj: DataObject) -> None:
+        """Store one item."""
+        if obj.object_id in self._objects:
+            raise DatasetError(
+                f"object {obj.object_id} already stored; objects are immutable"
+            )
+        self._objects[obj.object_id] = obj
+
+    def get(self, object_id: int) -> DataObject:
+        """Fetch one item by ID."""
+        try:
+            return self._objects[object_id]
+        except KeyError as exc:
+            raise DatasetError(f"no object with ID {object_id}") from exc
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._objects
+
+    def all_ids(self) -> list[int]:
+        """All stored object IDs in ascending order."""
+        return sorted(self._objects)

@@ -1,0 +1,125 @@
+"""Durable system state via event-sourced snapshots.
+
+A :class:`HybridStorageSystem` is a deterministic function of its
+configuration, its seed and the ordered object stream: key material is
+derived from the seed, tree shapes from the stream, gas from the
+replayed transactions.  Persistence therefore stores exactly that —
+a JSON manifest (configuration + seed) plus an append-friendly JSONL
+object log — and restores by replay.  This is the same recovery model
+the deployment itself implies (the chain and the DO's stream are the
+durable ground truth; SP state is always reconstructible), and it can
+never deserialise inconsistent cryptographic state.
+
+Layout::
+
+    <dir>/manifest.json    configuration and seed
+    <dir>/objects.jsonl    one object per line, insertion order
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+
+from repro.core.objects import DataObject
+from repro.core.system import HybridStorageSystem
+from repro.errors import ReproError
+
+#: Manifest schema version.
+MANIFEST_VERSION = 1
+
+#: System constructor arguments captured in the manifest.
+_CONFIG_FIELDS = (
+    "fanout",
+    "arity",
+    "bloom_capacity",
+    "filter_bits",
+    "join_order",
+    "join_plan",
+    "mine_every",
+)
+
+
+def _object_to_record(obj: DataObject) -> dict:
+    return {
+        "id": obj.object_id,
+        "keywords": list(obj.keywords),
+        "content": base64.b64encode(obj.content).decode("ascii"),
+    }
+
+
+def _record_to_object(record: dict) -> DataObject:
+    return DataObject(
+        object_id=record["id"],
+        keywords=tuple(record["keywords"]),
+        content=base64.b64decode(record["content"]),
+    )
+
+
+def save_system(
+    system: HybridStorageSystem, directory: str | Path, seed: int
+) -> Path:
+    """Persist ``system`` (built with ``seed``) under ``directory``.
+
+    The seed must be the one the system was constructed with — replay
+    regenerates identical key material from it.  Unseeded systems
+    (``seed=None``) are not persistable by replay and are rejected.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "scheme": system.scheme.value,
+        "seed": seed,
+        "cvc_modulus_bits": getattr(system, "_cvc", None)
+        and system._cvc.pp.modulus.bit_length(),
+        "config": {
+            field: getattr(system, field) for field in _CONFIG_FIELDS
+        },
+        "object_count": len(system),
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    with (path / "objects.jsonl").open("w") as log:
+        for object_id in system.store.all_ids():
+            record = _object_to_record(system.store.get(object_id))
+            log.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_system(directory: str | Path) -> HybridStorageSystem:
+    """Rebuild a persisted system by replaying its object stream."""
+    path = Path(directory)
+    manifest_path = path / "manifest.json"
+    if not manifest_path.exists():
+        raise ReproError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ReproError(
+            f"unsupported manifest version {manifest.get('version')!r}"
+        )
+    kwargs = dict(manifest["config"])
+    if manifest.get("cvc_modulus_bits"):
+        # bit_length of the modulus may be one short of the nominal
+        # size; round up to the byte the keygen was called with.
+        bits = manifest["cvc_modulus_bits"]
+        kwargs["cvc_modulus_bits"] = (bits + 7) // 8 * 8
+    system = HybridStorageSystem(
+        scheme=manifest["scheme"], seed=manifest["seed"], **kwargs
+    )
+    objects_path = path / "objects.jsonl"
+    count = 0
+    if objects_path.exists():
+        with objects_path.open() as log:
+            for line in log:
+                line = line.strip()
+                if not line:
+                    continue
+                system.add_object(_record_to_object(json.loads(line)))
+                count += 1
+    expected = manifest.get("object_count", count)
+    if count != expected:
+        raise ReproError(
+            f"object log holds {count} records; manifest says {expected}"
+        )
+    return system

@@ -1,0 +1,49 @@
+"""Query processing: DNF parsing, authenticated joins, VOs, verification."""
+
+from repro.core.query.join import (
+    IndexView,
+    conjunctive_join,
+    join_two,
+    multiway_join,
+    semi_join,
+)
+from repro.core.query.parser import KeywordQuery
+from repro.core.query.verify import (
+    ProofSystem,
+    VerifiedResults,
+    verify_conjunct,
+    verify_query,
+)
+from repro.core.query.vo import (
+    ConjunctiveVO,
+    FullScanVO,
+    JoinRound,
+    MultiWayJoinVO,
+    ProvenEntry,
+    QueryAnswer,
+    QueryVO,
+    SemiJoinProbe,
+    SemiJoinStage,
+)
+
+__all__ = [
+    "ConjunctiveVO",
+    "FullScanVO",
+    "IndexView",
+    "JoinRound",
+    "KeywordQuery",
+    "MultiWayJoinVO",
+    "ProofSystem",
+    "ProvenEntry",
+    "QueryAnswer",
+    "QueryVO",
+    "SemiJoinProbe",
+    "SemiJoinStage",
+    "VerifiedResults",
+    "conjunctive_join",
+    "join_two",
+    "multiway_join",
+    "semi_join",
+    "verify_conjunct",
+    "verify_query",
+]

@@ -1,0 +1,325 @@
+"""Binary wire codec for verification objects.
+
+``VO_sp`` travels from the SP to the client; the paper's VO-size metric
+(Figs. 11–13) is the serialised byte count.  This codec provides the
+canonical wire format — a compact tagged binary encoding — and is used
+by the system facade to report *exact* VO sizes rather than estimates.
+
+Format notes: integers are big-endian; group elements (CVC commitments
+and proofs) occupy the scheme's fixed ``value_bytes`` width; variable
+counts use 2-byte lengths (a 65,535-element bound per list is ample for
+any VO this system emits).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.chameleon import ChameleonLink, MembershipProof
+from repro.core.mbtree import MerklePath, PathStep
+from repro.core.query.vo import (
+    ConjunctiveVO,
+    FullScanVO,
+    JoinRound,
+    MultiWayJoinVO,
+    ProvenEntry,
+    QueryVO,
+    SemiJoinProbe,
+    SemiJoinStage,
+)
+from repro.errors import ReproError
+
+_PROOF_NONE = 0
+_PROOF_MERKLE = 1
+_PROOF_CVC = 2
+
+_BASE_NONE = 0
+_BASE_MULTIWAY = 1
+_BASE_FULLSCAN = 2
+
+
+class VOCodec:
+    """Encoder/decoder bound to one scheme's group-element width."""
+
+    def __init__(self, value_bytes: int = 128) -> None:
+        if value_bytes <= 0:
+            raise ReproError("value_bytes must be positive")
+        self.value_bytes = value_bytes
+
+    # -- primitives --------------------------------------------------------------
+
+    @staticmethod
+    def _write_uint(out: io.BytesIO, value: int, width: int) -> None:
+        out.write(value.to_bytes(width, "big"))
+
+    @staticmethod
+    def _read_uint(data: io.BytesIO, width: int) -> int:
+        raw = data.read(width)
+        if len(raw) != width:
+            raise ReproError("truncated VO payload")
+        return int.from_bytes(raw, "big")
+
+    def _write_element(self, out: io.BytesIO, value: int) -> None:
+        self._write_uint(out, value, self.value_bytes)
+
+    def _read_element(self, data: io.BytesIO) -> int:
+        return self._read_uint(data, self.value_bytes)
+
+    @staticmethod
+    def _write_string(out: io.BytesIO, text: str) -> None:
+        encoded = text.encode("utf-8")
+        if len(encoded) > 0xFF:
+            raise ReproError("keyword too long for wire format")
+        out.write(len(encoded).to_bytes(1, "big"))
+        out.write(encoded)
+
+    @staticmethod
+    def _read_string(data: io.BytesIO) -> str:
+        length = VOCodec._read_uint(data, 1)
+        raw = data.read(length)
+        if len(raw) != length:
+            raise ReproError("truncated VO payload")
+        return raw.decode("utf-8")
+
+    @staticmethod
+    def _read_bytes(data: io.BytesIO, length: int) -> bytes:
+        raw = data.read(length)
+        if len(raw) != length:
+            raise ReproError("truncated VO payload")
+        return raw
+
+    # -- proofs ------------------------------------------------------------------
+
+    def _write_merkle_path(self, out: io.BytesIO, path: MerklePath) -> None:
+        self._write_uint(out, len(path.steps), 1)
+        for step in path.steps:
+            self._write_uint(out, step.index, 2)
+            self._write_uint(out, len(step.before), 1)
+            for digest in step.before:
+                out.write(digest)
+            self._write_uint(out, len(step.after), 1)
+            for digest in step.after:
+                out.write(digest)
+
+    def _read_merkle_path(self, data: io.BytesIO) -> MerklePath:
+        depth = self._read_uint(data, 1)
+        steps = []
+        for _ in range(depth):
+            index = self._read_uint(data, 2)
+            before = tuple(
+                self._read_bytes(data, 32)
+                for _ in range(self._read_uint(data, 1))
+            )
+            after = tuple(
+                self._read_bytes(data, 32)
+                for _ in range(self._read_uint(data, 1))
+            )
+            steps.append(PathStep(index=index, before=before, after=after))
+        return MerklePath(steps=tuple(steps))
+
+    def _write_membership(self, out: io.BytesIO, proof: MembershipProof) -> None:
+        self._write_uint(out, proof.position, 8)
+        self._write_element(out, proof.entry_commitment)
+        self._write_element(out, proof.slot1_proof)
+        self._write_uint(out, len(proof.links), 1)
+        for link in proof.links:
+            self._write_uint(out, link.child_index, 1)
+            self._write_element(out, link.child_commitment)
+            self._write_element(out, link.proof)
+
+    def _read_membership(self, data: io.BytesIO) -> MembershipProof:
+        position = self._read_uint(data, 8)
+        entry_commitment = self._read_element(data)
+        slot1_proof = self._read_element(data)
+        links = []
+        for _ in range(self._read_uint(data, 1)):
+            links.append(
+                ChameleonLink(
+                    child_index=self._read_uint(data, 1),
+                    child_commitment=self._read_element(data),
+                    proof=self._read_element(data),
+                )
+            )
+        return MembershipProof(
+            position=position,
+            entry_commitment=entry_commitment,
+            slot1_proof=slot1_proof,
+            links=tuple(links),
+        )
+
+    def _write_entry(self, out: io.BytesIO, entry: ProvenEntry | None) -> None:
+        if entry is None:
+            self._write_uint(out, 0, 1)
+            return
+        self._write_uint(out, 1, 1)
+        self._write_uint(out, entry.object_id, 8)
+        out.write(entry.object_hash)
+        proof = entry.proof
+        if proof is None:
+            self._write_uint(out, _PROOF_NONE, 1)
+        elif isinstance(proof, MerklePath):
+            self._write_uint(out, _PROOF_MERKLE, 1)
+            self._write_merkle_path(out, proof)
+        elif isinstance(proof, MembershipProof):
+            self._write_uint(out, _PROOF_CVC, 1)
+            self._write_membership(out, proof)
+        else:
+            raise ReproError(f"cannot encode proof type {type(proof)!r}")
+
+    def _read_entry(self, data: io.BytesIO) -> ProvenEntry | None:
+        if self._read_uint(data, 1) == 0:
+            return None
+        object_id = self._read_uint(data, 8)
+        object_hash = self._read_bytes(data, 32)
+        tag = self._read_uint(data, 1)
+        if tag == _PROOF_NONE:
+            proof = None
+        elif tag == _PROOF_MERKLE:
+            proof = self._read_merkle_path(data)
+        elif tag == _PROOF_CVC:
+            proof = self._read_membership(data)
+        else:
+            raise ReproError(f"unknown proof tag {tag}")
+        return ProvenEntry(
+            object_id=object_id, object_hash=object_hash, proof=proof
+        )
+
+    # -- VO structures ------------------------------------------------------------
+
+    def _write_round(self, out: io.BytesIO, rnd: JoinRound) -> None:
+        self._write_uint(out, 0 if rnd.kind == "probe" else 1, 1)
+        self._write_uint(out, rnd.probe_tree, 1)
+        self._write_entry(out, rnd.lower)
+        self._write_entry(out, rnd.upper)
+        self._write_entry(out, rnd.next_target)
+
+    def _read_round(self, data: io.BytesIO) -> JoinRound:
+        kind = "probe" if self._read_uint(data, 1) == 0 else "skip"
+        probe_tree = self._read_uint(data, 1)
+        lower = self._read_entry(data)
+        upper = self._read_entry(data)
+        next_target = self._read_entry(data)
+        return JoinRound(
+            kind=kind,
+            probe_tree=probe_tree,
+            lower=lower,
+            upper=upper,
+            next_target=next_target,
+        )
+
+    def _write_conjunct(self, out: io.BytesIO, vo: ConjunctiveVO) -> None:
+        self._write_uint(out, len(vo.keywords), 1)
+        for keyword in vo.keywords:
+            self._write_string(out, keyword)
+        if vo.empty_keyword is not None:
+            self._write_uint(out, 1, 1)
+            self._write_string(out, vo.empty_keyword)
+        else:
+            self._write_uint(out, 0, 1)
+        if vo.base is None:
+            self._write_uint(out, _BASE_NONE, 1)
+        elif isinstance(vo.base, MultiWayJoinVO):
+            self._write_uint(out, _BASE_MULTIWAY, 1)
+            self._write_uint(out, len(vo.base.trees), 1)
+            for tree in vo.base.trees:
+                self._write_string(out, tree)
+            self._write_entry(out, vo.base.first_target)
+            self._write_uint(out, len(vo.base.rounds), 2)
+            for rnd in vo.base.rounds:
+                self._write_round(out, rnd)
+        else:
+            assert isinstance(vo.base, FullScanVO)
+            self._write_uint(out, _BASE_FULLSCAN, 1)
+            self._write_string(out, vo.base.keyword)
+            self._write_uint(out, len(vo.base.entries), 2)
+            for entry in vo.base.entries:
+                self._write_entry(out, entry)
+        self._write_uint(out, len(vo.stages), 1)
+        for stage in vo.stages:
+            self._write_string(out, stage.keyword)
+            self._write_uint(out, len(stage.probes), 2)
+            for probe in stage.probes:
+                self._write_uint(out, probe.candidate_id, 8)
+                self._write_uint(out, 1 if probe.bloom_absent else 0, 1)
+                self._write_entry(out, probe.lower)
+                self._write_entry(out, probe.upper)
+
+    def _read_conjunct(self, data: io.BytesIO) -> ConjunctiveVO:
+        keywords = tuple(
+            self._read_string(data) for _ in range(self._read_uint(data, 1))
+        )
+        empty_keyword = None
+        if self._read_uint(data, 1) == 1:
+            empty_keyword = self._read_string(data)
+        base_tag = self._read_uint(data, 1)
+        base: MultiWayJoinVO | FullScanVO | None
+        if base_tag == _BASE_NONE:
+            base = None
+        elif base_tag == _BASE_MULTIWAY:
+            trees = tuple(
+                self._read_string(data)
+                for _ in range(self._read_uint(data, 1))
+            )
+            first_target = self._read_entry(data)
+            assert first_target is not None
+            rounds = tuple(
+                self._read_round(data)
+                for _ in range(self._read_uint(data, 2))
+            )
+            base = MultiWayJoinVO(
+                trees=trees, first_target=first_target, rounds=rounds
+            )
+        elif base_tag == _BASE_FULLSCAN:
+            keyword = self._read_string(data)
+            entries = []
+            for _ in range(self._read_uint(data, 2)):
+                entry = self._read_entry(data)
+                assert entry is not None
+                entries.append(entry)
+            base = FullScanVO(keyword=keyword, entries=tuple(entries))
+        else:
+            raise ReproError(f"unknown base tag {base_tag}")
+        stages = []
+        for _ in range(self._read_uint(data, 1)):
+            keyword = self._read_string(data)
+            probes = []
+            for _ in range(self._read_uint(data, 2)):
+                candidate_id = self._read_uint(data, 8)
+                bloom_absent = self._read_uint(data, 1) == 1
+                lower = self._read_entry(data)
+                upper = self._read_entry(data)
+                probes.append(
+                    SemiJoinProbe(
+                        candidate_id=candidate_id,
+                        bloom_absent=bloom_absent,
+                        lower=lower,
+                        upper=upper,
+                    )
+                )
+            stages.append(SemiJoinStage(keyword=keyword, probes=tuple(probes)))
+        return ConjunctiveVO(
+            keywords=keywords,
+            base=base,
+            stages=tuple(stages),
+            empty_keyword=empty_keyword,
+        )
+
+    # -- public API ----------------------------------------------------------------
+
+    def encode(self, vo: QueryVO) -> bytes:
+        """Serialise a full ``VO_sp`` to its wire form."""
+        out = io.BytesIO()
+        self._write_uint(out, len(vo.conjuncts), 1)
+        for conjunct in vo.conjuncts:
+            self._write_conjunct(out, conjunct)
+        return out.getvalue()
+
+    def decode(self, payload: bytes) -> QueryVO:
+        """Parse a wire-form ``VO_sp``; raises on malformed input."""
+        data = io.BytesIO(payload)
+        conjuncts = tuple(
+            self._read_conjunct(data) for _ in range(self._read_uint(data, 1))
+        )
+        if data.read(1):
+            raise ReproError("trailing bytes in VO payload")
+        return QueryVO(conjuncts=conjuncts)

@@ -1,0 +1,229 @@
+"""Authenticated join processing (Sections III-B and V-C, Algorithm 5).
+
+The SP evaluates each conjunctive component as an authenticated join
+over the component keywords' index trees.  The engine is generic over
+an :class:`IndexView` adapter so the same round logic serves the
+Merkle-inverted family (MB-tree proofs) and the Chameleon family
+(membership proofs), with the Chameleon* Bloom-filter optimisation
+surfacing as ``skip`` rounds.
+
+Two multiway plans are provided:
+
+* **cyclic** (default) — the k-way generalisation of the paper's
+  two-tree role-switching walk (Fig. 4): the target cycles through the
+  other trees collecting boundary proofs; a target confirmed in all
+  ``k-1`` of them is a result; a failed probe advances the target to
+  the probed tree's upper boundary.  For ``k = 2`` this is *exactly*
+  the paper's walk; its cost grows with the number of query keywords,
+  which is the behaviour the paper's Figs. 11–12 measure.
+* **semijoin** — footnote 3 taken literally: join the two smallest
+  trees, then probe each surviving candidate in every remaining tree.
+  Asymptotically cheaper when intersections are small; compared against
+  the cyclic plan in the join-plan ablation.
+
+Protocol invariants (cyclic walk):
+
+1. the first target is the first tree's first entry, proven first;
+2. every round probes the tree at cyclic offset 1..k-1 from the
+   target's *home* tree, in increasing offset order while the target
+   accumulates confirmations;
+3. a probe returns the boundary entries ``lower <= target < upper``
+   (adjacent, or edged with first/last evidence); ``lower == target``
+   is a confirmation, and ``k-1`` confirmations make a result;
+4. a failed or completed target advances to the probed tree's upper
+   boundary (which becomes the new home); a probe with no upper
+   terminates the walk — everything beyond the target is provably
+   absent from the probed tree;
+5. with Bloom filters, a round whose target is provably absent from
+   the probed tree skips the boundary proofs and advances the target
+   within its home tree instead.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.query.vo import (
+    ConjunctiveVO,
+    FullScanVO,
+    JoinRound,
+    MultiWayJoinVO,
+    ProvenEntry,
+    SemiJoinProbe,
+    SemiJoinStage,
+)
+from repro.errors import QueryError
+
+
+@runtime_checkable
+class IndexView(Protocol):
+    """The SP-side face of one keyword's index tree."""
+
+    keyword: str
+
+    def __len__(self) -> int: ...
+
+    def first_proven(self) -> ProvenEntry | None:
+        """The smallest entry with proof, or None when empty."""
+        ...
+
+    def boundaries_proven(
+        self, target: int
+    ) -> tuple[ProvenEntry | None, ProvenEntry | None]:
+        """``(lower, upper)`` boundary entries around ``target``."""
+        ...
+
+    def all_proven(self) -> list[ProvenEntry]:
+        """Every entry with proof, in key order (full scans)."""
+        ...
+
+    def definitely_absent(self, object_id: int) -> bool:
+        """True when an on-chain-replicable filter proves absence.
+
+        Non-Bloom schemes always return False; returning True obliges
+        the *client* to reach the same conclusion from ``VO_chain``.
+        """
+        ...
+
+
+def multiway_join(
+    views: list[IndexView],
+) -> tuple[list[int], MultiWayJoinVO]:
+    """The k-way cyclic join walk; trees must all be non-empty.
+
+    Returns the matched IDs and the VO encoding the whole walk.
+    """
+    k = len(views)
+    if k < 2:
+        raise QueryError("multiway_join requires at least two trees")
+    for view in views:
+        if len(view) == 0:
+            raise QueryError("multiway_join requires non-empty trees")
+    first = views[0].first_proven()
+    assert first is not None
+    matches: list[int] = []
+    rounds: list[JoinRound] = []
+    target = first
+    home = 0
+    confirm = 0
+    offset = 1
+    while True:
+        probe_idx = (home + offset) % k
+        view = views[probe_idx]
+        if view.definitely_absent(target.object_id):
+            _, next_target = views[home].boundaries_proven(target.object_id)
+            rounds.append(
+                JoinRound(
+                    kind="skip", probe_tree=probe_idx, next_target=next_target
+                )
+            )
+            if next_target is None:
+                break
+            target = next_target
+            confirm = 0
+            offset = 1
+            continue
+        lower, upper = view.boundaries_proven(target.object_id)
+        rounds.append(
+            JoinRound(kind="probe", probe_tree=probe_idx, lower=lower, upper=upper)
+        )
+        matched = lower is not None and lower.object_id == target.object_id
+        if matched:
+            confirm += 1
+            if confirm == k - 1:
+                matches.append(target.object_id)
+                if upper is None:
+                    break
+                target = upper
+                home = probe_idx
+                confirm = 0
+                offset = 1
+            else:
+                offset += 1
+            continue
+        if upper is None:
+            break
+        target = upper
+        home = probe_idx
+        confirm = 0
+        offset = 1
+    vo = MultiWayJoinVO(
+        trees=tuple(v.keyword for v in views),
+        first_target=first,
+        rounds=tuple(rounds),
+    )
+    return matches, vo
+
+
+def join_two(
+    left: IndexView, right: IndexView
+) -> tuple[list[int], MultiWayJoinVO]:
+    """Authenticated join of two trees (the paper's Fig. 4 walk)."""
+    return multiway_join([left, right])
+
+
+def semi_join(
+    candidates: list[int], view: IndexView
+) -> tuple[list[int], SemiJoinStage]:
+    """Filter ``candidates`` through one more tree with per-ID probes."""
+    survivors: list[int] = []
+    probes: list[SemiJoinProbe] = []
+    for candidate in sorted(candidates):
+        if view.definitely_absent(candidate):
+            probes.append(
+                SemiJoinProbe(candidate_id=candidate, bloom_absent=True)
+            )
+            continue
+        lower, upper = view.boundaries_proven(candidate)
+        probe = SemiJoinProbe(candidate_id=candidate, lower=lower, upper=upper)
+        probes.append(probe)
+        if probe.matched:
+            survivors.append(candidate)
+    return survivors, SemiJoinStage(keyword=view.keyword, probes=tuple(probes))
+
+
+def conjunctive_join(
+    views: list[IndexView],
+    order: str = "size",
+    plan: str = "cyclic",
+) -> tuple[list[int], ConjunctiveVO]:
+    """Evaluate one conjunctive component over its keyword trees.
+
+    ``order="size"`` (default) sorts trees smallest-first per the
+    paper's footnote 3; ``order="given"`` keeps the caller's order.
+    ``plan`` selects the multiway strategy: the default ``"cyclic"``
+    walk, or ``"semijoin"`` (base pair + per-candidate stages).
+    """
+    if not views:
+        raise QueryError("a conjunctive component needs at least one keyword")
+    if order not in ("size", "given"):
+        raise QueryError(f"unknown join order {order!r}")
+    if plan not in ("cyclic", "semijoin"):
+        raise QueryError(f"unknown join plan {plan!r}")
+    keywords = tuple(v.keyword for v in views)
+    for view in views:
+        if len(view) == 0:
+            return [], ConjunctiveVO(
+                keywords=keywords, empty_keyword=view.keyword
+            )
+    ordered = sorted(views, key=len) if order == "size" else list(views)
+    if len(ordered) == 1:
+        entries = ordered[0].all_proven()
+        vo = FullScanVO(keyword=ordered[0].keyword, entries=tuple(entries))
+        return [e.object_id for e in entries], ConjunctiveVO(
+            keywords=keywords, base=vo
+        )
+    if plan == "cyclic" or len(ordered) == 2:
+        matches, base_vo = multiway_join(ordered)
+        return matches, ConjunctiveVO(keywords=keywords, base=base_vo)
+    matches, base_vo = multiway_join(ordered[:2])
+    stages: list[SemiJoinStage] = []
+    for view in ordered[2:]:
+        if not matches:
+            # No candidates left: later stages are vacuous; stop here.
+            break
+        matches, stage = semi_join(matches, view)
+        stages.append(stage)
+    return matches, ConjunctiveVO(
+        keywords=keywords, base=base_vo, stages=tuple(stages)
+    )

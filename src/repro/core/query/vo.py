@@ -1,0 +1,245 @@
+"""Verification-object (VO) structures.
+
+The SP answers a query with the results plus ``VO_sp``; the client
+combines it with the authenticated digests ``VO_chain`` read from the
+blockchain.  These dataclasses are scheme-agnostic: the per-entry
+``proof`` slot carries a :class:`~repro.core.mbtree.MerklePath` for the
+Merkle-inverted family and a
+:class:`~repro.core.chameleon.MembershipProof` for the Chameleon family.
+
+Every structure reports its serialised byte size — the paper's "VO size"
+metric (Figs. 11–13) — via ``byte_size``; sizes follow the natural wire
+encoding (8-byte IDs, 32-byte digests, group elements at the scheme's
+value width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+#: Width of a CVC group element in bytes for default accounting; the
+#: schemes override it with their actual modulus size.
+DEFAULT_VALUE_BYTES = 128
+
+
+def _proof_size(proof: object, value_bytes: int) -> int:
+    """Size of a scheme proof object."""
+    if proof is None:
+        return 0
+    byte_size = getattr(proof, "byte_size", None)
+    if byte_size is None:
+        raise TypeError(f"proof {type(proof)!r} lacks byte_size()")
+    try:
+        return byte_size(value_bytes)
+    except TypeError:
+        return byte_size()
+
+
+@dataclass(frozen=True)
+class ProvenEntry:
+    """A ``<id, h(o)>`` entry together with its authenticity proof."""
+
+    object_id: int
+    object_hash: bytes
+    proof: object
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        return 8 + 32 + _proof_size(self.proof, value_bytes)
+
+
+@dataclass(frozen=True)
+class JoinRound:
+    """One round of the authenticated join walk.
+
+    ``probe_tree`` indexes the probed tree within the join's tree list.
+    ``kind``:
+
+    * ``"probe"`` — the standard round: the probed tree returns the
+      boundary entries around the current target (``lower``/``upper``).
+      A missing ``upper`` means the probed tree has nothing above the
+      target; a missing ``lower`` means the target precedes the probed
+      tree's first entry.
+    * ``"skip"`` — Chameleon*-only: the probed tree's on-chain Bloom
+      filters already prove the target absent, so no boundary proofs
+      are shipped; ``next_target`` advances the walk within the
+      target's *home* tree (``None`` when the target was its tree's
+      last entry, terminating the join).
+    """
+
+    kind: Literal["probe", "skip"]
+    probe_tree: int = 0
+    lower: ProvenEntry | None = None
+    upper: ProvenEntry | None = None
+    next_target: ProvenEntry | None = None
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        total = 2  # kind tag + probe index
+        for entry in (self.lower, self.upper, self.next_target):
+            if entry is not None:
+                total += entry.byte_size(value_bytes)
+        return total
+
+
+@dataclass(frozen=True)
+class MultiWayJoinVO:
+    """VO for the k-way cyclic join walk (Section III-B generalised).
+
+    ``trees`` lists the joined keywords in walk order (smallest first
+    under the default plan).  The walk starts at ``trees[0]``'s first
+    entry; each round probes the next tree in cyclic order (skipping
+    the target's home tree), a target confirmed in all ``k-1`` other
+    trees is a result, and a probe whose ``upper`` is missing while the
+    target fails (or completes its confirmations) terminates the walk.
+    With two trees this degenerates to the paper's Fig. 4 walk exactly.
+    """
+
+    trees: tuple[str, ...]
+    first_target: ProvenEntry
+    rounds: tuple[JoinRound, ...]
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        total = sum(len(t) + 1 for t in self.trees) + 4
+        total += self.first_target.byte_size(value_bytes)
+        total += sum(r.byte_size(value_bytes) for r in self.rounds)
+        return total
+
+
+@dataclass(frozen=True)
+class FullScanVO:
+    """VO for a single-keyword conjunction: the whole posting list.
+
+    Completeness comes from pairwise adjacency of consecutive entries
+    plus first/last evidence, checked by the verifier.
+    """
+
+    keyword: str
+    entries: tuple[ProvenEntry, ...]
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        return (
+            len(self.keyword)
+            + 2
+            + sum(e.byte_size(value_bytes) for e in self.entries)
+        )
+
+
+@dataclass(frozen=True)
+class SemiJoinProbe:
+    """Membership probe of one surviving candidate in a later tree.
+
+    ``bloom_absent`` marks a Chameleon*-style skip: the on-chain filter
+    proves absence and no boundary proofs are shipped.
+    """
+
+    candidate_id: int
+    bloom_absent: bool = False
+    lower: ProvenEntry | None = None
+    upper: ProvenEntry | None = None
+
+    @property
+    def matched(self) -> bool:
+        """True when the lower boundary equals the target key."""
+        return (
+            not self.bloom_absent
+            and self.lower is not None
+            and self.lower.object_id == self.candidate_id
+        )
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        total = 9  # candidate id + flag
+        for entry in (self.lower, self.upper):
+            if entry is not None:
+                total += entry.byte_size(value_bytes)
+        return total
+
+
+@dataclass(frozen=True)
+class SemiJoinStage:
+    """All probes of one additional keyword tree (semi-join plan)."""
+
+    keyword: str
+    probes: tuple[SemiJoinProbe, ...]
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        return (
+            len(self.keyword)
+            + 2
+            + sum(p.byte_size(value_bytes) for p in self.probes)
+        )
+
+
+@dataclass(frozen=True)
+class ConjunctiveVO:
+    """VO for one conjunctive component ``w_1 ^ ... ^ w_l``.
+
+    Exactly one of the following shapes:
+
+    * ``empty_keyword`` set — some queried keyword has no objects; the
+      client confirms against ``VO_chain`` and the component is empty;
+    * ``base`` a :class:`FullScanVO` — single-keyword component;
+    * ``base`` a :class:`MultiWayJoinVO` over all component keywords —
+      the default cyclic plan; ``stages`` is empty;
+    * ``base`` a two-tree :class:`MultiWayJoinVO` plus one
+      :class:`SemiJoinStage` per remaining keyword — the semi-join plan
+      (footnote 3 taken literally), exposed for the plan ablation.
+    """
+
+    keywords: tuple[str, ...]
+    base: MultiWayJoinVO | FullScanVO | None = None
+    stages: tuple[SemiJoinStage, ...] = ()
+    empty_keyword: str | None = None
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        total = sum(len(k) + 1 for k in self.keywords) + 2
+        if self.empty_keyword is not None:
+            total += len(self.empty_keyword) + 1
+        if self.base is not None:
+            total += self.base.byte_size(value_bytes)
+        total += sum(s.byte_size(value_bytes) for s in self.stages)
+        return total
+
+
+@dataclass(frozen=True)
+class QueryVO:
+    """``VO_sp``: the full verification object for a DNF query."""
+
+    conjuncts: tuple[ConjunctiveVO, ...]
+
+    def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised size in bytes."""
+        return 2 + sum(c.byte_size(value_bytes) for c in self.conjuncts)
+
+
+@dataclass
+class QueryAnswer:
+    """What the SP returns: result IDs, the raw objects, and ``VO_sp``."""
+
+    result_ids: list[int]
+    objects: dict[int, object]  # id -> DataObject
+    vo: QueryVO
+
+    def vo_byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Serialised VO size in bytes."""
+        return self.vo.byte_size(value_bytes)
+
+
+@dataclass
+class VOStatistics:
+    """Aggregate accounting for experiments (VO size split by origin)."""
+
+    sp_bytes: int = 0
+    chain_bytes: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Combined byte count."""
+        return self.sp_bytes + self.chain_bytes

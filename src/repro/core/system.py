@@ -1,0 +1,447 @@
+"""The hybrid-storage blockchain system facade (Fig. 1).
+
+Wires the four parties together for any of the ADS schemes:
+
+* the **data owner** streams objects: raw data to the SP, meta-data and
+  ADS updates to the blockchain;
+* the **blockchain** runs the scheme's smart contract under the gas
+  model of Table I;
+* the **SP** stores raw objects, mirrors the complete ADS, and answers
+  keyword queries with verification objects;
+* the **client** queries the SP and verifies results against the
+  authenticated digests read from the chain.
+
+Typical use::
+
+    from repro import HybridStorageSystem, DataObject
+
+    system = HybridStorageSystem(scheme="ci*")
+    system.add_object(DataObject(1, ("covid-19", "vaccine"), b"..."))
+    result = system.query('"covid-19" AND vaccine')
+    assert result.verified and result.result_ids == [1]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core import merkle_inv, suppressed
+from repro.core.chameleon_index import (
+    ChameleonContract,
+    ChameleonDataOwner,
+    ChameleonProofSystem,
+    ChameleonSP,
+)
+from repro.core.chameleon_star import ChameleonStarContract
+from repro.core.merkle_family import MerkleInvertedSP, MerkleProofSystem
+from repro.core.mbtree import DEFAULT_FANOUT
+from repro.core.objects import DataObject, ObjectMetadata, ObjectStore
+from repro.core.query.join import conjunctive_join
+from repro.core.query.parser import KeywordQuery
+from repro.core.query.codec import VOCodec
+from repro.core.query.verify import verify_query
+from repro.core.query.vo import ConjunctiveVO, QueryAnswer, QueryVO
+from repro.crypto import vc
+from repro.crypto.bloom import DEFAULT_CAPACITY, DEFAULT_FILTER_BITS, BloomFilterChain
+from repro.crypto.prf import generate_key
+from repro.errors import ChainError, ReproError
+from repro.ethereum.chain import Blockchain, Receipt
+from repro.ethereum.gas import BLOCK_GAS_LIMIT, GasMeter
+
+#: Contract registration name on the simulated chain.
+ADS_CONTRACT = "ads"
+
+
+class Scheme(Enum):
+    """The four ADS schemes evaluated in the paper."""
+
+    MERKLE_INV = "mi"
+    SUPPRESSED = "smi"
+    CHAMELEON = "ci"
+    CHAMELEON_STAR = "ci*"
+
+    @classmethod
+    def parse(cls, value: "Scheme | str") -> "Scheme":
+        """Parse from the external representation."""
+        if isinstance(value, Scheme):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError as exc:
+            names = ", ".join(s.value for s in cls)
+            raise ReproError(
+                f"unknown scheme {value!r}; expected one of: {names}"
+            ) from exc
+
+
+@dataclass
+class InsertReport:
+    """Outcome of one object insertion: the transactions it cost."""
+
+    object_id: int
+    receipts: list[Receipt]
+
+    @property
+    def gas(self) -> int:
+        """Total gas across this insertion's transactions."""
+        return sum(r.gas.total for r in self.receipts)
+
+    def gas_meter(self) -> GasMeter:
+        """All of this insertion's charges merged into one meter."""
+        merged = GasMeter()
+        for receipt in self.receipts:
+            merged.merge(receipt.gas)
+        return merged
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one verified query."""
+
+    query: KeywordQuery
+    result_ids: list[int]
+    objects: dict[int, DataObject]
+    verified: bool
+    vo_sp_bytes: int
+    vo_chain_bytes: int
+    sp_seconds: float
+    verify_seconds: float
+
+    @property
+    def vo_total_bytes(self) -> int:
+        """Total VO size: ``VO_sp`` plus ``VO_chain`` bytes."""
+        return self.vo_sp_bytes + self.vo_chain_bytes
+
+
+class HybridStorageSystem:
+    """End-to-end hybrid-storage blockchain with a pluggable ADS scheme.
+
+    Parameters mirror the paper's experimental knobs: MB-tree ``fanout``
+    (default 4), Chameleon tree ``arity`` (q, default 2), Bloom filter
+    capacity ``bloom_capacity`` (b, default 30) and the CVC modulus size.
+    ``seed`` makes all key material deterministic for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        scheme: Scheme | str = Scheme.SUPPRESSED,
+        fanout: int = DEFAULT_FANOUT,
+        arity: int = 2,
+        bloom_capacity: int = DEFAULT_CAPACITY,
+        filter_bits: int = DEFAULT_FILTER_BITS,
+        cvc_modulus_bits: int = 1024,
+        seed: int | None = 7,
+        gas_limit: int = BLOCK_GAS_LIMIT,
+        mine_every: int = 1,
+        join_order: str = "size",
+        join_plan: str = "cyclic",
+        track_state: bool = False,
+    ) -> None:
+        self.scheme = Scheme.parse(scheme)
+        self.fanout = fanout
+        self.join_order = join_order
+        self.join_plan = join_plan
+        self.arity = arity
+        self.bloom_capacity = bloom_capacity
+        self.filter_bits = filter_bits
+        self.chain = Blockchain(gas_limit=gas_limit, track_state=track_state)
+        self.store = ObjectStore()
+        self.mine_every = max(1, mine_every)
+        self._inserts_since_mine = 0
+        self._maintenance = GasMeter()
+        self._object_count = 0
+
+        if self.scheme in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR):
+            pp, td = vc.keygen(
+                arity + 1, modulus_bits=cvc_modulus_bits, seed=seed
+            )
+            self._cvc = vc.ChameleonVectorCommitment(arity + 1, _pp=pp, _td=td)
+            self.value_bytes = (pp.modulus.bit_length() + 7) // 8
+            self._do = ChameleonDataOwner(
+                self._cvc, generate_key(seed=seed), arity=arity
+            )
+            self.sp_index = ChameleonSP(pp=pp, arity=arity)
+            self._sp_blooms: dict[str, BloomFilterChain] = {}
+            if self.scheme is Scheme.CHAMELEON_STAR:
+                contract = ChameleonStarContract(
+                    value_bytes=self.value_bytes,
+                    bloom_capacity=bloom_capacity,
+                    filter_bits=filter_bits,
+                )
+            else:
+                contract = ChameleonContract(value_bytes=self.value_bytes)
+        else:
+            self.value_bytes = 32
+            self.sp_index = MerkleInvertedSP(fanout=fanout)
+            if self.scheme is Scheme.MERKLE_INV:
+                contract = merkle_inv.MerkleInvContract(fanout=fanout)
+            else:
+                contract = suppressed.SuppressedMerkleContract(fanout=fanout)
+        self.contract = contract
+        self.chain.deploy(ADS_CONTRACT, contract)
+        self._codec = VOCodec(value_bytes=self.value_bytes)
+
+    # -- ingestion ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._object_count
+
+    def add_object(self, obj: DataObject) -> InsertReport:
+        """Run the full DO pipeline for one new object."""
+        self.store.put(obj)
+        metadata = ObjectMetadata.of(obj)
+        receipts = self._insert_for_scheme(metadata)
+        for receipt in receipts:
+            if not receipt.status:
+                raise ChainError(
+                    f"insertion transaction failed: {receipt.error}"
+                )
+            self._maintenance.merge(receipt.gas)
+        self._object_count += 1
+        self._inserts_since_mine += 1
+        if self._inserts_since_mine >= self.mine_every:
+            self.chain.mine_block()
+            self._inserts_since_mine = 0
+        return InsertReport(object_id=obj.object_id, receipts=receipts)
+
+    def add_objects(self, objects) -> list[InsertReport]:
+        """Insert many objects, one transaction pipeline each."""
+        return [self.add_object(obj) for obj in objects]
+
+    def add_objects_batched(self, objects) -> InsertReport:
+        """Insert many objects with a single DO transaction.
+
+        Amortises the 21,000-gas ``C_tx`` base cost across the batch.
+        Supported by the Chameleon family (whose per-object on-chain
+        work is a handful of word writes); the Merkle family falls back
+        to per-object transactions and returns a merged report.
+        """
+        objects = list(objects)
+        if not objects:
+            raise ReproError("empty batch")
+        if self.scheme not in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR):
+            reports = self.add_objects(objects)
+            merged = InsertReport(
+                object_id=objects[-1].object_id,
+                receipts=[r for report in reports for r in report.receipts],
+            )
+            return merged
+        batch = []
+        payload = b""
+        sp_work = []
+        for obj in objects:
+            self.store.put(obj)
+            metadata = ObjectMetadata.of(obj)
+            proofs, counts, new_keywords = self._do.insert(metadata)
+            new_kw_list = sorted(new_keywords.items())
+            batch.append(
+                (metadata.object_id, metadata.object_hash, counts, new_kw_list)
+            )
+            payload += metadata.payload_bytes()
+            payload += b"".join(
+                kw.encode() + c.to_bytes(self.value_bytes, "big")
+                for kw, c in new_kw_list
+            )
+            payload += b"".join(
+                u.keyword.encode() + u.count.to_bytes(8, "big") for u in counts
+            )
+            sp_work.append((metadata, proofs, new_kw_list))
+        receipt = self.chain.send_transaction(
+            "do", ADS_CONTRACT, "insert_objects", batch, payload=payload
+        )
+        if not receipt.status:
+            raise ChainError(f"batched insertion failed: {receipt.error}")
+        for metadata, proofs, new_kw_list in sp_work:
+            for keyword, commitment in new_kw_list:
+                self.sp_index.register_keyword(keyword, commitment)
+            for keyword, proof in proofs.items():
+                self.sp_index.apply_insertion(keyword, proof)
+            if self.scheme is Scheme.CHAMELEON_STAR:
+                for keyword in metadata.keywords:
+                    chain = self._sp_blooms.setdefault(
+                        keyword,
+                        BloomFilterChain(
+                            filter_bits=self.filter_bits,
+                            capacity=self.bloom_capacity,
+                        ),
+                    )
+                    chain.add(metadata.object_id)
+        self._maintenance.merge(receipt.gas)
+        self._object_count += len(objects)
+        self.chain.mine_block()
+        return InsertReport(
+            object_id=objects[-1].object_id, receipts=[receipt]
+        )
+
+    def _insert_for_scheme(self, metadata: ObjectMetadata) -> list[Receipt]:
+        if self.scheme is Scheme.MERKLE_INV:
+            receipt = self.chain.send_transaction(
+                "do",
+                ADS_CONTRACT,
+                "register_and_insert",
+                metadata.object_id,
+                metadata.object_hash,
+                metadata.keywords,
+                payload=metadata.payload_bytes(),
+            )
+            if receipt.status:
+                self.sp_index.insert(metadata)
+            return [receipt]
+
+        if self.scheme is Scheme.SUPPRESSED:
+            register = self.chain.send_transaction(
+                "do",
+                ADS_CONTRACT,
+                "register_object",
+                metadata.object_id,
+                metadata.object_hash,
+                metadata.keywords,
+                payload=metadata.payload_bytes(),
+            )
+            updates = suppressed.build_updates(
+                self.sp_index.trees, metadata.object_id, metadata.keywords
+            )
+            update_tx = self.chain.send_transaction(
+                "sp",
+                ADS_CONTRACT,
+                "insert",
+                metadata.object_id,
+                metadata.object_hash,
+                updates,
+                payload=suppressed.updates_payload(updates),
+            )
+            if update_tx.status:
+                self.sp_index.insert(metadata)
+            return [register, update_tx]
+
+        # Chameleon family.
+        proofs, counts, new_keywords = self._do.insert(metadata)
+        new_kw_list = sorted(new_keywords.items())
+        payload = metadata.payload_bytes()
+        payload += b"".join(
+            kw.encode() + c.to_bytes(self.value_bytes, "big")
+            for kw, c in new_kw_list
+        )
+        payload += b"".join(
+            u.keyword.encode() + u.count.to_bytes(8, "big") for u in counts
+        )
+        receipt = self.chain.send_transaction(
+            "do",
+            ADS_CONTRACT,
+            "insert_object",
+            metadata.object_id,
+            metadata.object_hash,
+            counts,
+            new_kw_list,
+            payload=payload,
+        )
+        if receipt.status:
+            for keyword, commitment in new_kw_list:
+                self.sp_index.register_keyword(keyword, commitment)
+            for keyword, proof in proofs.items():
+                self.sp_index.apply_insertion(keyword, proof)
+            if self.scheme is Scheme.CHAMELEON_STAR:
+                for keyword in metadata.keywords:
+                    chain = self._sp_blooms.setdefault(
+                        keyword,
+                        BloomFilterChain(
+                            filter_bits=self.filter_bits,
+                            capacity=self.bloom_capacity,
+                        ),
+                    )
+                    chain.add(metadata.object_id)
+        return [receipt]
+
+    # -- query processing --------------------------------------------------------
+
+    def _sp_view(self, keyword: str):
+        view = self.sp_index.view(keyword)
+        if self.scheme is Scheme.CHAMELEON_STAR:
+            view.bloom = self._sp_blooms.get(keyword)
+        return view
+
+    def process_query(self, query: KeywordQuery) -> QueryAnswer:
+        """SP side: evaluate the query and build ``VO_sp``."""
+        conjunct_vos: list[ConjunctiveVO] = []
+        result_ids: set[int] = set()
+        for conj in query.conjunctions:
+            views = [self._sp_view(kw) for kw in sorted(conj)]
+            ids, vo = conjunctive_join(
+                views, order=self.join_order, plan=self.join_plan
+            )
+            conjunct_vos.append(vo)
+            result_ids |= set(ids)
+        objects = {oid: self.store.get(oid) for oid in result_ids}
+        return QueryAnswer(
+            result_ids=sorted(result_ids),
+            objects=objects,
+            vo=QueryVO(conjuncts=tuple(conjunct_vos)),
+        )
+
+    def chain_proof_system(self, keywords: frozenset[str]):
+        """Client side: read ``VO_chain`` and build the proof system."""
+        if self.scheme in (Scheme.MERKLE_INV, Scheme.SUPPRESSED):
+            roots = {
+                kw: self.chain.call_view(ADS_CONTRACT, "view_root", kw)
+                for kw in keywords
+            }
+            return MerkleProofSystem(roots=roots)
+        digests = {
+            kw: self.chain.call_view(ADS_CONTRACT, "view_digest", kw)
+            for kw in keywords
+        }
+        blooms = None
+        if self.scheme is Scheme.CHAMELEON_STAR:
+            blooms = {}
+            for kw in keywords:
+                snapshot = self.chain.call_view(
+                    ADS_CONTRACT, "view_bloom_snapshot", kw
+                )
+                blooms[kw] = BloomFilterChain.from_snapshot(
+                    snapshot,
+                    filter_bits=self.filter_bits,
+                    capacity=self.bloom_capacity,
+                )
+        return ChameleonProofSystem(
+            pp=self._cvc.pp,
+            digests=digests,
+            arity=self.arity,
+            blooms=blooms,
+            value_bytes=self.value_bytes,
+        )
+
+    def query(self, query: KeywordQuery | str) -> QueryResult:
+        """Full round trip: SP processing plus client verification."""
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        t0 = time.perf_counter()
+        answer = self.process_query(query)
+        sp_seconds = time.perf_counter() - t0
+        proof_system = self.chain_proof_system(query.all_keywords())
+        t1 = time.perf_counter()
+        verified = verify_query(query, answer, proof_system)
+        verify_seconds = time.perf_counter() - t1
+        return QueryResult(
+            query=query,
+            result_ids=sorted(verified.ids),
+            objects=answer.objects,
+            verified=True,
+            vo_sp_bytes=len(self._codec.encode(answer.vo)),
+            vo_chain_bytes=proof_system.chain_digest_bytes(),
+            sp_seconds=sp_seconds,
+            verify_seconds=verify_seconds,
+        )
+
+    # -- reporting ------------------------------------------------------------------
+
+    def maintenance_meter(self) -> GasMeter:
+        """Aggregate gas across every maintenance transaction so far."""
+        return self._maintenance.snapshot()
+
+    def average_gas_per_object(self) -> float:
+        """Mean maintenance gas per inserted object."""
+        if self._object_count == 0:
+            return 0.0
+        return self._maintenance.total / self._object_count

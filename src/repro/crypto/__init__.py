@@ -1,0 +1,61 @@
+"""Cryptographic substrate: hashing, PRFs, Merkle trees, Bloom filters,
+vector commitments (plain and chameleon) and RSA-FDH signatures.
+
+Everything in this package is implemented from scratch on the Python
+standard library, per the reproduction's no-external-crypto constraint.
+"""
+
+from repro.crypto.bloom import BloomFilter, BloomFilterChain
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    EMPTY_DIGEST,
+    hash_concat,
+    sha3,
+    tagged_hash,
+    word_count,
+)
+from repro.crypto.merkle import MerkleProof, MerkleTree, verify_proof
+from repro.crypto.prf import generate_key, node_randomness, prf_int
+from repro.crypto.signatures import PublicKey, SigningKey, generate_keypair
+from repro.crypto.vc import (
+    ChameleonVectorCommitment,
+    CVCAux,
+    CVCPublicParams,
+    CVCTrapdoor,
+    VectorCommitment,
+    commit,
+    find_collision,
+    keygen,
+    open_slot,
+    verify,
+)
+
+__all__ = [
+    "BloomFilter",
+    "BloomFilterChain",
+    "ChameleonVectorCommitment",
+    "CVCAux",
+    "CVCPublicParams",
+    "CVCTrapdoor",
+    "DIGEST_SIZE",
+    "EMPTY_DIGEST",
+    "MerkleProof",
+    "MerkleTree",
+    "PublicKey",
+    "SigningKey",
+    "VectorCommitment",
+    "commit",
+    "find_collision",
+    "generate_key",
+    "generate_keypair",
+    "hash_concat",
+    "keygen",
+    "node_randomness",
+    "open_slot",
+    "prf_int",
+    "sha3",
+    "tagged_hash",
+    "verify",
+    "verify_proof",
+    "word_count",
+]

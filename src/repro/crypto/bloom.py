@@ -1,0 +1,245 @@
+"""Bloom filters for the Chameleon^inv* index.
+
+The paper fixes the filter length to 256 bits — one Ethereum storage word —
+so that each filter occupies exactly one storage slot on-chain, and caps
+the number of inserted object IDs at ``b`` (default 30).  Each filter also
+records the smallest and largest inserted IDs so the SP and client can
+select the filter responsible for a given ID range (Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha3
+
+#: Filter length in bits: one EVM storage word.
+DEFAULT_FILTER_BITS = 256
+
+#: Paper default for the max number of IDs per filter.
+DEFAULT_CAPACITY = 30
+
+
+def optimal_hash_count(filter_bits: int, capacity: int) -> int:
+    """Number of hash functions minimising the false-positive rate.
+
+    Uses the classical ``k = (m/n) ln 2`` formula, clamped to ``[1, 8]``
+    so the on-chain test stays cheap.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    k = round(filter_bits / capacity * 0.6931471805599453)
+    return max(1, min(8, k))
+
+
+def _bit_positions(item: bytes, filter_bits: int, hash_count: int) -> list[int]:
+    """Derive ``hash_count`` bit positions via double hashing."""
+    digest1 = sha3(b"bloom-1" + item)
+    digest2 = sha3(b"bloom-2" + item)
+    h1 = int.from_bytes(digest1, "big")
+    h2 = int.from_bytes(digest2, "big") | 1  # odd => full-period stepping
+    return [(h1 + i * h2) % filter_bits for i in range(hash_count)]
+
+
+@dataclass
+class BloomFilter:
+    """A fixed-length Bloom filter over object IDs.
+
+    The filter's bit array is stored as a single integer (``bits``) so it
+    can be written to one simulated storage word verbatim.
+    """
+
+    filter_bits: int = DEFAULT_FILTER_BITS
+    capacity: int = DEFAULT_CAPACITY
+    hash_count: int = 0
+    bits: int = 0
+    count: int = 0
+    min_id: int | None = None
+    max_id: int | None = None
+    _members: set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.filter_bits <= 0:
+            raise ValueError("filter_bits must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.hash_count == 0:
+            self.hash_count = optimal_hash_count(self.filter_bits, self.capacity)
+
+    @property
+    def is_full(self) -> bool:
+        """True once ``capacity`` IDs have been inserted."""
+        return self.count >= self.capacity
+
+    def add(self, object_id: int) -> None:
+        """Insert an object ID; raises when the filter is full."""
+        if self.is_full:
+            raise ValueError("Bloom filter is full; create a new one")
+        for pos in self._positions(object_id):
+            self.bits |= 1 << pos
+        self.count += 1
+        self._members.add(object_id)
+        if self.min_id is None or object_id < self.min_id:
+            self.min_id = object_id
+        if self.max_id is None or object_id > self.max_id:
+            self.max_id = object_id
+
+    def might_contain(self, object_id: int) -> bool:
+        """Bloom membership test: no false negatives by construction."""
+        return all(self.bits >> pos & 1 for pos in self._positions(object_id))
+
+    def covers(self, object_id: int) -> bool:
+        """True when ``object_id`` falls in this filter's ID range."""
+        if self.min_id is None or self.max_id is None:
+            return False
+        return self.min_id <= object_id <= self.max_id
+
+    def false_positive_rate(self) -> float:
+        """Estimated false-positive probability at the current load."""
+        if self.count == 0:
+            return 0.0
+        fraction_set = 1.0 - (1.0 - 1.0 / self.filter_bits) ** (
+            self.hash_count * self.count
+        )
+        return fraction_set**self.hash_count
+
+    def to_word(self) -> bytes:
+        """Serialise the bit array to ``filter_bits/8`` bytes."""
+        return self.bits.to_bytes(self.filter_bits // 8, "big")
+
+    def digest(self) -> bytes:
+        """Commitment-friendly digest of the filter contents and range."""
+        lo = -1 if self.min_id is None else self.min_id
+        hi = -1 if self.max_id is None else self.max_id
+        return sha3(
+            b"bloom-digest"
+            + self.to_word()
+            + lo.to_bytes(8, "big", signed=True)
+            + hi.to_bytes(8, "big", signed=True)
+        )
+
+    def exact_members(self) -> frozenset[int]:
+        """Exact inserted IDs (SP-side bookkeeping; not sent on-chain)."""
+        return frozenset(self._members)
+
+    def _positions(self, object_id: int) -> list[int]:
+        return _bit_positions(
+            object_id.to_bytes(8, "big"), self.filter_bits, self.hash_count
+        )
+
+
+@dataclass
+class BloomFilterChain:
+    """The sequence of Bloom filters covering one Chameleon* tree.
+
+    Filters partition the inserted ID stream into consecutive groups of at
+    most ``capacity`` IDs.  Because object IDs arrive in increasing order,
+    the filters' ``[min_id, max_id]`` ranges are disjoint and sorted.
+    """
+
+    filter_bits: int = DEFAULT_FILTER_BITS
+    capacity: int = DEFAULT_CAPACITY
+    filters: list[BloomFilter] = field(default_factory=list)
+
+    def add(self, object_id: int) -> tuple[int, bool]:
+        """Insert an ID; returns ``(filter_index, created_new_filter)``."""
+        created = False
+        if not self.filters or self.filters[-1].is_full:
+            self.filters.append(
+                BloomFilter(filter_bits=self.filter_bits, capacity=self.capacity)
+            )
+            created = True
+        self.filters[-1].add(object_id)
+        return len(self.filters) - 1, created
+
+    def filter_for(self, object_id: int) -> tuple[int, BloomFilter] | None:
+        """Locate the filter whose ID range covers ``object_id``.
+
+        Returns ``None`` when the ID falls outside every range (in which
+        case the standard boundary proof must be used instead).  Binary
+        search over the sorted ranges.
+        """
+        lo, hi = 0, len(self.filters) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            flt = self.filters[mid]
+            if flt.min_id is None:
+                return None
+            if object_id < flt.min_id:
+                hi = mid - 1
+            elif flt.max_id is not None and object_id > flt.max_id:
+                lo = mid + 1
+            else:
+                return mid, flt
+        return None
+
+    def might_contain(self, object_id: int) -> bool | None:
+        """Tri-state test: False = definitely absent, True = maybe present,
+        None = no covering filter (cannot conclude)."""
+        located = self.filter_for(object_id)
+        if located is None:
+            return None
+        return located[1].might_contain(object_id)
+
+    def definitely_absent(self, object_id: int) -> bool:
+        """Conclude absence from the filter sequence alone.
+
+        Because IDs are inserted in increasing order and every inserted
+        ID lands in exactly one filter, filter ``k`` is responsible for
+        the half-open range ``[min_k, min_{k+1})`` (the last filter for
+        ``[min_last, +inf)``).  An ID below the first filter's minimum
+        was never inserted; otherwise the responsible filter's negative
+        membership test is conclusive.  This predicate is *shared* by
+        the SP's join planner and the client's verifier — both must
+        reach identical conclusions from identical filter state.
+        """
+        if not self.filters:
+            return True
+        first_min = self.filters[0].min_id
+        if first_min is None or object_id < first_min:
+            return True
+        # Find the last filter whose min_id <= object_id.
+        lo, hi = 0, len(self.filters) - 1
+        responsible = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            mid_min = self.filters[mid].min_id
+            if mid_min is not None and mid_min <= object_id:
+                responsible = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return not self.filters[responsible].might_contain(object_id)
+
+    def snapshot(self) -> list[tuple[int, int]]:
+        """On-chain representation: ``(min_id, bits)`` per filter."""
+        out: list[tuple[int, int]] = []
+        for flt in self.filters:
+            if flt.min_id is None:
+                continue
+            out.append((flt.min_id, flt.bits))
+        return out
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: list[tuple[int, int]],
+        filter_bits: int = DEFAULT_FILTER_BITS,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> "BloomFilterChain":
+        """Rebuild a chain from on-chain ``(min_id, bits)`` words.
+
+        The reconstruction carries enough state for membership and
+        absence tests (bits + range minima); exact member sets and load
+        counts are SP-side only and are not recovered.
+        """
+        chain = cls(filter_bits=filter_bits, capacity=capacity)
+        for min_id, bits in snapshot:
+            flt = BloomFilter(filter_bits=filter_bits, capacity=capacity)
+            flt.bits = bits
+            flt.min_id = min_id
+            chain.filters.append(flt)
+        return chain
+
+    def __len__(self) -> int:
+        return len(self.filters)

@@ -1,0 +1,135 @@
+"""Binary Merkle hash tree (Section III-A preliminaries).
+
+The MB-tree in :mod:`repro.core.mbtree` is the multi-way workhorse of the
+paper; this module provides the classic binary MHT for completeness, for
+tests of the proof machinery, and for the block-level transaction root in
+the chain simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import EMPTY_DIGEST, tagged_hash
+from repro.errors import VerificationError
+
+_LEAF_TAG = "mht-leaf"
+_NODE_TAG = "mht-node"
+
+
+def leaf_hash(payload: bytes) -> bytes:
+    """Domain-separated hash of a leaf payload."""
+    return tagged_hash(_LEAF_TAG, payload)
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Domain-separated hash of an internal node."""
+    return tagged_hash(_NODE_TAG, left, right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An authentication path for one leaf.
+
+    ``siblings`` lists the sibling digest at each level from leaf to
+    root; ``directions[i]`` is True when the sibling sits on the *left*.
+    """
+
+    leaf_index: int
+    siblings: tuple[bytes, ...]
+    directions: tuple[bool, ...]
+
+    def byte_size(self) -> int:
+        """Serialised size (for VO accounting): digests + bitmap + index."""
+        return 32 * len(self.siblings) + (len(self.directions) + 7) // 8 + 8
+
+    def compute_root(self, payload: bytes) -> bytes:
+        """Fold the path upward from ``payload`` and return the root."""
+        current = leaf_hash(payload)
+        for sibling, sibling_on_left in zip(self.siblings, self.directions):
+            if sibling_on_left:
+                current = node_hash(sibling, current)
+            else:
+                current = node_hash(current, sibling)
+        return current
+
+
+class MerkleTree:
+    """An in-memory binary Merkle tree over a list of byte payloads.
+
+    Odd levels are padded by duplicating the last digest, the common
+    Bitcoin-style convention.  An empty tree has root ``EMPTY_DIGEST``.
+    """
+
+    def __init__(self, payloads: list[bytes] | None = None) -> None:
+        self._payloads: list[bytes] = list(payloads or [])
+        self._levels: list[list[bytes]] = []
+        self._rebuild()
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    @property
+    def root(self) -> bytes:
+        """The root digest (``EMPTY_DIGEST`` when the tree is empty)."""
+        if not self._levels or not self._levels[-1]:
+            return EMPTY_DIGEST
+        return self._levels[-1][0]
+
+    def append(self, payload: bytes) -> int:
+        """Append a new leaf; returns its index.
+
+        Rebuilds eagerly — fine for the simulator-scale trees this class
+        serves (block transaction lists, tests).
+        """
+        self._payloads.append(payload)
+        self._rebuild()
+        return len(self._payloads) - 1
+
+    def prove(self, index: int) -> MerkleProof:
+        """Produce the authentication path for leaf ``index``."""
+        if not 0 <= index < len(self._payloads):
+            raise IndexError(f"leaf index {index} out of range")
+        siblings: list[bytes] = []
+        directions: list[bool] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = min(position + 1, len(level) - 1)
+                directions.append(False)
+            else:
+                sibling_index = position - 1
+                directions.append(True)
+            siblings.append(level[sibling_index])
+            position //= 2
+        return MerkleProof(
+            leaf_index=index,
+            siblings=tuple(siblings),
+            directions=tuple(directions),
+        )
+
+    def verify(self, payload: bytes, proof: MerkleProof) -> None:
+        """Raise :class:`VerificationError` unless the proof checks out."""
+        if proof.compute_root(payload) != self.root:
+            raise VerificationError("Merkle proof does not match tree root")
+
+    def _rebuild(self) -> None:
+        if not self._payloads:
+            self._levels = []
+            return
+        level = [leaf_hash(p) for p in self._payloads]
+        levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level), 2):
+                left = level[i]
+                right = level[i + 1] if i + 1 < len(level) else level[i]
+                nxt.append(node_hash(left, right))
+            level = nxt
+            levels.append(level)
+        self._levels = levels
+
+
+def verify_proof(root: bytes, payload: bytes, proof: MerkleProof) -> bool:
+    """Stateless proof check against a known root digest."""
+    return proof.compute_root(payload) == root

@@ -1,0 +1,200 @@
+"""Number-theoretic primitives for the RSA-based commitments.
+
+Implements Miller–Rabin primality testing, deterministic (seedable) prime
+generation, modular inverses and safe parameter sizes.  These back the
+vector-commitment scheme in :mod:`repro.crypto.vc` and the RSA-FDH
+signatures in :mod:`repro.crypto.signatures`.
+
+Determinism matters here: benchmarks and tests regenerate the same public
+parameters from a seed so that measured numbers are reproducible run to
+run.  Production deployments should pass ``seed=None`` to draw randomness
+from the operating system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+# Small primes used for fast trial division before Miller-Rabin.
+_SMALL_PRIMES: tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+#: Miller-Rabin rounds; 64 gives a 2^-128 error bound for random inputs.
+MILLER_RABIN_ROUNDS = 64
+
+
+class DeterministicRandom:
+    """A seedable CSPRNG-style stream based on SHA3 in counter mode.
+
+    Not a general-purpose DRBG — it exists so that key generation can be
+    made reproducible for tests and benchmarks while using the same code
+    path as the secure default.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._key = hashlib.sha3_256(
+            b"repro-drbg" + seed.to_bytes(16, "big", signed=True)
+        ).digest()
+        self._counter = 0
+
+    def randbits(self, bits: int) -> int:
+        """Return a uniformly random integer in ``[0, 2**bits)``."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        out = b""
+        while 8 * len(out) < bits:
+            block = hashlib.sha3_256(
+                self._key + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            out += block
+        value = int.from_bytes(out, "big")
+        return value >> (8 * len(out) - bits)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range ``[low, high]``."""
+        if low > high:
+            raise ValueError("empty range")
+        span = high - low + 1
+        bits = span.bit_length()
+        while True:
+            candidate = self.randbits(bits)
+            if candidate < span:
+                return low + candidate
+
+
+class SystemRandom:
+    """Adapter exposing the same interface backed by ``secrets``."""
+
+    def randbits(self, bits: int) -> int:
+        """Uniform random integer in ``[0, 2**bits)``."""
+        return secrets.randbits(bits)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform random integer in the inclusive range."""
+        return low + secrets.randbelow(high - low + 1)
+
+
+RandomSource = DeterministicRandom | SystemRandom
+
+
+def make_random(seed: int | None) -> RandomSource:
+    """Build a random source: deterministic when ``seed`` is given."""
+    if seed is None:
+        return SystemRandom()
+    return DeterministicRandom(seed)
+
+
+def is_probable_prime(n: int, rounds: int = MILLER_RABIN_ROUNDS) -> bool:
+    """Miller–Rabin primality test with trial division pre-filter."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # Deterministic witnesses derived from n keep the test reproducible
+    # without weakening it: each witness is an independent MR round.
+    rng = DeterministicRandom(n % (1 << 63))
+    for _ in range(rounds):
+        a = rng.randint(2, n - 2)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: RandomSource) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ParameterError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force bit length and oddness
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def generate_distinct_primes(count: int, bits: int, rng: RandomSource) -> list[int]:
+    """Generate ``count`` distinct primes of ``bits`` bits each."""
+    primes: list[int] = []
+    seen: set[int] = set()
+    while len(primes) < count:
+        p = generate_prime(bits, rng)
+        if p not in seen:
+            seen.add(p)
+            primes.append(p)
+    return primes
+
+
+def mod_inverse(a: int, modulus: int) -> int:
+    """Return ``a^{-1} mod modulus``; raises if it does not exist."""
+    try:
+        return pow(a, -1, modulus)
+    except ValueError as exc:  # pragma: no cover - depends on inputs
+        raise ParameterError(f"{a} is not invertible modulo {modulus}") from exc
+
+
+@dataclass(frozen=True)
+class RSAModulus:
+    """An RSA modulus together with its (trapdoor) factorisation.
+
+    ``n = p * q`` with ``p, q`` prime.  Knowledge of ``phi`` is the
+    trapdoor that lets the data owner extract e-th roots — the collision
+    capability of the chameleon vector commitment.
+    """
+
+    n: int
+    p: int
+    q: int
+
+    @property
+    def phi(self) -> int:
+        """Euler's totient ``(p-1)(q-1)``."""
+        return (self.p - 1) * (self.q - 1)
+
+    @property
+    def bits(self) -> int:
+        """Bit length of the modulus."""
+        return self.n.bit_length()
+
+    def root(self, value: int, exponent: int) -> int:
+        """Extract the ``exponent``-th root of ``value`` modulo ``n``.
+
+        Requires ``gcd(exponent, phi) == 1``.  This is exactly the
+        operation an adversary without the factorisation cannot perform.
+        """
+        d = mod_inverse(exponent % self.phi, self.phi)
+        return pow(value, d, self.n)
+
+
+def generate_rsa_modulus(bits: int, rng: RandomSource) -> RSAModulus:
+    """Generate an RSA modulus of (approximately) ``bits`` bits."""
+    if bits < 64:
+        raise ParameterError("RSA modulus must be at least 64 bits")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p != q:
+            return RSAModulus(n=p * q, p=p, q=q)

@@ -1,0 +1,63 @@
+"""Keyed pseudorandom function.
+
+The Chameleon tree derives every node's commitment randomness from
+``PRF(sk, pos || w)`` (Section V-A of the paper), so the data owner never
+stores per-node randomness: it can be re-derived on demand.  We realise
+the PRF as HMAC-SHA3-256, which is a PRF under standard assumptions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro.crypto.hashing import DIGEST_SIZE
+
+#: Size of a PRF key in bytes.
+KEY_SIZE = 32
+
+
+def generate_key(seed: int | None = None) -> bytes:
+    """Generate a fresh PRF key.
+
+    With ``seed`` given, the key is derived deterministically — used by
+    tests and benchmarks that need reproducible runs.  Without a seed a
+    cryptographically random key is drawn.
+    """
+    if seed is None:
+        return secrets.token_bytes(KEY_SIZE)
+    return hashlib.sha3_256(b"repro-prf-key" + seed.to_bytes(16, "big")).digest()
+
+
+def prf(key: bytes, message: bytes) -> bytes:
+    """Return ``PRF(key, message)`` as a 32-byte string."""
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"PRF key must be {KEY_SIZE} bytes, got {len(key)}")
+    return hmac.new(key, message, hashlib.sha3_256).digest()
+
+
+def prf_int(key: bytes, message: bytes, bits: int = 8 * DIGEST_SIZE) -> int:
+    """PRF output as an integer in ``[0, 2**bits)``.
+
+    For outputs wider than one digest, the PRF is applied in counter mode
+    and the blocks concatenated before truncation.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    blocks = []
+    produced = 0
+    counter = 0
+    while produced < bits:
+        block = prf(key, message + counter.to_bytes(4, "big"))
+        blocks.append(block)
+        produced += 8 * len(block)
+        counter += 1
+    value = int.from_bytes(b"".join(blocks), "big")
+    return value >> (produced - bits)
+
+
+def node_randomness(key: bytes, position: int, keyword: str) -> int:
+    """The paper's ``PRF(sk, pos || w)`` randomness for a tree node."""
+    message = position.to_bytes(8, "big") + keyword.encode("utf-8")
+    return prf_int(key, b"node-randomness" + message)

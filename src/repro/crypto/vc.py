@@ -1,0 +1,464 @@
+"""Vector commitments and chameleon vector commitments (CVC).
+
+The paper's Chameleon tree (Section V) is built on the CVC of Krupp et
+al. (PKC 2016), which the authors instantiate over the MNT4-298 pairing
+curve.  Pure-Python pairings are impractically slow and error-prone, so —
+as documented in DESIGN.md — we instantiate the *same abstract scheme*
+over RSA groups, following Catalano–Fiore (PKC 2013) vector commitments
+with a trapdoor extension:
+
+* ``CGen`` draws an RSA modulus ``N = p*q`` plus distinct primes
+  ``e_0, e_1, ..., e_q`` (one per slot, plus one for the randomiser) and
+  publishes the bases ``S_i = a^{P/e_i}`` and ``T_{i,j} = a^{P/(e_i e_j)}``
+  where ``P = prod e_i``.
+* ``Com(<m_1..m_q>, r) = S_0^r * prod_i S_i^{z(m_i)} mod N`` where ``z``
+  hashes each message into ``[0, 2^256)``.
+* ``Open`` at slot ``i`` is ``L_i = T_{0,i}^r * prod_{j != i}
+  T_{j,i}^{z(m_j)}``; ``Ver`` checks ``C == S_i^{z(m)} * L_i^{e_i}``.
+  Both are public operations.
+* ``CCol`` — the chameleon property — replaces slot ``i``'s message while
+  keeping ``C`` fixed by *re-solving the randomiser*:
+  ``r' = r + (P/e_i)(z - z') * (P/e_0)^{-1}  (mod phi(N))``.
+  Computing ``(P/e_0)^{-1} mod phi(N)`` requires the factorisation of
+  ``N`` — that factorisation is the trapdoor ``td``.  Without it, forging
+  an opening requires extracting ``e_i``-th roots (strong-RSA hard).
+
+The security game of Definition 1/2 is unchanged: position binding under
+strong RSA replaces position binding under CDH.  The performance property
+the paper exploits in Section V-D — commitment verification costs orders
+of magnitude more than a hash — also carries over, since each ``Ver`` is
+two multi-hundred-bit modular exponentiations versus one SHA3 call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.crypto.hashing import DIGEST_SIZE, sha3
+from repro.crypto.numbers import (
+    RandomSource,
+    generate_distinct_primes,
+    generate_rsa_modulus,
+    make_random,
+    mod_inverse,
+)
+from repro.errors import CommitmentError, ParameterError, TrapdoorRequiredError
+
+#: Bit length of the per-slot prime exponents.  Must exceed the 256-bit
+#: message-encoding space for position binding to hold.
+EXPONENT_BITS = 264
+
+#: Default RSA modulus size.  1024 bits keeps pure-Python tests fast; use
+#: 2048+ for any real deployment.
+DEFAULT_MODULUS_BITS = 1024
+
+#: Messages are encoded into this many bits before exponentiation.
+MESSAGE_BITS = 8 * DIGEST_SIZE
+
+Message = bytes | int | None
+
+
+def encode_message(message: Message) -> int:
+    """Map a message into the exponent space ``[0, 2^256)``.
+
+    ``None`` (and the empty byte string) canonically encode the *empty
+    slot* as 0, matching the paper's all-zero initial vector.  Non-empty
+    messages are hashed, so arbitrarily large child commitments fit.
+    """
+    if message is None:
+        return 0
+    if isinstance(message, bytes):
+        if message == b"":
+            return 0
+        return int.from_bytes(sha3(b"cvc-msg-bytes" + message), "big")
+    if isinstance(message, int):
+        if message == 0:
+            return 0
+        length = (message.bit_length() + 7) // 8
+        return int.from_bytes(
+            sha3(b"cvc-msg-int" + message.to_bytes(length, "big")), "big"
+        )
+    raise CommitmentError(f"unsupported message type: {type(message)!r}")
+
+
+@dataclass(frozen=True)
+class CVCPublicParams:
+    """Public parameters ``pp`` shared by the DO, SP, chain and clients."""
+
+    modulus: int
+    arity: int
+    exponents: tuple[int, ...]  # e_0 (randomiser), e_1..e_q (slots)
+    slot_bases: tuple[int, ...]  # S_i = a^{P/e_i}
+    pair_bases: tuple[tuple[int, ...], ...]  # T[i][j] = a^{P/(e_i e_j)}
+
+    @property
+    def randomiser_exponent(self) -> int:
+        """The prime ``e_0`` guarding the randomiser slot."""
+        return self.exponents[0]
+
+    def slot_exponent(self, slot: int) -> int:
+        """The prime ``e_slot`` for a 1-based message slot."""
+        self._check_slot(slot)
+        return self.exponents[slot]
+
+    def slot_base(self, slot: int) -> int:
+        """The base ``S_slot`` for a 1-based message slot."""
+        self._check_slot(slot)
+        return self.slot_bases[slot]
+
+    def pair_base(self, i: int, j: int) -> int:
+        """``T_{i,j} = a^{P/(e_i e_j)}``; symmetric in its arguments."""
+        if i == j:
+            raise CommitmentError("pair base requires distinct indices")
+        lo, hi = (i, j) if i < j else (j, i)
+        return self.pair_bases[lo][hi - lo - 1]
+
+    def _check_slot(self, slot: int) -> None:
+        if not 1 <= slot <= self.arity:
+            raise CommitmentError(
+                f"slot {slot} out of range for arity {self.arity}"
+            )
+
+    def byte_size(self) -> int:
+        """Approximate serialised size in bytes (for VO accounting)."""
+        words = (self.modulus.bit_length() + 7) // 8
+        n_bases = len(self.slot_bases) + sum(len(row) for row in self.pair_bases)
+        return words * (1 + n_bases) + len(self.exponents) * (EXPONENT_BITS // 8)
+
+
+@dataclass(frozen=True)
+class CVCTrapdoor:
+    """The secret trapdoor ``td``: the factorisation of the modulus."""
+
+    p: int
+    q: int
+
+    @property
+    def phi(self) -> int:
+        """Euler's totient of the modulus."""
+        return (self.p - 1) * (self.q - 1)
+
+
+@dataclass
+class CVCAux:
+    """Auxiliary opening information ``aux`` for one commitment.
+
+    Tracks the current message vector and the (possibly re-solved)
+    randomiser.  ``aux`` never leaves its owner; proofs derived from it
+    are what travel in VOs.
+    """
+
+    messages: list[int]  # encoded messages, slot 1..q at index 0..q-1
+    randomiser: int
+
+    def message_at(self, slot: int) -> int:
+        """Encoded message currently held at a 1-based slot."""
+        return self.messages[slot - 1]
+
+
+def keygen(
+    arity: int,
+    modulus_bits: int = DEFAULT_MODULUS_BITS,
+    seed: int | None = None,
+) -> tuple[CVCPublicParams, CVCTrapdoor]:
+    """``CGen(1^lambda, q)``: generate public parameters and the trapdoor.
+
+    ``seed`` makes generation deterministic for tests and benchmarks.
+    """
+    if arity < 1:
+        raise ParameterError("CVC arity must be at least 1")
+    rng = make_random(seed)
+    modulus = generate_rsa_modulus(modulus_bits, rng)
+    exponents = _generate_exponents(arity, modulus.phi, rng)
+    product = math.prod(exponents)
+    base = _sample_base(modulus.n, rng)
+    slot_bases = tuple(
+        pow(base, product // e, modulus.n) for e in exponents
+    )
+    pair_bases = tuple(
+        tuple(
+            pow(base, product // (exponents[i] * exponents[j]), modulus.n)
+            for j in range(i + 1, len(exponents))
+        )
+        for i in range(len(exponents))
+    )
+    pp = CVCPublicParams(
+        modulus=modulus.n,
+        arity=arity,
+        exponents=tuple(exponents),
+        slot_bases=slot_bases,
+        pair_bases=pair_bases,
+    )
+    td = CVCTrapdoor(p=modulus.p, q=modulus.q)
+    return pp, td
+
+
+def _generate_exponents(arity: int, phi: int, rng: RandomSource) -> list[int]:
+    """Draw ``arity + 1`` distinct primes coprime to ``phi``.
+
+    Coprimality with ``phi(N)`` is required so the trapdoor can invert
+    each exponent; a 264-bit prime dividing ``phi`` happens only with
+    negligible probability, but we check anyway and redraw.
+    """
+    exponents: list[int] = []
+    seen: set[int] = set()
+    while len(exponents) < arity + 1:
+        (candidate,) = generate_distinct_primes(1, EXPONENT_BITS, rng)
+        if candidate in seen or phi % candidate == 0:
+            continue
+        seen.add(candidate)
+        exponents.append(candidate)
+    return exponents
+
+
+def _sample_base(n: int, rng: RandomSource) -> int:
+    """Sample a random group element ``a`` (a quadratic residue mod n)."""
+    while True:
+        candidate = rng.randint(2, n - 2)
+        if math.gcd(candidate, n) == 1:
+            return pow(candidate, 2, n)
+
+
+def commit(
+    pp: CVCPublicParams, messages: list[Message], randomiser: int
+) -> tuple[int, CVCAux]:
+    """``Com_pp(<m_1..m_q>, r)``: commit to a message vector.
+
+    Returns the commitment value ``c`` and the auxiliary information.
+    """
+    if len(messages) != pp.arity:
+        raise CommitmentError(
+            f"expected {pp.arity} messages, got {len(messages)}"
+        )
+    encoded = [encode_message(m) for m in messages]
+    c = pow(pp.slot_bases[0], randomiser, pp.modulus)
+    for slot, z in enumerate(encoded, start=1):
+        if z:
+            c = c * pow(pp.slot_bases[slot], z, pp.modulus) % pp.modulus
+    return c, CVCAux(messages=encoded, randomiser=randomiser)
+
+
+def open_slot(pp: CVCPublicParams, slot: int, message: Message, aux: CVCAux) -> int:
+    """``Open_pp(i, m, aux)``: produce a proof that slot ``i`` holds ``m``.
+
+    Fails when ``aux`` does not actually hold ``m`` at that slot — an
+    honest opener cannot produce a proof for a wrong value.
+    """
+    pp._check_slot(slot)
+    z = encode_message(message)
+    if aux.message_at(slot) != z:
+        raise CommitmentError(
+            f"aux holds a different message at slot {slot}; cannot open"
+        )
+    proof = pow(pp.pair_base(0, slot), aux.randomiser, pp.modulus)
+    for other in range(1, pp.arity + 1):
+        if other == slot:
+            continue
+        z_other = aux.messages[other - 1]
+        if z_other:
+            proof = (
+                proof
+                * pow(pp.pair_base(other, slot), z_other, pp.modulus)
+                % pp.modulus
+            )
+    return proof
+
+
+def verify(
+    pp: CVCPublicParams, commitment: int, slot: int, message: Message, proof: int
+) -> bool:
+    """``Ver_pp(c, i, m, pi)``: check that ``c`` opens to ``m`` at ``i``."""
+    try:
+        pp._check_slot(slot)
+    except CommitmentError:
+        return False
+    if not 0 < proof < pp.modulus or not 0 < commitment < pp.modulus:
+        return False
+    z = encode_message(message)
+    lhs = pow(proof, pp.slot_exponent(slot), pp.modulus)
+    if z:
+        lhs = lhs * pow(pp.slot_base(slot), z, pp.modulus) % pp.modulus
+    return lhs == commitment
+
+
+def find_collision(
+    pp: CVCPublicParams,
+    td: CVCTrapdoor | None,
+    commitment: int,
+    slot: int,
+    old_message: Message,
+    new_message: Message,
+    aux: CVCAux,
+    check: bool = True,
+) -> CVCAux:
+    """``CCol_pp(c, i, m, m', td, aux)``: swap slot ``i``'s message.
+
+    Re-solves the randomiser so the commitment value is *unchanged* while
+    ``aux`` now opens slot ``i`` to ``new_message``.  Requires ``td``.
+    ``check=False`` skips the defensive recommit self-check for callers
+    whose inputs are consistent by construction (the DO's hot path).
+    """
+    if td is None:
+        raise TrapdoorRequiredError("collision finding requires the trapdoor")
+    pp._check_slot(slot)
+    z_old = encode_message(old_message)
+    z_new = encode_message(new_message)
+    if aux.message_at(slot) != z_old:
+        raise CommitmentError(
+            f"aux does not hold the claimed old message at slot {slot}"
+        )
+    phi = td.phi
+    product = math.prod(pp.exponents)
+    # Solve (P/e_0)(r' - r) == (P/e_i)(z_old - z_new)  (mod phi).
+    coeff = product // pp.slot_exponent(slot) % phi
+    inv_rand = mod_inverse(product // pp.randomiser_exponent % phi, phi)
+    delta = coeff * ((z_old - z_new) % phi) % phi
+    new_randomiser = (aux.randomiser + delta * inv_rand) % phi
+    new_messages = list(aux.messages)
+    new_messages[slot - 1] = z_new
+    new_aux = CVCAux(messages=new_messages, randomiser=new_randomiser)
+    if check:
+        # Defensive self-check: the commitment must be preserved.
+        recomputed, _ = _recommit(pp, new_aux)
+        if recomputed != commitment:
+            raise CommitmentError(
+                "collision finding failed to preserve the commitment; "
+                "the supplied aux/commitment pair is inconsistent"
+            )
+    return new_aux
+
+
+def _recommit(pp: CVCPublicParams, aux: CVCAux) -> tuple[int, CVCAux]:
+    """Recompute a commitment from already-encoded aux contents."""
+    c = pow(pp.slot_bases[0], aux.randomiser, pp.modulus)
+    for slot, z in enumerate(aux.messages, start=1):
+        if z:
+            c = c * pow(pp.slot_bases[slot], z, pp.modulus) % pp.modulus
+    return c, aux
+
+
+def commitment_byte_size(pp: CVCPublicParams) -> int:
+    """Serialised size of one commitment or proof value, in bytes."""
+    return (pp.modulus.bit_length() + 7) // 8
+
+
+class VectorCommitment:
+    """Plain (non-chameleon) vector commitment facade.
+
+    Implements the ``Gen/Com/Open/Ver`` interface of Section III-A by
+    delegating to the CVC construction and simply withholding the
+    trapdoor.  Provided for completeness and for tests that exercise the
+    commitment layer without chameleon updates.
+    """
+
+    def __init__(
+        self,
+        arity: int,
+        modulus_bits: int = DEFAULT_MODULUS_BITS,
+        seed: int | None = None,
+    ) -> None:
+        self.pp, _ = keygen(arity, modulus_bits=modulus_bits, seed=seed)
+
+    def commit(self, messages: list[Message], randomiser: int) -> tuple[int, CVCAux]:
+        """Commit to a message vector."""
+        return commit(self.pp, messages, randomiser)
+
+    def open(self, slot: int, message: Message, aux: CVCAux) -> int:
+        """Open the commitment at a slot (produce a proof)."""
+        return open_slot(self.pp, slot, message, aux)
+
+    def verify(self, commitment: int, slot: int, message: Message, proof: int) -> bool:
+        """Check a proof; returns whether it is valid."""
+        return verify(self.pp, commitment, slot, message, proof)
+
+
+class ChameleonVectorCommitment:
+    """Object-oriented facade bundling ``pp`` with an optional trapdoor.
+
+    The data owner constructs it with the trapdoor; the SP, chain and
+    clients receive a copy without it (:meth:`public_view`).
+    """
+
+    def __init__(
+        self,
+        arity: int,
+        modulus_bits: int = DEFAULT_MODULUS_BITS,
+        seed: int | None = None,
+        _pp: CVCPublicParams | None = None,
+        _td: CVCTrapdoor | None = None,
+    ) -> None:
+        if _pp is not None:
+            self.pp = _pp
+            self.td = _td
+        else:
+            self.pp, self.td = keygen(arity, modulus_bits=modulus_bits, seed=seed)
+
+    @property
+    def arity(self) -> int:
+        """Number of message slots per commitment."""
+        return self.pp.arity
+
+    @property
+    def has_trapdoor(self) -> bool:
+        """True when this instance can find collisions."""
+        return self.td is not None
+
+    def public_view(self) -> "ChameleonVectorCommitment":
+        """A copy safe to hand to untrusted parties (no trapdoor)."""
+        return ChameleonVectorCommitment(self.pp.arity, _pp=self.pp, _td=None)
+
+    def commit(self, messages: list[Message], randomiser: int) -> tuple[int, CVCAux]:
+        """Commit to a message vector."""
+        return commit(self.pp, messages, randomiser)
+
+    def commit_empty(self, randomiser: int) -> tuple[int, CVCAux]:
+        """Commit to the all-zero vector — every tree node starts here."""
+        return commit(self.pp, [None] * self.pp.arity, randomiser)
+
+    def open(self, slot: int, message: Message, aux: CVCAux) -> int:
+        """Open the commitment at a slot (produce a proof)."""
+        return open_slot(self.pp, slot, message, aux)
+
+    def verify(self, commitment: int, slot: int, message: Message, proof: int) -> bool:
+        """Check a proof; returns whether it is valid."""
+        return verify(self.pp, commitment, slot, message, proof)
+
+    def collide(
+        self,
+        commitment: int,
+        slot: int,
+        old_message: Message,
+        new_message: Message,
+        aux: CVCAux,
+        check: bool = True,
+    ) -> CVCAux:
+        """Find a trapdoor collision for one slot."""
+        return find_collision(
+            self.pp,
+            self.td,
+            commitment,
+            slot,
+            old_message,
+            new_message,
+            aux,
+            check=check,
+        )
+
+    def value_byte_size(self) -> int:
+        """Width of one group element in bytes."""
+        return commitment_byte_size(self.pp)
+
+
+@lru_cache(maxsize=8)
+def shared_test_params(
+    arity: int, modulus_bits: int = 512, seed: int = 7
+) -> tuple[CVCPublicParams, CVCTrapdoor]:
+    """Cached small parameters for the test-suite and examples.
+
+    Parameter generation dominates pure-Python runtime; caching one set
+    per (arity, size) keeps the suite fast without weakening what the
+    tests exercise.
+    """
+    return keygen(arity, modulus_bits=modulus_bits, seed=seed)

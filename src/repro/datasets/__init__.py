@@ -1,0 +1,29 @@
+"""Workload generators: synthetic DBLP- and Twitter-like datasets.
+
+The paper evaluates on two real corpora — 5M DBLP paper entries and
+1.5M tweets — keyed by incremental 32-bit IDs with stop-word-filtered
+keywords.  Those dumps are not redistributable here, so (per DESIGN.md)
+we generate synthetic equivalents whose *workload-relevant statistics*
+match: Zipfian keyword frequencies (natural-language rank/frequency
+law), per-object keyword counts matching each corpus' documents, and
+monotonically increasing IDs.  Gas costs depend only on tree sizes and
+keyword counts; query costs depend on posting-list lengths — both of
+which the Zipf model reproduces at any scale.
+"""
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    SyntheticDataset,
+    dblp_like,
+    twitter_like,
+)
+from repro.datasets.workloads import ConjunctiveWorkload, DisjunctiveWorkload
+
+__all__ = [
+    "ConjunctiveWorkload",
+    "DatasetSpec",
+    "DisjunctiveWorkload",
+    "SyntheticDataset",
+    "dblp_like",
+    "twitter_like",
+]

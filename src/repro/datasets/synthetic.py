@@ -1,0 +1,189 @@
+"""Seeded synthetic corpora with Zipfian keyword statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.objects import DataObject
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistical profile of a corpus.
+
+    ``zipf_s`` is the Zipf exponent of the keyword rank/frequency law;
+    keyword counts per object are drawn from a clamped normal with the
+    given mean/spread, matching the paper's corpora after stop-word
+    removal (paper titles+authors+affiliations for DBLP, short tweets
+    for Twitter).
+
+    The *effective* vocabulary follows Heaps' law, ``V = K * n^beta``
+    (capped at ``vocabulary_size``): scaled-down corpora use
+    proportionally smaller vocabularies, which preserves the paper's
+    amortisation regime — most keyword occurrences hit already-warm
+    trees, so one-time per-keyword setup costs stay marginal, exactly
+    as they are at the paper's multi-million-object scale.
+    """
+
+    name: str
+    vocabulary_size: int
+    zipf_s: float
+    keywords_mean: float
+    keywords_std: float
+    keywords_min: int
+    keywords_max: int
+    content_bytes: int = 64
+    heaps_k: float = 10.0
+    heaps_beta: float = 0.5
+    #: Topic-correlation knobs.  Real corpora exhibit strong keyword
+    #: co-occurrence (documents are about something), which is what makes
+    #: conjunctive result sets non-trivial.  Each object draws a topic and
+    #: then mixes topic-local keyword draws with global Zipf draws.
+    topic_affinity: float = 0.65
+    max_topics: int = 12
+
+    def __post_init__(self) -> None:
+        if self.vocabulary_size < self.keywords_max:
+            raise DatasetError(
+                "vocabulary must be at least as large as keywords_max"
+            )
+        if not 0 < self.keywords_min <= self.keywords_max:
+            raise DatasetError("invalid keyword count range")
+
+    def effective_vocabulary(self, num_objects: int) -> int:
+        """Heaps-law vocabulary for a corpus of ``num_objects``."""
+        heaps = int(self.heaps_k * max(1, num_objects) ** self.heaps_beta)
+        return max(3 * self.keywords_max, min(self.vocabulary_size, heaps))
+
+
+#: DBLP-like: larger vocabulary, richer records (title+authors+affiliation).
+DBLP_SPEC = DatasetSpec(
+    name="dblp",
+    vocabulary_size=20_000,
+    zipf_s=1.05,
+    keywords_mean=8.0,
+    keywords_std=2.0,
+    keywords_min=4,
+    keywords_max=14,
+    content_bytes=96,
+)
+
+#: Twitter-like: shorter documents, smaller effective vocabulary.
+TWITTER_SPEC = DatasetSpec(
+    name="twitter",
+    vocabulary_size=12_000,
+    zipf_s=1.1,
+    keywords_mean=6.0,
+    keywords_std=1.5,
+    keywords_min=2,
+    keywords_max=10,
+    content_bytes=48,
+)
+
+
+class SyntheticDataset:
+    """A deterministic stream of :class:`DataObject` records.
+
+    Object IDs increase monotonically from 1 (the paper's incremental
+    32-bit identifiers).  Two instances with the same spec, size and
+    seed generate byte-identical corpora.
+    """
+
+    def __init__(
+        self, spec: DatasetSpec, num_objects: int, seed: int = 7
+    ) -> None:
+        if num_objects < 0:
+            raise DatasetError("num_objects must be non-negative")
+        self.spec = spec
+        self.num_objects = num_objects
+        self.seed = seed
+        self.vocabulary = spec.effective_vocabulary(num_objects)
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, self.vocabulary + 1, dtype=np.float64)
+        weights = ranks ** (-spec.zipf_s)
+        self._probabilities = weights / weights.sum()
+        # Topic structure: keyword rank r belongs to topic r mod T, so
+        # every topic owns a strided slice that includes both frequent
+        # and rare keywords.  Per-topic distributions are the global
+        # Zipf restricted and renormalised over the topic's slice.
+        self.num_topics = max(4, min(spec.max_topics, self.vocabulary // 30))
+        self._topic_members: list[np.ndarray] = []
+        self._topic_probabilities: list[np.ndarray] = []
+        for topic in range(self.num_topics):
+            members = np.arange(topic, self.vocabulary, self.num_topics)
+            member_weights = self._probabilities[members]
+            self._topic_members.append(members)
+            self._topic_probabilities.append(
+                member_weights / member_weights.sum()
+            )
+        topic_ranks = np.arange(1, self.num_topics + 1, dtype=np.float64)
+        topic_weights = topic_ranks**-1.0
+        self._topic_prior = topic_weights / topic_weights.sum()
+
+    def keyword(self, rank: int) -> str:
+        """The canonical name of the rank-``rank`` keyword (1-based)."""
+        return f"{self.spec.name}-kw{rank:05d}"
+
+    def top_keywords(self, count: int) -> list[str]:
+        """The ``count`` most frequent keywords (query candidates)."""
+        count = min(count, self.vocabulary)
+        return [self.keyword(rank) for rank in range(1, count + 1)]
+
+    def _draw_keyword_count(self) -> int:
+        raw = self._rng.normal(self.spec.keywords_mean, self.spec.keywords_std)
+        return int(np.clip(round(raw), self.spec.keywords_min, self.spec.keywords_max))
+
+    def _draw_keyword_ranks(self, count: int) -> list[int]:
+        """Draw ``count`` distinct 0-based keyword ranks for one object.
+
+        Each object carries a topic; each keyword draw comes from the
+        topic's slice with probability ``topic_affinity`` and from the
+        global Zipf otherwise.  This reproduces the co-occurrence
+        structure of real text: frequent same-topic keywords appear
+        together far more often than independence would predict.
+        """
+        topic = int(self._rng.choice(self.num_topics, p=self._topic_prior))
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            if self._rng.random() < self.spec.topic_affinity:
+                rank = int(
+                    self._rng.choice(
+                        self._topic_members[topic],
+                        p=self._topic_probabilities[topic],
+                    )
+                )
+            else:
+                rank = int(
+                    self._rng.choice(self.vocabulary, p=self._probabilities)
+                )
+            chosen.add(rank)
+        return sorted(chosen)
+
+    def objects(self) -> Iterator[DataObject]:
+        """Generate the corpus, one object at a time."""
+        for object_id in range(1, self.num_objects + 1):
+            count = self._draw_keyword_count()
+            ranks = self._draw_keyword_ranks(count)
+            keywords = tuple(self.keyword(r + 1) for r in ranks)
+            content = self._rng.bytes(self.spec.content_bytes)
+            yield DataObject(
+                object_id=object_id, keywords=keywords, content=content
+            )
+
+    def materialise(self) -> list[DataObject]:
+        """The whole corpus as a list (convenient for small runs)."""
+        return list(self.objects())
+
+
+def dblp_like(num_objects: int, seed: int = 7) -> SyntheticDataset:
+    """A DBLP-shaped corpus of ``num_objects`` paper entries."""
+    return SyntheticDataset(DBLP_SPEC, num_objects, seed=seed)
+
+
+def twitter_like(num_objects: int, seed: int = 7) -> SyntheticDataset:
+    """A Twitter-shaped corpus of ``num_objects`` tweets."""
+    return SyntheticDataset(TWITTER_SPEC, num_objects, seed=seed)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  Verification
+failures deliberately carry a human-readable reason: in an authenticated
+query system the *reason* a proof was rejected is part of the audit trail.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class ParameterError(CryptoError):
+    """Invalid or inconsistent cryptographic parameters."""
+
+
+class CommitmentError(CryptoError):
+    """A vector-commitment operation was invoked with invalid inputs."""
+
+
+class TrapdoorRequiredError(CommitmentError):
+    """An operation requiring the CVC trapdoor was attempted without it."""
+
+
+class VerificationError(ReproError):
+    """A proof or verification object failed to verify.
+
+    Raised by client-side verification when soundness or completeness
+    checks fail.  The message states which check failed.
+    """
+
+
+class IntegrityError(ReproError):
+    """On-chain integrity check failed (e.g. a bad ``UpdVO``)."""
+
+
+class GasError(ReproError):
+    """Base class for gas-accounting failures."""
+
+
+class OutOfGasError(GasError):
+    """A transaction exceeded the block gas limit and was aborted."""
+
+
+class StorageError(ReproError):
+    """Invalid access to the simulated contract storage."""
+
+
+class ChainError(ReproError):
+    """Blockchain-level failure (bad block linkage, unknown tx, ...)."""
+
+
+class QueryError(ReproError):
+    """Malformed query expression or unsupported query shape."""
+
+
+class DatasetError(ReproError):
+    """Workload generator was configured inconsistently."""

@@ -1,0 +1,46 @@
+"""Smart-contract base class.
+
+A contract owns a :class:`ContractStorage` and, while a transaction is
+executing, an :class:`ExecutionContext` (``self.env``).  The blockchain
+binds/unbinds both around each call, so contract methods can only touch
+state through metered channels — any attempt to access storage outside a
+transaction raises.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.ethereum.storage import ContractStorage
+from repro.ethereum.vm import ExecutionContext
+
+
+class SmartContract:
+    """Base class for on-chain contracts in the simulator.
+
+    Subclasses implement transaction methods as plain Python methods that
+    read/write ``self.storage`` and compute via ``self.env``.  Methods
+    intended as free *views* (client-side reads of public chain state)
+    should be prefixed ``view_`` and must not write storage.
+    """
+
+    def __init__(self) -> None:
+        self.storage = ContractStorage()
+        self._env: ExecutionContext | None = None
+
+    @property
+    def env(self) -> ExecutionContext:
+        """The active execution context; only valid inside a transaction."""
+        if self._env is None:
+            raise StorageError(
+                "contract method invoked outside a transaction context"
+            )
+        return self._env
+
+    def bind(self, env: ExecutionContext | None) -> None:
+        """Attach/detach the execution context (called by the chain)."""
+        self._env = env
+        self.storage.bind_meter(env.meter if env is not None else None)
+
+    def emit(self, name: str, **fields) -> None:
+        """Emit an event into the current transaction's log."""
+        self.env.emit(name, **fields)

@@ -1,0 +1,176 @@
+"""The Ethereum gas model of Table I.
+
+Every on-chain operation the paper prices is metered here:
+
+=============  =========  ==========================================
+operation      gas        explanation
+=============  =========  ==========================================
+``C_sload``    200        load a word from storage
+``C_sstore``   20,000     save a (fresh) word to storage
+``C_supdate``  5,000      update an existing storage word
+``C_mem``      3          access a word in memory
+``C_hash``     30 + 6x    hash an x-word message
+``C_tx``       21,000     execute a transaction
+``C_txdata``   68         transact one byte of data
+=============  =========  ==========================================
+
+US$ conversion follows the paper's footnote: an average gas price of
+15 Gwei and an Ether price of US$229 (June 15, 2020).
+
+The meter buckets every charge into the three categories of Table III —
+*write* (``sstore``/``supdate``), *read* (``sload``) and *others*
+(``txdata``/``hash``/``mem``/``tx``) — so the breakdown table can be
+reproduced directly from a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import OutOfGasError
+
+# --- Table I constants -----------------------------------------------------
+
+GAS_SLOAD = 200
+GAS_SSTORE = 20_000
+GAS_SUPDATE = 5_000
+GAS_MEM = 3
+GAS_HASH_BASE = 30
+GAS_HASH_PER_WORD = 6
+GAS_TX = 21_000
+GAS_TXDATA_PER_BYTE = 68
+
+#: Default block gas limit (Section VII-A experiment setting).
+BLOCK_GAS_LIMIT = 8_000_000
+
+#: Paper's pricing assumptions (footnote 2).
+GAS_PRICE_GWEI = 15
+ETH_PRICE_USD = 229.0
+WEI_PER_GWEI = 10**9
+WEI_PER_ETH = 10**18
+
+
+def gas_to_usd(gas: int | float) -> float:
+    """Convert a gas amount to US$ using the paper's price assumptions."""
+    wei = gas * GAS_PRICE_GWEI * WEI_PER_GWEI
+    return wei / WEI_PER_ETH * ETH_PRICE_USD
+
+
+def hash_gas(input_words: int) -> int:
+    """Gas to hash an ``input_words``-word message: ``30 + 6x``."""
+    if input_words < 0:
+        raise ValueError("input_words must be non-negative")
+    return GAS_HASH_BASE + GAS_HASH_PER_WORD * input_words
+
+
+class GasCategory(Enum):
+    """Table III's cost-breakdown buckets."""
+
+    WRITE = "write"  # C_sstore, C_supdate
+    READ = "read"  # C_sload
+    OTHER = "other"  # C_txdata, C_hash, C_mem, C_tx
+
+
+@dataclass
+class GasMeter:
+    """Accumulates gas charges with a per-category and per-op breakdown.
+
+    A meter is attached to each transaction execution; the chain enforces
+    the block ``gasLimit`` by raising :class:`OutOfGasError` when a charge
+    would exceed ``limit``.
+    """
+
+    limit: int | None = None
+    total: int = 0
+    by_category: dict[GasCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in GasCategory}
+    )
+    by_operation: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, amount: int, category: GasCategory, operation: str) -> None:
+        """Record ``amount`` gas; raises OutOfGasError past the limit."""
+        if amount < 0:
+            raise ValueError("gas amounts are non-negative")
+        if self.limit is not None and self.total + amount > self.limit:
+            raise OutOfGasError(
+                f"charge of {amount} gas for {operation} exceeds limit "
+                f"{self.limit} (already used {self.total})"
+            )
+        self.total += amount
+        self.by_category[category] += amount
+        self.by_operation[operation] = self.by_operation.get(operation, 0) + amount
+
+    # -- convenience wrappers, one per Table I row ---------------------------
+
+    def sload(self, words: int = 1) -> None:
+        """Charge ``C_sload`` per word."""
+        self.charge(GAS_SLOAD * words, GasCategory.READ, "sload")
+
+    def sstore(self, words: int = 1) -> None:
+        """Charge ``C_sstore`` per word."""
+        self.charge(GAS_SSTORE * words, GasCategory.WRITE, "sstore")
+
+    def supdate(self, words: int = 1) -> None:
+        """Charge ``C_supdate`` per word."""
+        self.charge(GAS_SUPDATE * words, GasCategory.WRITE, "supdate")
+
+    def mem(self, words: int = 1) -> None:
+        """Charge ``C_mem`` per word."""
+        self.charge(GAS_MEM * words, GasCategory.OTHER, "mem")
+
+    def hash(self, input_words: int) -> None:
+        """The header's digest (chains blocks together)."""
+        self.charge(hash_gas(input_words), GasCategory.OTHER, "hash")
+
+    def tx_base(self) -> None:
+        """Charge the transaction base cost ``C_tx``."""
+        self.charge(GAS_TX, GasCategory.OTHER, "tx")
+
+    def txdata(self, num_bytes: int) -> None:
+        """Charge ``C_txdata`` per byte."""
+        self.charge(GAS_TXDATA_PER_BYTE * num_bytes, GasCategory.OTHER, "txdata")
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def write_gas(self) -> int:
+        """Gas spent on storage writes (sstore/supdate)."""
+        return self.by_category[GasCategory.WRITE]
+
+    @property
+    def read_gas(self) -> int:
+        """Gas spent on storage reads (sload)."""
+        return self.by_category[GasCategory.READ]
+
+    @property
+    def other_gas(self) -> int:
+        """Gas spent on txdata/hash/memory/transaction base."""
+        return self.by_category[GasCategory.OTHER]
+
+    def usd(self) -> float:
+        """Total cost in US$."""
+        return gas_to_usd(self.total)
+
+    def usd_breakdown(self) -> dict[str, float]:
+        """Table III row: write / read / others / total, in US$."""
+        return {
+            "write": gas_to_usd(self.write_gas),
+            "read": gas_to_usd(self.read_gas),
+            "others": gas_to_usd(self.other_gas),
+            "total": gas_to_usd(self.total),
+        }
+
+    def merge(self, other: "GasMeter") -> None:
+        """Fold another meter's charges into this one (for aggregation)."""
+        self.total += other.total
+        for category, amount in other.by_category.items():
+            self.by_category[category] += amount
+        for op, amount in other.by_operation.items():
+            self.by_operation[op] = self.by_operation.get(op, 0) + amount
+
+    def snapshot(self) -> "GasMeter":
+        """An independent copy of the current tallies (limit dropped)."""
+        copy = GasMeter()
+        copy.merge(self)
+        return copy

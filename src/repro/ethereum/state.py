@@ -1,0 +1,226 @@
+"""Block-level state commitments for light-client reads.
+
+The paper's client "retrieves the authenticated digests (VO_chain) from
+the blockchain", implicitly trusting that read.  Full nodes get that
+for free; *light* clients need the chain to commit to contract storage
+so individual words can be verified against block headers.  This module
+provides that commitment: an MB-tree over every contract's storage
+words, keyed by the canonical digest of ``(contract, key)``, whose root
+is sealed into each block header.
+
+Reusing the MB-tree gives both proof directions:
+
+* **presence** — a Merkle path for the slot's leaf;
+* **absence** — adjacent boundary leaves around the slot's key digest
+  (the same machinery the query layer uses for completeness), which is
+  what proves a keyword *has no digest on-chain* to a light client.
+
+State tracking is opt-in (``Blockchain(track_state=True)``): rebuilding
+the commitment every block is O(slots) and the gas experiments don't
+need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mbtree import Entry, MBTree, MerklePath, paths_adjacent
+from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.errors import ReproError, VerificationError
+
+#: Slot keys are mapped into this many bits of MB-tree key space (the
+#: MB-tree's wire format carries 8-byte keys; 63 bits keep the sign bit
+#: clear).  Collision probability for even 10^6 slots is ~5e-8.
+KEY_BITS = 63
+
+
+def encode_storage_key(contract: str, key: tuple) -> bytes:
+    """Canonical byte encoding of a ``(contract, storage-key)`` pair.
+
+    Tuples nest; each component is length- and type-tagged so distinct
+    keys can never collide byte-wise.
+    """
+
+    def encode_component(component) -> bytes:
+        """Type-tagged, length-prefixed encoding of one component."""
+        if isinstance(component, str):
+            raw = component.encode("utf-8")
+            return b"s" + len(raw).to_bytes(4, "big") + raw
+        if isinstance(component, bool):  # before int: bool is an int
+            return b"b" + (b"\x01" if component else b"\x00")
+        if isinstance(component, int):
+            raw = component.to_bytes(
+                (component.bit_length() + 8) // 8 or 1, "big", signed=True
+            )
+            return b"i" + len(raw).to_bytes(4, "big") + raw
+        if isinstance(component, bytes):
+            return b"y" + len(component).to_bytes(4, "big") + component
+        if isinstance(component, tuple):
+            inner = b"".join(encode_component(c) for c in component)
+            return b"t" + len(inner).to_bytes(4, "big") + inner
+        raise ReproError(
+            f"unsupported storage key component {type(component)!r}"
+        )
+
+    return encode_component((contract,) + key)
+
+
+def storage_slot_id(contract: str, key: tuple) -> int:
+    """The slot's position in the state tree's key space."""
+    digest = sha3(b"state-slot" + encode_storage_key(contract, key))
+    return int.from_bytes(digest[:8], "big") >> (64 - KEY_BITS)
+
+
+@dataclass(frozen=True)
+class StorageProof:
+    """Light-client proof for one storage slot at one block.
+
+    For a *present* slot, ``word`` is its value and ``path`` its leaf
+    path.  For an *absent* (zero) slot, the boundary leaves around the
+    slot id prove nothing is stored there.
+    """
+
+    contract: str
+    key: tuple
+    word: bytes | None  # None encodes a proven-absent slot
+    path: MerklePath | None = None
+    lower: Entry | None = None
+    lower_path: MerklePath | None = None
+    upper: Entry | None = None
+    upper_path: MerklePath | None = None
+
+    def byte_size(self) -> int:
+        """Serialised size in bytes."""
+        total = 64
+        for path in (self.path, self.lower_path, self.upper_path):
+            if path is not None:
+                total += path.byte_size()
+        return total
+
+
+class StateCommitment:
+    """The per-block state tree over every contract's storage words."""
+
+    def __init__(self) -> None:
+        self._tree = MBTree(fanout=4)
+        self._words: dict[int, bytes] = {}
+
+    @classmethod
+    def build(cls, contracts: dict[str, object]) -> "StateCommitment":
+        """Snapshot all contracts' storage into a fresh commitment."""
+        commitment = cls()
+        slots: list[tuple[int, bytes]] = []
+        for name, contract in contracts.items():
+            storage = contract.storage
+            for key in storage.keys():
+                slot = storage_slot_id(name, key)
+                slots.append((slot, storage.peek(key)))
+        for slot, word in sorted(slots):
+            commitment._tree.insert(slot, sha3(b"state-word" + word))
+            commitment._words[slot] = word
+        return commitment
+
+    @property
+    def root(self) -> bytes:
+        """The structure's authenticated root digest."""
+        return self._tree.root_hash
+
+    def prove(self, contract: str, key: tuple) -> StorageProof:
+        """Produce a presence or absence proof for one slot."""
+        slot = storage_slot_id(contract, key)
+        if slot in self._words:
+            _, path = self._tree.prove(slot)
+            return StorageProof(
+                contract=contract,
+                key=key,
+                word=self._words[slot],
+                path=path,
+            )
+        search = self._tree.boundaries(slot)
+        return StorageProof(
+            contract=contract,
+            key=key,
+            word=None,
+            lower=search.lower,
+            lower_path=search.lower_path,
+            upper=search.upper,
+            upper_path=search.upper_path,
+        )
+
+
+def verify_storage_proof(state_root: bytes, proof: StorageProof) -> bytes:
+    """Stateless light-client check; returns the proven word.
+
+    An absent slot verifies to the zero word.  Raises
+    :class:`VerificationError` when the proof does not bind the claimed
+    slot to ``state_root``.
+    """
+    slot = storage_slot_id(proof.contract, proof.key)
+    if proof.word is not None:
+        if proof.path is None:
+            raise VerificationError("presence proof lacks a Merkle path")
+        entry = Entry(key=slot, value_hash=sha3(b"state-word" + proof.word))
+        if proof.path.compute_root(entry) != state_root:
+            raise VerificationError("storage proof fails against state root")
+        return proof.word
+    # Absence: empty state, or boundary leaves bracketing the slot.
+    if state_root == EMPTY_DIGEST:
+        if proof.lower or proof.upper:
+            raise VerificationError("boundary proof against an empty state")
+        return b"\x00" * 32
+    if proof.lower is None and proof.upper is None:
+        raise VerificationError("absence proof carries no boundaries")
+    if proof.lower is not None:
+        if proof.lower.key >= slot:
+            raise VerificationError("lower boundary does not precede slot")
+        if (
+            proof.lower_path is None
+            or proof.lower_path.compute_root(proof.lower) != state_root
+        ):
+            raise VerificationError("lower boundary fails verification")
+    if proof.upper is not None:
+        if proof.upper.key <= slot:
+            raise VerificationError("upper boundary does not follow slot")
+        if (
+            proof.upper_path is None
+            or proof.upper_path.compute_root(proof.upper) != state_root
+        ):
+            raise VerificationError("upper boundary fails verification")
+    if proof.lower is not None and proof.upper is not None:
+        if not paths_adjacent(proof.lower_path, proof.upper_path):
+            raise VerificationError("absence boundaries are not adjacent")
+    elif proof.lower is not None:
+        if not proof.lower_path.is_rightmost():
+            raise VerificationError("open absence proof lacks last-leaf evidence")
+    else:
+        assert proof.upper is not None
+        if not proof.upper_path.is_leftmost():
+            raise VerificationError("open absence proof lacks first-leaf evidence")
+    return b"\x00" * 32
+
+
+class LightClient:
+    """Verifies chain linkage and storage reads from headers alone."""
+
+    def __init__(self, genesis_hash: bytes) -> None:
+        self._head_hash = genesis_hash
+        self._head_number = 0
+        self._headers: dict[int, "object"] = {}
+
+    def accept_header(self, header) -> None:
+        """Follow the chain: each header must extend the current head."""
+        if header.parent_hash != self._head_hash:
+            raise VerificationError("header does not extend the known head")
+        if header.number != self._head_number + 1:
+            raise VerificationError("non-consecutive header number")
+        self._head_hash = header.hash()
+        self._head_number = header.number
+        self._headers[header.number] = header
+
+    def read_storage(self, proof: StorageProof, block_number: int | None = None) -> bytes:
+        """Verify a storage word against an accepted header."""
+        number = block_number if block_number is not None else self._head_number
+        header = self._headers.get(number)
+        if header is None:
+            raise VerificationError(f"no accepted header for block {number}")
+        return verify_storage_proof(header.state_root, proof)

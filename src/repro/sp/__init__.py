@@ -1,0 +1,34 @@
+"""Storage-provider layer.
+
+The SP stores the raw objects (:class:`~repro.core.objects.ObjectStore`)
+and mirrors the complete ADS of the active scheme.  The scheme-specific
+index mirrors live with their schemes; this package re-exports them so
+deployment code can depend on a single "SP" namespace:
+
+* :class:`~repro.core.merkle_family.MerkleInvertedSP` — MI/SMI mirror;
+* :class:`~repro.core.chameleon_index.ChameleonSP` — CI/CI* mirror.
+"""
+
+from repro.core.chameleon_index import ChameleonSP, ChameleonView
+from repro.core.merkle_family import MBTreeView, MerkleInvertedSP
+from repro.core.objects import ObjectStore
+from repro.sp.protocol import (
+    QueryRequest,
+    QueryResponse,
+    RemoteClient,
+    RemoteQueryResult,
+    StorageProviderServer,
+)
+
+__all__ = [
+    "ChameleonSP",
+    "ChameleonView",
+    "MBTreeView",
+    "MerkleInvertedSP",
+    "ObjectStore",
+    "QueryRequest",
+    "QueryResponse",
+    "RemoteClient",
+    "RemoteQueryResult",
+    "StorageProviderServer",
+]

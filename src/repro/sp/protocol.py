@@ -1,0 +1,229 @@
+"""SP query service over a bytes-only boundary.
+
+In deployment the client and the storage provider are separate
+processes; everything they exchange is serialised.  This module
+provides that boundary without committing to a transport: a
+:class:`StorageProviderServer` turns request bytes into response bytes,
+and a :class:`RemoteClient` drives any ``bytes -> bytes`` callable (an
+in-process handle, an HTTP POST, a socket) and verifies the results
+*locally* against the chain — the SP stays untrusted end to end.
+
+Wire formats reuse the VO codec; objects travel as
+``id(8) || n_keywords(2) || keywords || content_len(4) || content``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.objects import DataObject
+from repro.core.query.codec import VOCodec
+from repro.core.query.parser import KeywordQuery
+from repro.core.query.verify import verify_query
+from repro.core.query.vo import QueryAnswer
+from repro.errors import QueryError, ReproError
+
+#: Protocol version byte, bumped on breaking format changes.
+PROTOCOL_VERSION = 1
+
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+
+def _write_bytes(out: io.BytesIO, blob: bytes, width: int = 4) -> None:
+    out.write(len(blob).to_bytes(width, "big"))
+    out.write(blob)
+
+
+def _read_exact(data: io.BytesIO, length: int) -> bytes:
+    raw = data.read(length)
+    if len(raw) != length:
+        raise ReproError("truncated protocol message")
+    return raw
+
+
+def _read_bytes(data: io.BytesIO, width: int = 4) -> bytes:
+    length = int.from_bytes(_read_exact(data, width), "big")
+    return _read_exact(data, length)
+
+
+def encode_object(obj: DataObject) -> bytes:
+    """Serialise a data object for the wire."""
+    out = io.BytesIO()
+    out.write(obj.object_id.to_bytes(8, "big"))
+    out.write(len(obj.keywords).to_bytes(2, "big"))
+    for keyword in obj.keywords:
+        _write_bytes(out, keyword.encode("utf-8"), width=1)
+    _write_bytes(out, obj.content)
+    return out.getvalue()
+
+
+def decode_object(data: io.BytesIO) -> DataObject:
+    """Parse a data object from the wire."""
+    object_id = int.from_bytes(_read_exact(data, 8), "big")
+    n_keywords = int.from_bytes(_read_exact(data, 2), "big")
+    keywords = tuple(
+        _read_bytes(data, width=1).decode("utf-8") for _ in range(n_keywords)
+    )
+    content = _read_bytes(data)
+    return DataObject(object_id=object_id, keywords=keywords, content=content)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A keyword-search request."""
+
+    query_text: str
+
+    def encode(self) -> bytes:
+        """Serialise to the canonical wire form."""
+        out = io.BytesIO()
+        out.write(bytes([PROTOCOL_VERSION]))
+        _write_bytes(out, self.query_text.encode("utf-8"), width=2)
+        return out.getvalue()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "QueryRequest":
+        """Parse from the canonical wire form."""
+        data = io.BytesIO(payload)
+        version = _read_exact(data, 1)[0]
+        if version != PROTOCOL_VERSION:
+            raise ReproError(f"unsupported protocol version {version}")
+        text = _read_bytes(data, width=2).decode("utf-8")
+        return cls(query_text=text)
+
+
+@dataclass
+class QueryResponse:
+    """The SP's serialisable answer."""
+
+    result_ids: list[int]
+    objects: list[DataObject]
+    vo_bytes: bytes
+    error: str | None = None
+
+    def encode(self) -> bytes:
+        """Serialise to the canonical wire form."""
+        out = io.BytesIO()
+        out.write(bytes([PROTOCOL_VERSION]))
+        if self.error is not None:
+            out.write(bytes([_STATUS_ERROR]))
+            _write_bytes(out, self.error.encode("utf-8"), width=2)
+            return out.getvalue()
+        out.write(bytes([_STATUS_OK]))
+        out.write(len(self.result_ids).to_bytes(4, "big"))
+        for object_id in self.result_ids:
+            out.write(object_id.to_bytes(8, "big"))
+        out.write(len(self.objects).to_bytes(4, "big"))
+        for obj in self.objects:
+            _write_bytes(out, encode_object(obj))
+        _write_bytes(out, self.vo_bytes)
+        return out.getvalue()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "QueryResponse":
+        """Parse from the canonical wire form."""
+        data = io.BytesIO(payload)
+        version = _read_exact(data, 1)[0]
+        if version != PROTOCOL_VERSION:
+            raise ReproError(f"unsupported protocol version {version}")
+        status = _read_exact(data, 1)[0]
+        if status == _STATUS_ERROR:
+            return cls(
+                result_ids=[],
+                objects=[],
+                vo_bytes=b"",
+                error=_read_bytes(data, width=2).decode("utf-8"),
+            )
+        n_ids = int.from_bytes(_read_exact(data, 4), "big")
+        result_ids = [
+            int.from_bytes(_read_exact(data, 8), "big") for _ in range(n_ids)
+        ]
+        n_objects = int.from_bytes(_read_exact(data, 4), "big")
+        objects = [
+            decode_object(io.BytesIO(_read_bytes(data)))
+            for _ in range(n_objects)
+        ]
+        vo_bytes = _read_bytes(data)
+        return cls(result_ids=result_ids, objects=objects, vo_bytes=vo_bytes)
+
+
+class StorageProviderServer:
+    """Handles serialised query requests against a loaded system's SP.
+
+    Only the SP-side state is touched: the server never consults the
+    chain, mirroring the trust boundary of Fig. 1.
+    """
+
+    def __init__(self, system) -> None:
+        self._system = system
+        self._codec = VOCodec(value_bytes=system.value_bytes)
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        """Process one serialised request into a response."""
+        try:
+            request = QueryRequest.decode(request_bytes)
+            query = KeywordQuery.parse(request.query_text)
+            answer = self._system.process_query(query)
+            response = QueryResponse(
+                result_ids=answer.result_ids,
+                objects=[answer.objects[oid] for oid in answer.result_ids],
+                vo_bytes=self._codec.encode(answer.vo),
+            )
+        except (QueryError, ReproError) as exc:
+            response = QueryResponse(
+                result_ids=[], objects=[], vo_bytes=b"", error=str(exc)
+            )
+        return response.encode()
+
+
+@dataclass
+class RemoteQueryResult:
+    """A verified answer obtained over the wire."""
+
+    result_ids: list[int]
+    objects: dict[int, DataObject]
+    vo_sp_bytes: int
+    vo_chain_bytes: int
+
+
+class RemoteClient:
+    """Queries an untrusted SP over bytes and verifies locally.
+
+    ``transport`` is any ``bytes -> bytes`` callable reaching the SP;
+    ``system`` supplies the *chain-side* reads only (``VO_chain`` and
+    the proof system) — in a real deployment this is the client's own
+    light-client view of the blockchain.
+    """
+
+    def __init__(
+        self, transport: Callable[[bytes], bytes], system
+    ) -> None:
+        self._transport = transport
+        self._system = system
+        self._codec = VOCodec(value_bytes=system.value_bytes)
+
+    def query(self, text: str) -> RemoteQueryResult:
+        """Run a query; returns verified results."""
+        query = KeywordQuery.parse(text)
+        response = QueryResponse.decode(
+            self._transport(QueryRequest(query_text=text).encode())
+        )
+        if response.error is not None:
+            raise QueryError(f"SP returned an error: {response.error}")
+        vo = self._codec.decode(response.vo_bytes)
+        answer = QueryAnswer(
+            result_ids=response.result_ids,
+            objects={obj.object_id: obj for obj in response.objects},
+            vo=vo,
+        )
+        proof_system = self._system.chain_proof_system(query.all_keywords())
+        verified = verify_query(query, answer, proof_system)
+        return RemoteQueryResult(
+            result_ids=sorted(verified.ids),
+            objects=answer.objects,
+            vo_sp_bytes=len(response.vo_bytes),
+            vo_chain_bytes=proof_system.chain_digest_bytes(),
+        )

@@ -1,0 +1,215 @@
+"""Adversarial tests for the Merkle family (Definitions 1-2, Theorem 2).
+
+Each test plays a malicious SP: it takes an honestly produced answer,
+mutates it the way an attacker would, and asserts that client-side
+verification rejects it with a :class:`VerificationError`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import DataObject, HybridStorageSystem, KeywordQuery
+from repro.core.query.verify import verify_query
+from repro.core.query.vo import ConjunctiveVO, QueryVO
+from repro.crypto.hashing import sha3
+from repro.errors import VerificationError
+
+
+@pytest.fixture()
+def system(small_docs):
+    sys_ = HybridStorageSystem(scheme="smi", seed=5)
+    sys_.add_objects(small_docs)
+    return sys_
+
+
+def honest_answer(system, text):
+    query = KeywordQuery.parse(text)
+    answer = system.process_query(query)
+    ps = system.chain_proof_system(query.all_keywords())
+    return query, answer, ps
+
+
+def expect_rejection(query, answer, ps):
+    with pytest.raises(VerificationError):
+        verify_query(query, answer, ps)
+
+
+class TestSoundnessAttacks:
+    def test_extra_result_injected(self, system):
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        answer.result_ids = sorted(set(answer.result_ids) | {5})
+        answer.objects[5] = system.store.get(5)
+        expect_rejection(query, answer, ps)
+
+    def test_result_object_substituted(self, system):
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        answer.objects[4] = DataObject(4, ("covid-19", "symptom"), b"FORGED")
+        expect_rejection(query, answer, ps)
+
+    def test_entry_hash_tampered(self, system):
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        base = answer.vo.conjuncts[0].base
+        rnd = base.rounds[0]
+        assert rnd.lower is not None
+        forged_round = dataclasses.replace(
+            rnd,
+            lower=dataclasses.replace(rnd.lower, object_hash=sha3(b"evil")),
+        )
+        forged_base = dataclasses.replace(
+            base, rounds=(forged_round,) + base.rounds[1:]
+        )
+        forged_conj = dataclasses.replace(
+            answer.vo.conjuncts[0], base=forged_base
+        )
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        expect_rejection(query, answer, ps)
+
+
+class TestCompletenessAttacks:
+    def test_dropped_result_round(self, system):
+        """Omitting the round that matched object 4 must be detected."""
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        base = answer.vo.conjuncts[0].base
+        match_index = next(
+            i
+            for i, rnd in enumerate(base.rounds)
+            if rnd.lower is not None and rnd.lower.object_id == 4
+        )
+        pruned = base.rounds[:match_index] + base.rounds[match_index + 1 :]
+        forged_base = dataclasses.replace(base, rounds=pruned)
+        forged_conj = dataclasses.replace(
+            answer.vo.conjuncts[0], base=forged_base
+        )
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        answer.result_ids = []
+        answer.objects = {}
+        expect_rejection(query, answer, ps)
+
+    def test_truncated_join_without_terminal(self, system):
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        base = answer.vo.conjuncts[0].base
+        forged_base = dataclasses.replace(base, rounds=base.rounds[:1])
+        forged_conj = dataclasses.replace(
+            answer.vo.conjuncts[0], base=forged_base
+        )
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        expect_rejection(query, answer, ps)
+
+    def test_false_empty_keyword_claim(self, system):
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        forged_conj = ConjunctiveVO(
+            keywords=answer.vo.conjuncts[0].keywords,
+            empty_keyword="symptom",
+        )
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        answer.result_ids = []
+        answer.objects = {}
+        expect_rejection(query, answer, ps)
+
+    def test_full_scan_with_dropped_entry(self, system):
+        query, answer, ps = honest_answer(system, "symptom")
+        scan = answer.vo.conjuncts[0].base
+        pruned = dataclasses.replace(
+            scan, entries=scan.entries[:1] + scan.entries[2:]
+        )
+        forged_conj = dataclasses.replace(answer.vo.conjuncts[0], base=pruned)
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        answer.result_ids = [e.object_id for e in pruned.entries]
+        answer.objects = {
+            oid: system.store.get(oid) for oid in answer.result_ids
+        }
+        expect_rejection(query, answer, ps)
+
+    def test_full_scan_truncated_tail(self, system):
+        query, answer, ps = honest_answer(system, "symptom")
+        scan = answer.vo.conjuncts[0].base
+        pruned = dataclasses.replace(scan, entries=scan.entries[:-1])
+        forged_conj = dataclasses.replace(answer.vo.conjuncts[0], base=pruned)
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        answer.result_ids = [e.object_id for e in pruned.entries]
+        answer.objects = {
+            oid: system.store.get(oid) for oid in answer.result_ids
+        }
+        expect_rejection(query, answer, ps)
+
+    def test_semi_join_probe_omitted(self, small_docs):
+        system = HybridStorageSystem(scheme="smi", seed=5, join_plan="semijoin")
+        system.add_objects(small_docs)
+        query, answer, ps = honest_answer(
+            system, "covid-19 AND symptom AND vaccine"
+        )
+        conj = answer.vo.conjuncts[0]
+        assert conj.stages, "expected a 3-way join with a semi-join stage"
+        stage = conj.stages[0]
+        pruned_stage = dataclasses.replace(stage, probes=stage.probes[:-1])
+        forged_conj = dataclasses.replace(conj, stages=(pruned_stage,))
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        expect_rejection(query, answer, ps)
+
+    def test_stale_index_answer_rejected(self, system):
+        """A response computed before new insertions must not verify."""
+        query = KeywordQuery.parse("covid-19 AND symptom")
+        stale_answer = system.process_query(query)
+        # New matching object arrives on-chain after the SP answered.
+        system.add_object(
+            DataObject(13, ("covid-19", "symptom"), b"new-arrival")
+        )
+        fresh_ps = system.chain_proof_system(query.all_keywords())
+        with pytest.raises(VerificationError):
+            verify_query(query, stale_answer, fresh_ps)
+
+
+class TestWalkScheduleAttacks:
+    """The cyclic walk's deterministic schedule is itself enforced."""
+
+    def test_wrong_probe_tree_rejected(self, system):
+        query, answer, ps = honest_answer(
+            system, "covid-19 AND symptom AND vaccine"
+        )
+        base = answer.vo.conjuncts[0].base
+        rnd = base.rounds[0]
+        forged_round = dataclasses.replace(
+            rnd, probe_tree=(rnd.probe_tree + 1) % len(base.trees)
+        )
+        forged_base = dataclasses.replace(
+            base, rounds=(forged_round,) + base.rounds[1:]
+        )
+        forged_conj = dataclasses.replace(
+            answer.vo.conjuncts[0], base=forged_base
+        )
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        expect_rejection(query, answer, ps)
+
+    def test_reordered_rounds_rejected(self, system):
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        base = answer.vo.conjuncts[0].base
+        if len(base.rounds) < 3:
+            import pytest as _pytest
+
+            _pytest.skip("walk too short to reorder")
+        swapped = (
+            (base.rounds[1], base.rounds[0]) + base.rounds[2:]
+        )
+        forged_base = dataclasses.replace(base, rounds=swapped)
+        forged_conj = dataclasses.replace(
+            answer.vo.conjuncts[0], base=forged_base
+        )
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        expect_rejection(query, answer, ps)
+
+    def test_duplicate_tree_list_rejected(self, system):
+        query, answer, ps = honest_answer(system, "covid-19 AND symptom")
+        base = answer.vo.conjuncts[0].base
+        forged_base = dataclasses.replace(
+            base, trees=(base.trees[0], base.trees[0])
+        )
+        forged_conj = dataclasses.replace(
+            answer.vo.conjuncts[0],
+            base=forged_base,
+            keywords=(base.trees[0],),
+        )
+        answer.vo = QueryVO(conjuncts=(forged_conj,))
+        other = KeywordQuery.parse(base.trees[0])
+        with pytest.raises(VerificationError):
+            verify_query(other, answer, ps)

@@ -1,0 +1,69 @@
+"""Unit tests for the GEM^2-tree baseline contract."""
+
+import pytest
+
+from repro.baselines.gem2 import Gem2Contract
+from repro.core.objects import DataObject, ObjectMetadata
+from repro.crypto.hashing import EMPTY_DIGEST
+from repro.ethereum.chain import Blockchain
+from repro.ethereum.gas import GasMeter
+
+
+def drive(contract, n, keywords=("kw",)):
+    chain = Blockchain()
+    chain.deploy("gem2", contract)
+    total = GasMeter()
+    receipts = []
+    for oid in range(1, n + 1):
+        md = ObjectMetadata.of(DataObject(oid, keywords, b"c%d" % oid))
+        receipt = chain.send_transaction(
+            "do", "gem2", "register_and_insert",
+            md.object_id, md.object_hash, md.keywords,
+            payload=md.payload_bytes(),
+        )
+        assert receipt.status
+        receipts.append(receipt)
+        total.merge(receipt.gas)
+    return chain, receipts, total
+
+
+class TestGem2Contract:
+    def test_merge_fires_at_threshold(self):
+        contract = Gem2Contract(merge_threshold=4)
+        chain, receipts, _ = drive(contract, 9)
+        merge_events = [
+            e
+            for r in receipts
+            for e in r.events
+            if e.name == "Merged"
+        ]
+        assert len(merge_events) == 2  # at objects 4 and 8
+
+    def test_materialised_root_after_merge(self):
+        contract = Gem2Contract(merge_threshold=3)
+        chain, _, _ = drive(contract, 3)
+        assert chain.call_view("gem2", "view_root", "kw") != EMPTY_DIGEST
+
+    def test_suppressed_root_updates_every_insert(self):
+        contract = Gem2Contract(merge_threshold=100)
+        chain, _, _ = drive(contract, 2)
+        assert chain.call_view("gem2", "view_suppressed_root", "kw") != EMPTY_DIGEST
+        assert chain.call_view("gem2", "view_root", "kw") == EMPTY_DIGEST
+
+    def test_merge_rounds_cost_more(self):
+        contract = Gem2Contract(merge_threshold=8)
+        _, receipts, _ = drive(contract, 16)
+        merge_gas = receipts[7].gas.total
+        buffer_gas = receipts[5].gas.total
+        assert merge_gas > buffer_gas
+
+
+class TestFig6Ordering:
+    def test_between_mi_and_smi(self):
+        """GEM^2's average cost must land between MI and SMI (Fig. 6)."""
+        from repro.bench.runner import measure_maintenance
+
+        mi = measure_maintenance("mi", "dblp", 120)
+        gem2 = measure_maintenance("gem2", "dblp", 120)
+        smi = measure_maintenance("smi", "dblp", 120)
+        assert smi.avg_gas < gem2.avg_gas < mi.avg_gas

@@ -1,0 +1,41 @@
+"""Tests for the repro-bench command-line interface."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.exp == "all"
+        assert args.seed == 7
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--exp", "fig99"])
+
+    def test_accepts_ablations(self):
+        args = build_parser().parse_args(["--exp", "abl-fanout"])
+        assert args.exp == "abl-fanout"
+
+
+class TestMain:
+    def test_runs_single_experiment(self, capsys):
+        code = main(["--exp", "fig6", "--size", "40"])
+        assert code == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_size_override_for_sweeps(self, capsys):
+        code = main(["--exp", "tab2", "--size", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=60" in out
+        assert "n=30" in out
+
+    def test_queries_override(self, capsys):
+        code = main(
+            ["--exp", "fig13", "--size", "40", "--queries", "2"]
+        )
+        assert code == 0
+        assert "Fig. 13" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""Shared fixtures: cached CVC parameters and tiny corpora.
+
+CVC key generation is the most expensive pure-Python operation in the
+suite, so parameters are generated once per session at a reduced (but
+structurally identical) 512-bit modulus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import vc
+from repro.crypto.prf import generate_key
+
+
+@pytest.fixture(scope="session")
+def cvc_params():
+    """(pp, td) for arity-3 CVCs (q = 2 Chameleon trees)."""
+    return vc.shared_test_params(3)
+
+
+@pytest.fixture(scope="session")
+def cvc(cvc_params):
+    pp, td = cvc_params
+    return vc.ChameleonVectorCommitment(3, _pp=pp, _td=td)
+
+
+@pytest.fixture(scope="session")
+def prf_key():
+    return generate_key(seed=99)
+
+
+@pytest.fixture()
+def small_docs():
+    """The paper's Fig. 5 inverted-index example as DataObjects."""
+    from repro.core.objects import DataObject
+
+    table = {
+        1: ("covid-19", "sars-cov-2"),
+        2: ("covid-19",),
+        3: ("sars-cov-2",),
+        4: ("covid-19", "symptom", "vaccine"),
+        5: ("covid-19", "vaccine"),
+        6: ("symptom",),
+        7: ("covid-19",),
+        8: ("covid-19", "vaccine"),
+        9: ("symptom",),
+        10: ("covid-19",),
+        11: ("symptom",),
+        12: ("covid-19",),
+    }
+    return [
+        DataObject(oid, kws, b"content-%d" % oid)
+        for oid, kws in table.items()
+    ]

@@ -1,0 +1,59 @@
+"""Property-based tests for the Chameleon tree.
+
+Model: a sorted list of inserted IDs.  For any insertion sequence, every
+membership proof must verify, boundary lookups must match the model, and
+position adjacency must mirror rank adjacency.
+"""
+
+import bisect
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.chameleon import ChameleonTreeDO, ChameleonTreeSP, verify_membership
+from repro.crypto import vc
+from repro.crypto.hashing import sha3
+from repro.crypto.prf import generate_key
+
+_PP, _TD = vc.shared_test_params(3)
+_CVC = vc.ChameleonVectorCommitment(3, _pp=_PP, _td=_TD)
+_KEY = generate_key(seed=77)
+
+id_lists = st.lists(
+    st.integers(1, 10_000), min_size=1, max_size=18, unique=True
+).map(sorted)
+
+
+def build(ids, keyword="prop"):
+    do = ChameleonTreeDO(_CVC, _KEY, keyword, arity=2)
+    sp = ChameleonTreeSP(do.root_commitment, arity=2)
+    for object_id in ids:
+        sp.apply_insertion(do.insert(object_id, sha3(b"%d" % object_id)))
+    return do, sp
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ids=id_lists)
+def test_all_memberships_verify(ids):
+    do, sp = build(ids)
+    for pos in range(1, len(ids) + 1):
+        entry = sp.entry_at(pos)
+        proof = sp.prove_membership(pos)
+        verify_membership(
+            _PP, do.root_commitment, sp.count, 2,
+            entry.key, entry.value_hash, proof,
+        )
+        assert proof.position == pos
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ids=id_lists, target=st.integers(0, 10_001))
+def test_boundaries_match_sorted_model(ids, target):
+    _, sp = build(ids)
+    search = sp.boundaries(target)
+    idx = bisect.bisect_right(ids, target)
+    expected_lower = ids[idx - 1] if idx > 0 else None
+    expected_upper = ids[idx] if idx < len(ids) else None
+    assert (search.lower.key if search.lower else None) == expected_lower
+    assert (search.upper.key if search.upper else None) == expected_upper
+    if search.lower_proof is not None and search.upper_proof is not None:
+        assert search.upper_proof.position == search.lower_proof.position + 1

@@ -1,0 +1,111 @@
+"""Unit tests for signed digest checkpoints."""
+
+import pytest
+
+from repro.core.checkpoints import Checkpoint, CheckpointIssuer, CheckpointVerifier
+from repro.crypto.hashing import sha3
+from repro.crypto.signatures import generate_keypair
+from repro.errors import VerificationError
+
+
+@pytest.fixture(scope="module")
+def issuer():
+    return CheckpointIssuer(generate_keypair(bits=512, seed=33))
+
+
+@pytest.fixture()
+def verifier(issuer):
+    return CheckpointVerifier(issuer.public_key)
+
+
+def digests(**kwargs):
+    return {k: sha3(v.encode()) for k, v in kwargs.items()}
+
+
+class TestIssueAccept:
+    def test_roundtrip(self, issuer, verifier):
+        cp = issuer.issue(10, digests(covid="root1", vaccine="root2"))
+        verifier.accept(cp)
+        assert verifier.latest is cp
+        assert verifier.digest_for("covid") == sha3(b"root1")
+
+    def test_bad_signature_rejected(self, issuer, verifier):
+        cp = issuer.issue(10, digests(covid="root1"))
+        forged = Checkpoint(
+            height=cp.height, digests=cp.digests, signature=cp.signature + 1
+        )
+        with pytest.raises(VerificationError):
+            verifier.accept(forged)
+
+    def test_tampered_digest_rejected(self, issuer, verifier):
+        cp = issuer.issue(10, digests(covid="root1"))
+        forged = Checkpoint(
+            height=cp.height,
+            digests={"covid": sha3(b"evil")},
+            signature=cp.signature,
+        )
+        with pytest.raises(VerificationError):
+            verifier.accept(forged)
+
+    def test_tampered_height_rejected(self, issuer, verifier):
+        cp = issuer.issue(10, digests(covid="root1"))
+        forged = Checkpoint(
+            height=11, digests=cp.digests, signature=cp.signature
+        )
+        with pytest.raises(VerificationError):
+            verifier.accept(forged)
+
+    def test_rollback_rejected(self, issuer, verifier):
+        verifier.accept(issuer.issue(20, digests(a="x")))
+        old = issuer.issue(10, digests(a="y"))
+        with pytest.raises(VerificationError):
+            verifier.accept(old)
+
+    def test_wrong_issuer_rejected(self, verifier):
+        other = CheckpointIssuer(generate_keypair(bits=512, seed=34))
+        with pytest.raises(VerificationError):
+            verifier.accept(other.issue(5, digests(a="x")))
+
+
+class TestQueries:
+    def test_digest_for_unknown_keyword(self, issuer, verifier):
+        verifier.accept(issuer.issue(5, digests(a="x")))
+        with pytest.raises(VerificationError):
+            verifier.digest_for("unknown")
+
+    def test_no_checkpoint_yet(self, issuer):
+        fresh = CheckpointVerifier(issuer.public_key)
+        with pytest.raises(VerificationError):
+            fresh.digest_for("a")
+
+    def test_byte_size(self, issuer):
+        cp = issuer.issue(5, digests(a="x", b="y"))
+        assert cp.byte_size() > 64
+
+
+class TestOfflineVerificationFlow:
+    def test_checkpointed_merkle_verification(self, issuer):
+        """Verify a query answer offline against a signed checkpoint."""
+        from repro import DataObject, HybridStorageSystem, KeywordQuery
+        from repro.core.merkle_family import MerkleProofSystem
+        from repro.core.query.verify import verify_query
+
+        system = HybridStorageSystem(scheme="smi", seed=4)
+        for oid, kws in ((1, ("a", "b")), (2, ("a",)), (3, ("b",))):
+            system.add_object(DataObject(oid, kws, b"c%d" % oid))
+        snapshot = {
+            kw: system.chain.call_view("ads", "view_root", kw)
+            for kw in ("a", "b")
+        }
+        checkpoint = issuer.issue(system.chain.height, snapshot)
+
+        # The offline client verifies with checkpoint digests only.
+        offline = CheckpointVerifier(issuer.public_key)
+        offline.accept(checkpoint)
+        query = KeywordQuery.parse("a AND b")
+        answer = system.process_query(query)
+        ps = MerkleProofSystem(
+            roots={kw: offline.digest_for(kw) for kw in ("a", "b")}
+        )
+        verified = verify_query(query, answer, ps)
+        assert verified.ids == {1}

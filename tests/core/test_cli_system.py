@@ -1,0 +1,90 @@
+"""Tests for the ``repro`` operational CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    directory = str(tmp_path / "registry")
+    assert main(["init", directory, "--scheme", "smi", "--seed", "3"]) == 0
+    return directory
+
+
+class TestInit:
+    def test_creates_manifest(self, registry, tmp_path):
+        manifest = json.loads(
+            (tmp_path / "registry" / "manifest.json").read_text()
+        )
+        assert manifest["scheme"] == "smi"
+        assert manifest["seed"] == 3
+
+
+class TestAddAndQuery:
+    def test_single_add_and_query(self, registry, capsys):
+        assert (
+            main(
+                [
+                    "add",
+                    registry,
+                    "--id",
+                    "1",
+                    "--keywords",
+                    "covid-19,vaccine",
+                    "--content",
+                    "trial report",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["query", registry, "covid-19 AND vaccine"]) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        assert "results:  [1]" in out
+
+    def test_bulk_add_from_jsonl(self, registry, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        corpus.write_text(
+            "\n".join(
+                json.dumps(
+                    {"id": i, "keywords": ["a", "b"], "content": f"doc{i}"}
+                )
+                for i in (1, 2, 3)
+            )
+        )
+        assert main(["add", registry, "--from-jsonl", str(corpus)]) == 0
+        capsys.readouterr()
+        assert main(["query", registry, "a AND b", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result_ids"] == [1, 2, 3]
+        assert payload["verified"]
+
+    def test_add_requires_arguments(self, registry, capsys):
+        assert main(["add", registry]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_info(self, registry, capsys):
+        main(
+            [
+                "add",
+                registry,
+                "--id",
+                "1",
+                "--keywords",
+                "x",
+                "--content",
+                "c",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["info", registry]) == 0
+        out = capsys.readouterr().out
+        assert "objects:       1" in out
+        assert "chain linked:  True" in out
+
+    def test_query_missing_directory(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "nope"), "a"]) == 1

@@ -1,0 +1,98 @@
+"""The analytical cost model vs the simulator (Table II validation)."""
+
+import pytest
+
+from repro.bench.runner import measure_maintenance
+from repro.core.cost_model import (
+    ci_insert_cost,
+    ci_star_insert_cost,
+    mi_insert_cost,
+    predict_insert_cost,
+    predicted_ordering,
+    smi_insert_cost,
+)
+from repro.ethereum.gas import GAS_SLOAD, GAS_SSTORE, GAS_SUPDATE
+
+
+class TestFormulas:
+    def test_mi_grows_logarithmically(self):
+        assert mi_insert_cost(1000) > mi_insert_cost(100) > mi_insert_cost(10)
+        # Quadrupling n adds one more F=4 level's worth of cost.
+        delta = mi_insert_cost(4**5) - mi_insert_cost(4**4)
+        per_level = mi_insert_cost(4**4) - mi_insert_cost(4**3)
+        assert delta == pytest.approx(per_level, rel=1e-6)
+
+    def test_smi_storage_component_constant(self):
+        """SMI's expensive operations do not grow with n (Table II)."""
+        storage_part = 2 * GAS_SLOAD + GAS_SUPDATE
+        for n in (10, 1000, 100_000):
+            growth = smi_insert_cost(n) - storage_part
+            assert growth > 0
+        # The storage component is identical at every size by definition.
+        assert smi_insert_cost(10) < smi_insert_cost(100_000)
+
+    def test_ci_constant(self):
+        assert ci_insert_cost(10) == ci_insert_cost(10**6) == GAS_SUPDATE
+
+    def test_ci_star_constant_and_b_sensitivity(self):
+        assert ci_star_insert_cost(10) == ci_star_insert_cost(10**6)
+        assert ci_star_insert_cost(bloom_capacity=20) > ci_star_insert_cost(
+            bloom_capacity=50
+        )
+        # The amortised filter word: C_sstore / b.
+        diff = ci_star_insert_cost(bloom_capacity=10) - (
+            2 * GAS_SUPDATE + GAS_SLOAD
+        )
+        assert diff == pytest.approx(GAS_SSTORE / 10)
+
+    def test_scheme_ordering_matches_paper(self):
+        # At any realistic size: CI < CI* < SMI < MI per keyword.
+        for n in (100, 10_000, 1_000_000):
+            assert (
+                ci_insert_cost(n)
+                < ci_star_insert_cost(n)
+                < smi_insert_cost(n)
+                < mi_insert_cost(n)
+            )
+
+    def test_predicted_ordering(self):
+        assert predicted_ordering(1000, 6.0) == ["ci", "ci*", "smi", "mi"]
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            predict_insert_cost("nope", 10, 2.0)
+
+
+class TestModelAgainstSimulator:
+    """The model must predict the simulator within a small factor.
+
+    The model is a *worst-case* bound with simplified constants, so we
+    require (a) the predicted cost ordering to match the measured one
+    and (b) every prediction to fall within 3x of the measurement.
+    """
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        size = 300
+        return {
+            scheme: measure_maintenance(scheme, "twitter", size)
+            for scheme in ("mi", "smi", "ci", "ci*")
+        }
+
+    def test_within_factor_three(self, measured):
+        # Typical per-keyword tree population for the Twitter workload:
+        # keyword instances / vocabulary at the measured size.
+        tree_size = 40
+        keywords = 6.0
+        for scheme, row in measured.items():
+            predicted = predict_insert_cost(
+                scheme, tree_size, keywords
+            ).per_object_gas
+            ratio = predicted / row.avg_gas
+            assert 1 / 3 <= ratio <= 3, (scheme, predicted, row.avg_gas)
+
+    def test_ordering_matches(self, measured):
+        measured_order = [
+            s for s, _ in sorted(measured.items(), key=lambda kv: kv[1].avg_gas)
+        ]
+        assert measured_order == predicted_ordering(40, 6.0)

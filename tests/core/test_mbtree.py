@@ -1,0 +1,229 @@
+"""Unit tests for the Merkle B-tree."""
+
+import pytest
+
+from repro.core import mbtree
+from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.errors import IntegrityError, ReproError
+
+
+def value_of(key: int) -> bytes:
+    return sha3(b"value-%d" % key)
+
+
+def build(keys, fanout=4):
+    tree = mbtree.MBTree(fanout=fanout)
+    for k in keys:
+        tree.insert(k, value_of(k))
+    return tree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = mbtree.MBTree()
+        assert len(tree) == 0
+        assert tree.root_hash == EMPTY_DIGEST
+        assert tree.height == 0
+        assert tree.first_entry() is None
+        assert tree.last_entry() is None
+
+    def test_fanout_validation(self):
+        with pytest.raises(ReproError):
+            mbtree.MBTree(fanout=2)
+
+    def test_duplicate_key_rejected(self):
+        tree = build([1, 2, 3])
+        with pytest.raises(ReproError):
+            tree.insert(2, value_of(2))
+
+    def test_iteration_sorted(self):
+        tree = build([5, 1, 9, 3, 7])
+        assert [e.key for e in tree.iter_entries()] == [1, 3, 5, 7, 9]
+
+    def test_height_grows_logarithmically(self):
+        tree = build(range(100), fanout=4)
+        assert 3 <= tree.height <= 5
+
+    def test_max_key_tracked(self):
+        tree = build([1, 5, 3])
+        assert tree.max_key == 5
+
+
+class TestProofs:
+    def test_membership_proofs(self):
+        tree = build(range(1, 50))
+        for key in (1, 17, 33, 49):
+            entry, path = tree.prove(key)
+            assert entry.key == key
+            assert path.compute_root(entry) == tree.root_hash
+
+    def test_missing_key(self):
+        tree = build([1, 2, 3])
+        with pytest.raises(ReproError):
+            tree.prove(99)
+
+    def test_first_last_flags(self):
+        tree = build(range(1, 30))
+        _, first = tree.first_entry()
+        _, last = tree.last_entry()
+        assert first.is_leftmost() and not first.is_rightmost()
+        assert last.is_rightmost() and not last.is_leftmost()
+
+    def test_path_byte_size_positive(self):
+        tree = build(range(1, 30))
+        _, path = tree.prove(10)
+        assert path.byte_size() > 0
+
+
+class TestBoundaries:
+    def test_exact_match(self):
+        tree = build([2, 4, 6, 8])
+        result = tree.boundaries(4)
+        assert result.matched
+        assert result.lower.key == 4
+        assert result.upper.key == 6
+
+    def test_between_keys(self):
+        tree = build([2, 4, 6, 8])
+        result = tree.boundaries(5)
+        assert not result.matched
+        assert result.lower.key == 4
+        assert result.upper.key == 6
+
+    def test_before_first(self):
+        tree = build([2, 4])
+        result = tree.boundaries(1)
+        assert result.lower is None
+        assert result.upper.key == 2
+        assert result.upper_path.is_leftmost()
+
+    def test_after_last(self):
+        tree = build([2, 4])
+        result = tree.boundaries(9)
+        assert result.upper is None
+        assert result.lower.key == 4
+        assert result.lower_path.is_rightmost()
+
+    def test_boundary_proofs_verify(self):
+        tree = build(range(0, 100, 3))
+        result = tree.boundaries(50)
+        assert result.lower_path.compute_root(result.lower) == tree.root_hash
+        assert result.upper_path.compute_root(result.upper) == tree.root_hash
+
+
+class TestAdjacency:
+    def test_consecutive_entries_adjacent(self):
+        tree = build(range(1, 60))
+        for key in range(1, 59):
+            _, p1 = tree.prove(key)
+            _, p2 = tree.prove(key + 1)
+            assert mbtree.paths_adjacent(p1, p2)
+
+    def test_non_consecutive_not_adjacent(self):
+        tree = build(range(1, 60))
+        _, p1 = tree.prove(10)
+        _, p3 = tree.prove(12)
+        assert not mbtree.paths_adjacent(p1, p3)
+
+    def test_reversed_order_not_adjacent(self):
+        tree = build(range(1, 60))
+        _, p1 = tree.prove(10)
+        _, p2 = tree.prove(11)
+        assert not mbtree.paths_adjacent(p2, p1)
+
+    def test_same_entry_not_adjacent(self):
+        tree = build(range(1, 10))
+        _, p = tree.prove(5)
+        assert not mbtree.paths_adjacent(p, p)
+
+
+class TestUpdateSpine:
+    def test_spine_matches_real_insertions(self):
+        tree = mbtree.MBTree(fanout=4)
+        for key in range(1, 150):
+            spine = tree.gen_update_proof(key)
+            assert mbtree.reconstruct_root(spine) == tree.root_hash
+            new_entry = mbtree.entry_digest(key, value_of(key))
+            predicted = mbtree.compute_updated_root(spine, new_entry, 4)
+            tree.insert(key, value_of(key))
+            assert predicted == tree.root_hash
+
+    def test_spine_rejects_non_monotonic(self):
+        tree = build([5])
+        with pytest.raises(ReproError):
+            tree.gen_update_proof(3)
+
+    def test_serialise_roundtrip(self):
+        tree = build(range(1, 40))
+        spine = tree.gen_update_proof(100)
+        rebuilt = mbtree.UpdateSpine.deserialise(spine.serialise())
+        assert rebuilt == spine
+
+    def test_deserialise_rejects_truncation(self):
+        tree = build(range(1, 40))
+        raw = tree.gen_update_proof(100).serialise()
+        with pytest.raises(IntegrityError):
+            mbtree.UpdateSpine.deserialise(raw[:-1])
+
+    def test_deserialise_rejects_trailing_bytes(self):
+        tree = build(range(1, 40))
+        raw = tree.gen_update_proof(100).serialise()
+        with pytest.raises(IntegrityError):
+            mbtree.UpdateSpine.deserialise(raw + b"x")
+
+    def test_empty_tree_spine(self):
+        tree = mbtree.MBTree()
+        spine = tree.gen_update_proof(1)
+        assert mbtree.reconstruct_root(spine) == EMPTY_DIGEST
+        new_entry = mbtree.entry_digest(1, value_of(1))
+        predicted = mbtree.compute_updated_root(spine, new_entry, 4)
+        tree.insert(1, value_of(1))
+        assert predicted == tree.root_hash
+
+    def test_byte_size_grows_with_depth(self):
+        small = build(range(1, 5)).gen_update_proof(100)
+        large = build(range(1, 200)).gen_update_proof(500)
+        assert large.byte_size() > small.byte_size()
+
+
+class RecordingObserver:
+    """Counts structural events for cost-model assertions."""
+
+    def __init__(self):
+        self.visited = 0
+        self.inserted = 0
+        self.rehashed = 0
+        self.splits = 0
+        self.roots = 0
+
+    def node_visited(self, node):
+        self.visited += 1
+
+    def entry_inserted(self, leaf):
+        self.inserted += 1
+
+    def node_rehashed(self, node):
+        self.rehashed += 1
+
+    def node_split(self, original, sibling):
+        self.splits += 1
+
+    def root_replaced(self, root):
+        self.roots += 1
+
+
+class TestObserver:
+    def test_events_fire(self):
+        tree = mbtree.MBTree(fanout=4)
+        observer = RecordingObserver()
+        for key in range(1, 30):
+            tree.insert(key, value_of(key), observer=observer)
+        assert observer.inserted == 28  # first insert creates the root leaf
+        assert observer.visited > 0
+        assert observer.splits > 0
+        assert observer.roots >= 2  # initial leaf + at least one root split
+
+    def test_observer_optional(self):
+        tree = mbtree.MBTree()
+        tree.insert(1, value_of(1))
+        assert len(tree) == 1

@@ -1,0 +1,95 @@
+"""Property-based tests for the Merkle B-tree.
+
+Model-based checking against a sorted list: for any key set and fan-out,
+the tree must iterate in sorted order, prove every member, compute
+boundaries that match the model, and keep append-mode spine updates in
+lockstep with real insertions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import mbtree
+from repro.crypto.hashing import sha3
+
+key_sets = st.sets(st.integers(0, 10_000), min_size=1, max_size=120)
+fanouts = st.integers(3, 8)
+
+
+def value_of(key: int) -> bytes:
+    return sha3(b"v%d" % key)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=key_sets, fanout=fanouts)
+def test_sorted_iteration_and_proofs(keys, fanout):
+    tree = mbtree.MBTree(fanout=fanout)
+    for key in keys:
+        tree.insert(key, value_of(key))
+    ordered = sorted(keys)
+    assert [e.key for e in tree.iter_entries()] == ordered
+    # Every member proves against the root.
+    for key in ordered[:: max(1, len(ordered) // 7)]:
+        entry, path = tree.prove(key)
+        assert path.compute_root(entry) == tree.root_hash
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=key_sets,
+    fanout=fanouts,
+    target=st.integers(-5, 10_005),
+)
+def test_boundaries_match_sorted_model(keys, fanout, target):
+    tree = mbtree.MBTree(fanout=fanout)
+    for key in keys:
+        tree.insert(key, value_of(key))
+    ordered = sorted(keys)
+    expected_lower = max((k for k in ordered if k <= target), default=None)
+    expected_upper = min((k for k in ordered if k > target), default=None)
+    result = tree.boundaries(target)
+    assert (result.lower.key if result.lower else None) == expected_lower
+    assert (result.upper.key if result.upper else None) == expected_upper
+    if result.lower is not None:
+        assert result.lower_path.compute_root(result.lower) == tree.root_hash
+    if result.upper is not None:
+        assert result.upper_path.compute_root(result.upper) == tree.root_hash
+    if result.lower is not None and result.upper is not None:
+        assert mbtree.paths_adjacent(result.lower_path, result.upper_path)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_keys=st.integers(1, 80),
+    fanout=fanouts,
+    gap_seed=st.integers(0, 2**31),
+)
+def test_append_spine_equivalence(num_keys, fanout, gap_seed):
+    """Algorithm 2's root prediction always equals the real insertion."""
+    import random
+
+    rng = random.Random(gap_seed)
+    tree = mbtree.MBTree(fanout=fanout)
+    key = 0
+    for _ in range(num_keys):
+        key += rng.randint(1, 5)
+        spine = tree.gen_update_proof(key)
+        assert mbtree.reconstruct_root(spine) == tree.root_hash
+        new_entry = mbtree.entry_digest(key, value_of(key))
+        predicted = mbtree.compute_updated_root(spine, new_entry, fanout)
+        tree.insert(key, value_of(key))
+        assert predicted == tree.root_hash
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.sets(st.integers(0, 2_000), min_size=2, max_size=60))
+def test_adjacency_exactly_consecutive(keys):
+    tree = mbtree.MBTree(fanout=4)
+    for key in keys:
+        tree.insert(key, value_of(key))
+    ordered = sorted(keys)
+    proofs = {k: tree.prove(k)[1] for k in ordered}
+    for a, b in zip(ordered, ordered[1:]):
+        assert mbtree.paths_adjacent(proofs[a], proofs[b])
+    # A non-consecutive pair must never verify as adjacent.
+    if len(ordered) >= 3:
+        assert not mbtree.paths_adjacent(proofs[ordered[0]], proofs[ordered[2]])

@@ -1,0 +1,80 @@
+"""Tests for replay-based persistence."""
+
+import json
+
+import pytest
+
+from repro import DataObject, HybridStorageSystem
+from repro.core.persistence import load_system, save_system
+from repro.errors import ReproError
+
+
+def make_docs():
+    return [
+        DataObject(1, ("a", "b"), b"one"),
+        DataObject(2, ("a",), b"two"),
+        DataObject(3, ("b", "c"), b"three"),
+        DataObject(5, ("a", "c"), b"five"),
+    ]
+
+
+@pytest.mark.parametrize("scheme", ["smi", "ci", "ci*"])
+class TestSaveLoadRoundTrip:
+    def test_state_equivalence(self, scheme, tmp_path):
+        original = HybridStorageSystem(
+            scheme=scheme, cvc_modulus_bits=512, seed=11
+        )
+        original.add_objects(make_docs())
+        save_system(original, tmp_path / "snap", seed=11)
+        restored = load_system(tmp_path / "snap")
+        assert len(restored) == len(original)
+        # Same on-chain digests, gas accounting and query behaviour.
+        assert (
+            restored.maintenance_meter().total
+            == original.maintenance_meter().total
+        )
+        for text in ("a AND b", "c", "a AND missing"):
+            assert (
+                restored.query(text).result_ids
+                == original.query(text).result_ids
+            )
+
+    def test_restored_system_accepts_new_objects(self, scheme, tmp_path):
+        original = HybridStorageSystem(
+            scheme=scheme, cvc_modulus_bits=512, seed=11
+        )
+        original.add_objects(make_docs())
+        save_system(original, tmp_path / "snap", seed=11)
+        restored = load_system(tmp_path / "snap")
+        restored.add_object(DataObject(9, ("a", "b"), b"nine"))
+        assert restored.query("a AND b").result_ids == [1, 9]
+
+
+class TestManifestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_system(tmp_path / "nowhere")
+
+    def test_version_mismatch(self, tmp_path):
+        system = HybridStorageSystem(scheme="smi", seed=1)
+        path = save_system(system, tmp_path / "snap", seed=1)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ReproError):
+            load_system(path)
+
+    def test_truncated_log_detected(self, tmp_path):
+        system = HybridStorageSystem(scheme="smi", seed=1)
+        system.add_objects(make_docs())
+        path = save_system(system, tmp_path / "snap", seed=1)
+        lines = (path / "objects.jsonl").read_text().splitlines()
+        (path / "objects.jsonl").write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ReproError):
+            load_system(path)
+
+    def test_empty_system_roundtrip(self, tmp_path):
+        system = HybridStorageSystem(scheme="smi", seed=1)
+        path = save_system(system, tmp_path / "snap", seed=1)
+        restored = load_system(path)
+        assert len(restored) == 0

@@ -1,0 +1,23 @@
+"""Property-based tests for authenticated range queries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mbtree import MBTree
+from repro.core.range_queries import range_query, verify_range
+from repro.crypto.hashing import sha3
+
+key_sets = st.sets(st.integers(0, 500), min_size=0, max_size=60)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=key_sets, lo=st.integers(-10, 510), span=st.integers(0, 200))
+def test_range_query_matches_model_and_verifies(keys, lo, span):
+    hi = lo + span
+    tree = MBTree(fanout=4)
+    for key in sorted(keys):
+        tree.insert(key, sha3(b"%d" % key))
+    entries, vo = range_query(tree, lo, hi)
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert [e.key for e in entries] == expected
+    verified = verify_range(tree.root_hash, vo)
+    assert [e.key for e in verified] == expected

@@ -1,0 +1,201 @@
+"""Unit and attack tests for suppressed authenticated range queries."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.mbtree import MBTree
+from repro.core.objects import DataObject, ObjectMetadata
+from repro.core.range_queries import (
+    AuthenticatedRangeIndex,
+    RangeVO,
+    range_query,
+    verify_range,
+)
+from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.errors import QueryError, VerificationError
+
+
+def value_of(key: int) -> bytes:
+    return sha3(b"v%d" % key)
+
+
+@pytest.fixture()
+def tree():
+    t = MBTree(fanout=4)
+    for key in range(0, 100, 3):  # 0, 3, 6, ..., 99
+        t.insert(key, value_of(key))
+    return t
+
+
+class TestRangeQuery:
+    def test_inner_range(self, tree):
+        entries, vo = range_query(tree, 10, 20)
+        assert [e.key for e in entries] == [12, 15, 18]
+        assert vo.left_boundary.entry.key == 9
+        assert vo.right_boundary.entry.key == 21
+        assert verify_range(tree.root_hash, vo) == entries
+
+    def test_range_touching_edges(self, tree):
+        entries, vo = range_query(tree, 0, 99)
+        assert len(entries) == 34
+        assert vo.left_boundary is None
+        assert vo.right_boundary is None
+        verify_range(tree.root_hash, vo)
+
+    def test_empty_range_between_keys(self, tree):
+        entries, vo = range_query(tree, 13, 14)
+        assert entries == []
+        assert vo.left_boundary.entry.key == 12
+        assert vo.right_boundary.entry.key == 15
+        assert verify_range(tree.root_hash, vo) == []
+
+    def test_range_before_all(self, tree):
+        entries, vo = range_query(tree, -10, -1)
+        assert entries == []
+        assert vo.left_boundary is None
+        assert vo.right_boundary.entry.key == 0
+        verify_range(tree.root_hash, vo)
+
+    def test_range_after_all(self, tree):
+        entries, vo = range_query(tree, 500, 600)
+        assert entries == []
+        assert vo.right_boundary is None
+        assert vo.left_boundary.entry.key == 99
+        verify_range(tree.root_hash, vo)
+
+    def test_inverted_range_rejected(self, tree):
+        with pytest.raises(QueryError):
+            range_query(tree, 5, 4)
+
+    def test_empty_tree(self):
+        empty = MBTree(fanout=4)
+        entries, vo = range_query(empty, 1, 10)
+        assert entries == []
+        assert verify_range(EMPTY_DIGEST, vo) == []
+
+    def test_vo_byte_size(self, tree):
+        _, small = range_query(tree, 10, 12)
+        _, large = range_query(tree, 0, 60)
+        assert large.byte_size() > small.byte_size()
+
+
+class TestRangeAttacks:
+    def test_dropped_middle_result(self, tree):
+        _, vo = range_query(tree, 10, 30)
+        forged = dataclasses.replace(
+            vo, results=vo.results[:2] + vo.results[3:]
+        )
+        with pytest.raises(VerificationError):
+            verify_range(tree.root_hash, forged)
+
+    def test_dropped_first_result(self, tree):
+        _, vo = range_query(tree, 10, 30)
+        forged = dataclasses.replace(vo, results=vo.results[1:])
+        with pytest.raises(VerificationError):
+            verify_range(tree.root_hash, forged)
+
+    def test_dropped_last_result(self, tree):
+        _, vo = range_query(tree, 10, 30)
+        forged = dataclasses.replace(vo, results=vo.results[:-1])
+        with pytest.raises(VerificationError):
+            verify_range(tree.root_hash, forged)
+
+    def test_missing_boundary(self, tree):
+        _, vo = range_query(tree, 10, 30)
+        forged = dataclasses.replace(vo, left_boundary=None)
+        with pytest.raises(VerificationError):
+            verify_range(tree.root_hash, forged)
+
+    def test_false_empty_claim(self, tree):
+        # Claim [10, 30] is empty using the boundaries of a truly empty
+        # sub-range: adjacency must fail.
+        _, narrow = range_query(tree, 13, 14)
+        forged = RangeVO(
+            lo=10,
+            hi=30,
+            results=(),
+            left_boundary=narrow.left_boundary,
+            right_boundary=narrow.right_boundary,
+        )
+        # Boundaries 12/15 are adjacent but do not bracket [10, 30]:
+        # 12 >= 10 violates "left boundary below the range".
+        with pytest.raises(VerificationError):
+            verify_range(tree.root_hash, forged)
+
+    def test_tampered_value_hash(self, tree):
+        _, vo = range_query(tree, 10, 20)
+        entry = vo.results[0]
+        forged_entry = dataclasses.replace(
+            entry,
+            entry=dataclasses.replace(entry.entry, value_hash=sha3(b"evil")),
+        )
+        forged = dataclasses.replace(
+            vo, results=(forged_entry,) + vo.results[1:]
+        )
+        with pytest.raises(VerificationError):
+            verify_range(tree.root_hash, forged)
+
+    def test_stale_root(self, tree):
+        _, vo = range_query(tree, 10, 20)
+        tree.insert(1000, value_of(1000))
+        with pytest.raises(VerificationError):
+            verify_range(tree.root_hash, vo)
+
+
+class TestAuthenticatedRangeIndex:
+    def test_end_to_end(self):
+        index = AuthenticatedRangeIndex(fanout=4)
+        for oid in range(1, 31):
+            metadata = ObjectMetadata.of(
+                DataObject(oid, ("tag",), b"payload-%d" % oid)
+            )
+            receipts = index.insert(metadata)
+            assert all(r.status for r in receipts)
+        entries, vo = index.query(10, 20)
+        assert [e.key for e in entries] == list(range(10, 21))
+        verified = index.verify(vo)
+        assert [e.key for e in verified] == list(range(10, 21))
+
+    def test_contract_root_matches_sp(self):
+        index = AuthenticatedRangeIndex(fanout=4)
+        for oid in range(1, 12):
+            index.insert(
+                ObjectMetadata.of(DataObject(oid, ("t",), b"x%d" % oid))
+            )
+        from repro.core.range_queries import PRIMARY_INDEX_KEY
+
+        on_chain = index.chain.call_view(
+            "range-index", "view_root", PRIMARY_INDEX_KEY
+        )
+        assert on_chain == index.tree.root_hash
+
+
+class TestUnorderedRangeIndex:
+    def test_shuffled_stream_end_to_end(self):
+        import random
+
+        index = AuthenticatedRangeIndex(fanout=4, ordered=False)
+        ids = list(range(1, 31))
+        random.Random(13).shuffle(ids)
+        for oid in ids:
+            metadata = ObjectMetadata.of(
+                DataObject(oid, ("tag",), b"payload-%d" % oid)
+            )
+            receipts = index.insert(metadata)
+            assert all(r.status for r in receipts), [r.error for r in receipts]
+        entries, vo = index.query(10, 20)
+        assert [e.key for e in entries] == list(range(10, 21))
+        verified = index.verify(vo)
+        assert [e.key for e in verified] == list(range(10, 21))
+
+    def test_ordered_index_rejects_out_of_order(self):
+        from repro.errors import ReproError
+
+        index = AuthenticatedRangeIndex(fanout=4, ordered=True)
+        index.insert(ObjectMetadata.of(DataObject(10, ("t",), b"a")))
+        # The right-most-spine UpdVO cannot describe an out-of-order
+        # insertion; the SP-side generator refuses before any tx is sent.
+        with pytest.raises(ReproError):
+            index.insert(ObjectMetadata.of(DataObject(5, ("t",), b"b")))
+        assert len(index.tree) == 1

@@ -1,0 +1,241 @@
+"""Tests for the generalised (non-monotonic-key) suppressed updates."""
+
+import random
+
+import dataclasses
+import pytest
+
+from repro.core.mbtree import MBTree
+from repro.core.objects import DataObject, ObjectMetadata
+from repro.core.suppressed_general import (
+    GeneralSuppressedContract,
+    GeneralUpdateProof,
+    generate_general_update,
+    verify_and_update_root,
+)
+from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.errors import IntegrityError, ReproError
+from repro.ethereum.chain import Blockchain
+
+
+def value_of(key: int) -> bytes:
+    return sha3(b"v%d" % key)
+
+
+class TestRootEquivalence:
+    @pytest.mark.parametrize("fanout", [3, 4, 6])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_insertion_orders(self, fanout, seed):
+        """Predicted root == actual root for arbitrary key orders."""
+        rng = random.Random(seed)
+        keys = rng.sample(range(10_000), 120)
+        tree = MBTree(fanout=fanout)
+        root = EMPTY_DIGEST
+        for key in keys:
+            proof = generate_general_update(tree, key)
+            predicted = verify_and_update_root(
+                proof, key, value_of(key), root, fanout
+            )
+            tree.insert(key, value_of(key))
+            assert predicted == tree.root_hash, key
+            root = predicted
+
+    def test_monotonic_orders_still_work(self):
+        tree = MBTree(fanout=4)
+        root = EMPTY_DIGEST
+        for key in range(60):
+            proof = generate_general_update(tree, key)
+            root = verify_and_update_root(proof, key, value_of(key), root, 4)
+            tree.insert(key, value_of(key))
+            assert root == tree.root_hash
+
+    def test_descending_orders(self):
+        tree = MBTree(fanout=4)
+        root = EMPTY_DIGEST
+        for key in range(60, 0, -1):
+            proof = generate_general_update(tree, key)
+            root = verify_and_update_root(proof, key, value_of(key), root, 4)
+            tree.insert(key, value_of(key))
+            assert root == tree.root_hash
+
+    def test_duplicate_rejected_sp_side(self):
+        tree = MBTree(fanout=4)
+        tree.insert(5, value_of(5))
+        with pytest.raises(ReproError):
+            generate_general_update(tree, 5)
+
+
+def build_tree(keys, fanout=4):
+    tree = MBTree(fanout=fanout)
+    for key in keys:
+        tree.insert(key, value_of(key))
+    return tree
+
+
+class TestOrderingEnforcement:
+    def test_wrong_leaf_rejected(self):
+        """Routing an insertion into the wrong leaf must fail on-chain."""
+        tree = build_tree(range(0, 100, 5))  # several leaves
+        # Build a proof for key 7 (belongs near the start), then try to
+        # use it for key 93 (belongs near the end).
+        proof = generate_general_update(tree, 7)
+        with pytest.raises(IntegrityError):
+            verify_and_update_root(
+                proof, 93, value_of(93), tree.root_hash, 4
+            )
+
+    def test_tampered_leaf_entry_rejected(self):
+        tree = build_tree(range(0, 40, 3))
+        proof = generate_general_update(tree, 10)
+        forged = dataclasses.replace(
+            proof,
+            leaf_entries=proof.leaf_entries[:-1],
+        )
+        with pytest.raises(IntegrityError):
+            verify_and_update_root(forged, 10, value_of(10), tree.root_hash, 4)
+
+    def _leaf_front_proof(self, tree):
+        """Craft a proof placing a key at the FRONT of a middle leaf — a
+        valid alternative to the standard descent's end-of-previous-leaf
+        placement, reachable only with neighbour evidence.  Scans for a
+        between-leaves gap whose successor is a leaf's first entry.
+        """
+        from repro.core.suppressed_general import NeighbourProof
+
+        for between_key in range(1, 99):
+            search = tree.boundaries(between_key)
+            if search.lower is None or search.upper is None:
+                continue
+            if search.lower.key == between_key:
+                continue
+            probe = generate_general_update(tree, search.upper.key + 1)
+            if probe.leaf_entries[0].key != search.upper.key:
+                continue
+            return (
+                dataclasses.replace(
+                    probe,
+                    insert_index=0,
+                    predecessor=NeighbourProof(
+                        entry=search.lower, path=search.lower_path
+                    ),
+                    successor=None,
+                ),
+                between_key,
+                search,
+            )
+        pytest.skip("tree shape exposes no leaf-front slot")
+
+    def test_leaf_front_placement_with_predecessor_accepted(self):
+        tree = build_tree(range(0, 100, 5))
+        proof, key, _ = self._leaf_front_proof(tree)
+        new_root = verify_and_update_root(
+            proof, key, value_of(key), tree.root_hash, 4
+        )
+        assert new_root != tree.root_hash
+
+    def test_missing_predecessor_rejected(self):
+        """Edge insertion into a middle leaf needs neighbour evidence."""
+        tree = build_tree(range(0, 100, 5))
+        proof, key, _ = self._leaf_front_proof(tree)
+        forged = dataclasses.replace(proof, predecessor=None)
+        with pytest.raises(IntegrityError):
+            verify_and_update_root(
+                forged, key, value_of(key), tree.root_hash, 4
+            )
+
+    def test_non_adjacent_predecessor_rejected(self):
+        from repro.core.suppressed_general import NeighbourProof
+
+        tree = build_tree(range(0, 100, 5))
+        proof, key, search = self._leaf_front_proof(tree)
+        # Swap in an earlier (verified but non-adjacent) predecessor.
+        earlier = [k for k in range(0, 100, 5) if k < search.lower.key]
+        if not earlier:
+            pytest.skip("no earlier entry available")
+        entry, path = tree.prove(earlier[0])
+        forged = dataclasses.replace(
+            proof, predecessor=NeighbourProof(entry=entry, path=path)
+        )
+        with pytest.raises(IntegrityError):
+            verify_and_update_root(
+                forged, key, value_of(key), tree.root_hash, 4
+            )
+
+    def test_stale_root_rejected(self):
+        tree = build_tree(range(10))
+        proof = generate_general_update(tree, 100)
+        tree.insert(50, value_of(50))
+        with pytest.raises(IntegrityError):
+            verify_and_update_root(proof, 100, value_of(100), tree.root_hash, 4)
+
+    def test_empty_proof_against_nonempty_root(self):
+        tree = build_tree(range(5))
+        empty = GeneralUpdateProof(levels=(), leaf_entries=(), insert_index=0)
+        with pytest.raises(IntegrityError):
+            verify_and_update_root(empty, 9, value_of(9), tree.root_hash, 4)
+
+
+class TestGeneralSuppressedContract:
+    def test_end_to_end_random_keys(self):
+        chain = Blockchain()
+        contract = GeneralSuppressedContract(fanout=4)
+        chain.deploy("gsmi", contract)
+        tree = MBTree(fanout=4)
+        rng = random.Random(9)
+        keys = rng.sample(range(1000), 50)
+        for object_id, key in enumerate(keys, start=1):
+            metadata = ObjectMetadata.of(
+                DataObject(object_id, ("kw",), b"c%d" % object_id)
+            )
+            chain.send_transaction(
+                "do", "gsmi", "register_object",
+                metadata.object_id, metadata.object_hash,
+                payload=metadata.payload_bytes(),
+            )
+            proof = generate_general_update(tree, key)
+            receipt = chain.send_transaction(
+                "sp", "gsmi", "insert",
+                "idx", key, metadata.object_id, metadata.object_hash, proof,
+                payload=b"\x00" * proof.byte_size(),
+            )
+            assert receipt.status, receipt.error
+            tree.insert(key, metadata.object_hash)
+            assert chain.call_view("gsmi", "view_root", "idx") == tree.root_hash
+
+    def test_bad_registration_rejected(self):
+        chain = Blockchain()
+        chain.deploy("gsmi", GeneralSuppressedContract(fanout=4))
+        tree = MBTree(fanout=4)
+        proof = generate_general_update(tree, 1)
+        receipt = chain.send_transaction(
+            "sp", "gsmi", "insert", "idx", 1, 99, sha3(b"unregistered"), proof,
+            payload=b"",
+        )
+        assert not receipt.status
+        assert "IntegrityError" in receipt.error
+
+    def test_storage_writes_constant(self):
+        """Only the root word is written per insertion (suppressed)."""
+        chain = Blockchain()
+        chain.deploy("gsmi", GeneralSuppressedContract(fanout=4))
+        tree = MBTree(fanout=4)
+        writes = []
+        for object_id, key in enumerate((5, 2, 9, 1, 7, 3), start=1):
+            metadata = ObjectMetadata.of(
+                DataObject(object_id, ("kw",), b"c%d" % object_id)
+            )
+            chain.send_transaction(
+                "do", "gsmi", "register_object",
+                metadata.object_id, metadata.object_hash,
+                payload=metadata.payload_bytes(),
+            )
+            proof = generate_general_update(tree, key)
+            receipt = chain.send_transaction(
+                "sp", "gsmi", "insert",
+                "idx", key, metadata.object_id, metadata.object_hash, proof,
+                payload=b"",
+            )
+            assert receipt.status
+            tree.insert(key, metadata.object_hash)
+            writes.append(receipt.gas.write_gas)
+        assert set(writes[1:]) == {5_000}  # one supdate of the root word

@@ -1,0 +1,132 @@
+"""Unit tests for Bloom filters and the per-tree filter chains."""
+
+import pytest
+
+from repro.crypto import bloom
+
+
+class TestOptimalHashCount:
+    def test_clamped_to_range(self):
+        assert 1 <= bloom.optimal_hash_count(256, 1000) <= 8
+        assert 1 <= bloom.optimal_hash_count(256, 1) <= 8
+
+    def test_default_parameters(self):
+        # m=256, n=30 -> k ~ 5.9 -> 6
+        assert bloom.optimal_hash_count(256, 30) == 6
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bloom.optimal_hash_count(256, 0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        flt = bloom.BloomFilter()
+        ids = list(range(100, 130))
+        for i in ids:
+            flt.add(i)
+        assert all(flt.might_contain(i) for i in ids)
+
+    def test_capacity_enforced(self):
+        flt = bloom.BloomFilter(capacity=2)
+        flt.add(1)
+        flt.add(2)
+        assert flt.is_full
+        with pytest.raises(ValueError):
+            flt.add(3)
+
+    def test_range_tracking(self):
+        flt = bloom.BloomFilter()
+        for i in (5, 3, 9):
+            flt.add(i)
+        assert flt.min_id == 3
+        assert flt.max_id == 9
+        assert flt.covers(4)
+        assert not flt.covers(10)
+
+    def test_word_encoding(self):
+        flt = bloom.BloomFilter()
+        flt.add(42)
+        word = flt.to_word()
+        assert len(word) == 32
+        assert int.from_bytes(word, "big") == flt.bits
+
+    def test_false_positive_rate_monotone(self):
+        flt = bloom.BloomFilter()
+        assert flt.false_positive_rate() == 0.0
+        flt.add(1)
+        low = flt.false_positive_rate()
+        for i in range(2, 30):
+            flt.add(i)
+        assert flt.false_positive_rate() > low
+
+    def test_digest_binds_contents_and_range(self):
+        f1, f2 = bloom.BloomFilter(), bloom.BloomFilter()
+        f1.add(1)
+        f2.add(2)
+        assert f1.digest() != f2.digest()
+
+    def test_exact_members(self):
+        flt = bloom.BloomFilter()
+        flt.add(7)
+        assert flt.exact_members() == frozenset({7})
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            bloom.BloomFilter(filter_bits=0)
+        with pytest.raises(ValueError):
+            bloom.BloomFilter(capacity=0)
+
+
+class TestBloomFilterChain:
+    def test_rollover_at_capacity(self):
+        chain = bloom.BloomFilterChain(capacity=3)
+        created_flags = [chain.add(i)[1] for i in range(1, 8)]
+        assert created_flags == [True, False, False, True, False, False, True]
+        assert len(chain) == 3
+
+    def test_filter_for_locates_ranges(self):
+        chain = bloom.BloomFilterChain(capacity=2)
+        for i in (1, 2, 10, 11, 20):
+            chain.add(i)
+        assert chain.filter_for(1)[0] == 0
+        assert chain.filter_for(11)[0] == 1
+        assert chain.filter_for(20)[0] == 2
+        assert chain.filter_for(5) is None  # gap between filters
+        assert chain.filter_for(99) is None
+
+    def test_definitely_absent_semantics(self):
+        chain = bloom.BloomFilterChain(capacity=2)
+        for i in (10, 20, 30, 40):
+            chain.add(i)
+        # Present IDs are never reported absent.
+        for i in (10, 20, 30, 40):
+            assert not chain.definitely_absent(i)
+        # Below the first filter's min: conclusively absent.
+        assert chain.definitely_absent(5)
+        # Empty chain: everything is absent.
+        assert bloom.BloomFilterChain().definitely_absent(1)
+
+    def test_absent_ids_mostly_detected(self):
+        chain = bloom.BloomFilterChain(capacity=30)
+        for i in range(0, 600, 2):  # even IDs only
+            chain.add(i)
+        absent = sum(chain.definitely_absent(i) for i in range(1, 600, 2))
+        # Bloom false positives allowed, but the bulk must be detected.
+        assert absent > 200
+
+    def test_snapshot_roundtrip(self):
+        chain = bloom.BloomFilterChain(capacity=3)
+        for i in (1, 5, 9, 12, 15):
+            chain.add(i)
+        snapshot = chain.snapshot()
+        rebuilt = bloom.BloomFilterChain.from_snapshot(snapshot, capacity=3)
+        for i in range(1, 20):
+            assert chain.definitely_absent(i) == rebuilt.definitely_absent(i)
+
+    def test_might_contain_tristate(self):
+        chain = bloom.BloomFilterChain(capacity=2)
+        chain.add(10)
+        chain.add(12)
+        assert chain.might_contain(10) is True
+        assert chain.might_contain(99) is None

@@ -1,0 +1,80 @@
+"""Unit tests for the binary Merkle hash tree."""
+
+import pytest
+
+from repro.crypto import merkle
+from repro.crypto.hashing import EMPTY_DIGEST
+from repro.errors import VerificationError
+
+
+class TestEmptyTree:
+    def test_root_is_empty_digest(self):
+        assert merkle.MerkleTree().root == EMPTY_DIGEST
+
+    def test_len(self):
+        assert len(merkle.MerkleTree()) == 0
+
+
+class TestProofs:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_all_leaves_provable(self, n):
+        payloads = [b"leaf-%d" % i for i in range(n)]
+        tree = merkle.MerkleTree(payloads)
+        for i, payload in enumerate(payloads):
+            proof = tree.prove(i)
+            tree.verify(payload, proof)
+            assert merkle.verify_proof(tree.root, payload, proof)
+
+    def test_wrong_payload_fails(self):
+        tree = merkle.MerkleTree([b"a", b"b", b"c"])
+        proof = tree.prove(1)
+        with pytest.raises(VerificationError):
+            tree.verify(b"tampered", proof)
+
+    def test_wrong_index_proof_fails(self):
+        tree = merkle.MerkleTree([b"a", b"b", b"c", b"d"])
+        assert not merkle.verify_proof(tree.root, b"a", tree.prove(1))
+
+    def test_out_of_range_index(self):
+        tree = merkle.MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.prove(5)
+
+    def test_proof_byte_size(self):
+        tree = merkle.MerkleTree([b"%d" % i for i in range(8)])
+        proof = tree.prove(0)
+        assert proof.byte_size() == 32 * 3 + 1 + 8
+
+
+class TestAppend:
+    def test_append_changes_root(self):
+        tree = merkle.MerkleTree([b"a"])
+        root_before = tree.root
+        index = tree.append(b"b")
+        assert index == 1
+        assert tree.root != root_before
+
+    def test_old_proofs_invalid_after_append(self):
+        tree = merkle.MerkleTree([b"a", b"b"])
+        proof = tree.prove(0)
+        old_root = tree.root
+        tree.append(b"c")
+        assert merkle.verify_proof(old_root, b"a", proof)
+        assert not merkle.verify_proof(tree.root, b"a", proof)
+
+
+class TestDomainSeparation:
+    def test_leaf_vs_node(self):
+        digest = merkle.leaf_hash(b"x")
+        # A single-leaf tree's root is the leaf hash, not a node hash.
+        tree = merkle.MerkleTree([b"x"])
+        assert tree.root == digest
+        assert merkle.node_hash(digest, digest) != digest
+
+    def test_second_preimage_structure(self):
+        # An inner node's children cannot be replayed as a leaf payload.
+        tree = merkle.MerkleTree([b"a", b"b", b"c", b"d"])
+        left = merkle.leaf_hash(b"a")
+        right = merkle.leaf_hash(b"b")
+        forged_payload = left + right
+        assert merkle.leaf_hash(forged_payload) != merkle.node_hash(left, right)

@@ -1,0 +1,106 @@
+"""Unit tests for the number-theoretic primitives."""
+
+import pytest
+
+from repro.crypto import numbers
+from repro.errors import ParameterError
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1])
+    def test_accepts_primes(self, p):
+        assert numbers.is_probable_prime(p)
+
+    @pytest.mark.parametrize(
+        "n", [0, 1, 4, 100, 7917, 561, 41041, 2**31 - 3]
+    )
+    def test_rejects_composites(self, n):
+        # 561 and 41041 are Carmichael numbers.
+        assert not numbers.is_probable_prime(n)
+
+
+class TestDeterministicRandom:
+    def test_reproducible(self):
+        a = numbers.DeterministicRandom(5)
+        b = numbers.DeterministicRandom(5)
+        assert [a.randbits(64) for _ in range(10)] == [
+            b.randbits(64) for _ in range(10)
+        ]
+
+    def test_randint_bounds(self):
+        rng = numbers.DeterministicRandom(1)
+        for _ in range(200):
+            value = rng.randint(10, 20)
+            assert 10 <= value <= 20
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            numbers.DeterministicRandom(1).randint(5, 4)
+
+    def test_randbits_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            numbers.DeterministicRandom(1).randbits(0)
+
+
+class TestPrimeGeneration:
+    def test_exact_bit_length(self):
+        rng = numbers.DeterministicRandom(2)
+        for bits in (16, 64, 128):
+            p = numbers.generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert numbers.is_probable_prime(p)
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ParameterError):
+            numbers.generate_prime(4, numbers.DeterministicRandom(1))
+
+    def test_distinct_primes(self):
+        rng = numbers.DeterministicRandom(3)
+        primes = numbers.generate_distinct_primes(5, 32, rng)
+        assert len(set(primes)) == 5
+        assert all(numbers.is_probable_prime(p) for p in primes)
+
+
+class TestModInverse:
+    def test_inverse_property(self):
+        assert numbers.mod_inverse(3, 11) * 3 % 11 == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ParameterError):
+            numbers.mod_inverse(6, 9)
+
+
+class TestRSAModulus:
+    def test_generation(self):
+        rng = numbers.DeterministicRandom(4)
+        modulus = numbers.generate_rsa_modulus(128, rng)
+        assert modulus.n == modulus.p * modulus.q
+        assert modulus.p != modulus.q
+        assert numbers.is_probable_prime(modulus.p)
+        assert numbers.is_probable_prime(modulus.q)
+
+    def test_phi(self):
+        modulus = numbers.RSAModulus(n=15, p=3, q=5)
+        assert modulus.phi == 8
+
+    def test_root_extraction(self):
+        rng = numbers.DeterministicRandom(5)
+        modulus = numbers.generate_rsa_modulus(128, rng)
+        value = 123456789 % modulus.n
+        exponent = 65537
+        root = modulus.root(value, exponent)
+        assert pow(root, exponent, modulus.n) == value
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ParameterError):
+            numbers.generate_rsa_modulus(32, numbers.DeterministicRandom(1))
+
+    def test_make_random_dispatch(self):
+        assert isinstance(numbers.make_random(1), numbers.DeterministicRandom)
+        assert isinstance(numbers.make_random(None), numbers.SystemRandom)
+
+    def test_system_random_bounds(self):
+        rng = numbers.SystemRandom()
+        for _ in range(50):
+            assert 3 <= rng.randint(3, 9) <= 9
+        assert 0 <= rng.randbits(16) < 1 << 16

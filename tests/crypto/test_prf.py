@@ -1,0 +1,68 @@
+"""Unit tests for the keyed PRF."""
+
+import pytest
+
+import repro.crypto.prf as prf
+
+
+class TestGenerateKey:
+    def test_seeded_keys_reproducible(self):
+        assert prf.generate_key(seed=5) == prf.generate_key(seed=5)
+
+    def test_different_seeds_differ(self):
+        assert prf.generate_key(seed=5) != prf.generate_key(seed=6)
+
+    def test_unseeded_keys_random(self):
+        assert prf.generate_key() != prf.generate_key()
+
+    def test_key_size(self):
+        assert len(prf.generate_key(seed=1)) == prf.KEY_SIZE
+
+
+class TestPrf:
+    def test_deterministic(self):
+        key = prf.generate_key(seed=1)
+        assert prf.prf(key, b"m") == prf.prf(key, b"m")
+
+    def test_key_separation(self):
+        k1, k2 = prf.generate_key(seed=1), prf.generate_key(seed=2)
+        assert prf.prf(k1, b"m") != prf.prf(k2, b"m")
+
+    def test_message_separation(self):
+        key = prf.generate_key(seed=1)
+        assert prf.prf(key, b"m1") != prf.prf(key, b"m2")
+
+    def test_rejects_bad_key_size(self):
+        with pytest.raises(ValueError):
+            prf.prf(b"short", b"m")
+
+
+class TestPrfInt:
+    def test_within_range(self):
+        key = prf.generate_key(seed=3)
+        for bits in (1, 8, 100, 256, 300, 512):
+            value = prf.prf_int(key, b"m", bits=bits)
+            assert 0 <= value < (1 << bits)
+
+    def test_rejects_non_positive_bits(self):
+        key = prf.generate_key(seed=3)
+        with pytest.raises(ValueError):
+            prf.prf_int(key, b"m", bits=0)
+
+    def test_wide_output_uses_counter_mode(self):
+        key = prf.generate_key(seed=3)
+        wide = prf.prf_int(key, b"m", bits=512)
+        assert wide.bit_length() > 256  # overwhelmingly likely
+
+
+class TestNodeRandomness:
+    def test_position_and_keyword_bind(self, prf_key):
+        r1 = prf.node_randomness(prf_key, 1, "covid")
+        r2 = prf.node_randomness(prf_key, 2, "covid")
+        r3 = prf.node_randomness(prf_key, 1, "vaccine")
+        assert len({r1, r2, r3}) == 3
+
+    def test_deterministic(self, prf_key):
+        assert prf.node_randomness(prf_key, 7, "w") == prf.node_randomness(
+            prf_key, 7, "w"
+        )

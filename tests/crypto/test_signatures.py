@@ -1,0 +1,38 @@
+"""Unit tests for RSA-FDH signatures."""
+
+import pytest
+
+from repro.crypto import signatures
+
+
+@pytest.fixture(scope="module")
+def key():
+    return signatures.generate_keypair(bits=512, seed=21)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key):
+        sig = key.sign(b"root-hash")
+        assert key.public_key.verify(b"root-hash", sig)
+
+    def test_wrong_message_rejected(self, key):
+        sig = key.sign(b"root-hash")
+        assert not key.public_key.verify(b"other", sig)
+
+    def test_wrong_key_rejected(self, key):
+        other = signatures.generate_keypair(bits=512, seed=22)
+        sig = key.sign(b"m")
+        assert not other.public_key.verify(b"m", sig)
+
+    def test_out_of_range_signature_rejected(self, key):
+        assert not key.public_key.verify(b"m", 0)
+        assert not key.public_key.verify(b"m", key.n)
+
+    def test_deterministic_with_seed(self):
+        k1 = signatures.generate_keypair(bits=512, seed=5)
+        k2 = signatures.generate_keypair(bits=512, seed=5)
+        assert k1.n == k2.n
+        assert k1.d == k2.d
+
+    def test_public_key_byte_size(self, key):
+        assert key.public_key.byte_size() == 64 + 4

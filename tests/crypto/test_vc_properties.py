@@ -1,0 +1,64 @@
+"""Property-based tests for the chameleon vector commitment.
+
+Invariants:
+
+* any committed vector opens correctly at every slot;
+* an arbitrary sequence of trapdoor collisions never changes the
+  commitment value, and the final vector opens correctly everywhere;
+* verification never accepts a message other than the committed one.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto import vc
+
+_PP, _TD = vc.shared_test_params(3)
+
+messages_strategy = st.lists(
+    st.one_of(st.none(), st.binary(min_size=1, max_size=16)),
+    min_size=3,
+    max_size=3,
+)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(messages=messages_strategy, randomiser=st.integers(1, 2**64))
+def test_commit_open_verify_roundtrip(messages, randomiser):
+    c, aux = vc.commit(_PP, messages, randomiser)
+    for slot, message in enumerate(messages, start=1):
+        proof = vc.open_slot(_PP, slot, message, aux)
+        assert vc.verify(_PP, c, slot, message, proof)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(1, 3), st.binary(min_size=1, max_size=8)),
+        min_size=1,
+        max_size=6,
+    ),
+    randomiser=st.integers(1, 2**64),
+)
+def test_collision_sequences_preserve_commitment(updates, randomiser):
+    c, aux = vc.commit(_PP, [None, None, None], randomiser)
+    current: list = [None, None, None]
+    for slot, new_message in updates:
+        aux = vc.find_collision(
+            _PP, _TD, c, slot, current[slot - 1], new_message, aux
+        )
+        current[slot - 1] = new_message
+    for slot, message in enumerate(current, start=1):
+        proof = vc.open_slot(_PP, slot, message, aux)
+        assert vc.verify(_PP, c, slot, message, proof)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    committed=st.binary(min_size=1, max_size=16),
+    forged=st.binary(min_size=1, max_size=16),
+)
+def test_verification_binds_message(committed, forged):
+    c, aux = vc.commit(_PP, [committed, None, None], randomiser=99)
+    proof = vc.open_slot(_PP, 1, committed, aux)
+    if forged != committed:
+        assert not vc.verify(_PP, c, 1, forged, proof)

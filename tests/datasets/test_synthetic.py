@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic corpus generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    DBLP_SPEC,
+    TWITTER_SPEC,
+    DatasetSpec,
+    SyntheticDataset,
+    dblp_like,
+    twitter_like,
+)
+from repro.errors import DatasetError
+
+
+class TestSpecValidation:
+    def test_vocabulary_must_cover_keywords(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(
+                name="x", vocabulary_size=5, zipf_s=1.0,
+                keywords_mean=3, keywords_std=1, keywords_min=2,
+                keywords_max=10,
+            )
+
+    def test_keyword_range_validated(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(
+                name="x", vocabulary_size=100, zipf_s=1.0,
+                keywords_mean=3, keywords_std=1, keywords_min=5,
+                keywords_max=2,
+            )
+
+    def test_heaps_vocabulary_grows_with_corpus(self):
+        small = TWITTER_SPEC.effective_vocabulary(100)
+        large = TWITTER_SPEC.effective_vocabulary(10_000)
+        assert small < large
+        assert large <= TWITTER_SPEC.vocabulary_size
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = twitter_like(50, seed=3).materialise()
+        b = twitter_like(50, seed=3).materialise()
+        assert [o.digest() for o in a] == [o.digest() for o in b]
+
+    def test_seeds_differ(self):
+        a = twitter_like(50, seed=3).materialise()
+        b = twitter_like(50, seed=4).materialise()
+        assert [o.digest() for o in a] != [o.digest() for o in b]
+
+    def test_ids_monotonic_from_one(self):
+        objs = dblp_like(30).materialise()
+        assert [o.object_id for o in objs] == list(range(1, 31))
+
+    def test_keyword_counts_in_spec_range(self):
+        for spec, maker in ((DBLP_SPEC, dblp_like), (TWITTER_SPEC, twitter_like)):
+            for obj in maker(80).objects():
+                assert spec.keywords_min <= len(obj.keywords) <= spec.keywords_max
+
+    def test_zipf_concentration(self):
+        """Top keywords must dominate occurrences (rank/frequency law)."""
+        dataset = twitter_like(300, seed=2)
+        counts: dict[str, int] = {}
+        for obj in dataset.objects():
+            for kw in obj.keywords:
+                counts[kw] = counts.get(kw, 0) + 1
+        top = set(dataset.top_keywords(10))
+        top_mass = sum(counts.get(k, 0) for k in top)
+        total = sum(counts.values())
+        assert top_mass / total > 0.2
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(DatasetError):
+            SyntheticDataset(TWITTER_SPEC, -1)
+
+    def test_top_keywords_clamped(self):
+        dataset = twitter_like(20)
+        assert len(dataset.top_keywords(10**6)) == dataset.vocabulary
+
+    def test_empty_corpus(self):
+        assert twitter_like(0).materialise() == []

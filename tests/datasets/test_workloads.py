@@ -1,0 +1,60 @@
+"""Unit tests for the query workload generators."""
+
+import pytest
+
+from repro.datasets.synthetic import twitter_like
+from repro.datasets.workloads import ConjunctiveWorkload, DisjunctiveWorkload
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return twitter_like(100, seed=5)
+
+
+class TestConjunctiveWorkload:
+    def test_keyword_count_respected(self, dataset):
+        workload = ConjunctiveWorkload(dataset=dataset, num_keywords=4)
+        for query in workload.queries(10):
+            assert len(query.conjunctions) == 1
+            assert len(query.conjunctions[0]) == 4
+
+    def test_keywords_from_top_pool(self, dataset):
+        workload = ConjunctiveWorkload(
+            dataset=dataset, num_keywords=3, pool_size=20
+        )
+        pool = set(dataset.top_keywords(20))
+        for query in workload.queries(10):
+            assert query.conjunctions[0] <= pool
+
+    def test_deterministic(self, dataset):
+        w1 = ConjunctiveWorkload(dataset=dataset, num_keywords=2, seed=9)
+        w2 = ConjunctiveWorkload(dataset=dataset, num_keywords=2, seed=9)
+        assert list(w1.queries(5)) == list(w2.queries(5))
+
+    def test_rejects_zero_keywords(self, dataset):
+        with pytest.raises(DatasetError):
+            ConjunctiveWorkload(dataset=dataset, num_keywords=0)
+
+    def test_rejects_pool_smaller_than_query(self, dataset):
+        with pytest.raises(DatasetError):
+            ConjunctiveWorkload(dataset=dataset, num_keywords=50, pool_size=10)
+
+
+class TestDisjunctiveWorkload:
+    def test_shape(self, dataset):
+        workload = DisjunctiveWorkload(
+            dataset=dataset, num_conjunctions=3, keywords_per_conjunction=2
+        )
+        for query in workload.queries(5):
+            assert len(query.conjunctions) <= 3  # absorption may merge
+            for conj in query.conjunctions:
+                assert len(conj) == 2
+
+    def test_rejects_zero_conjunctions(self, dataset):
+        with pytest.raises(DatasetError):
+            DisjunctiveWorkload(
+                dataset=dataset,
+                num_conjunctions=0,
+                keywords_per_conjunction=2,
+            )

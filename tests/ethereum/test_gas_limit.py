@@ -1,0 +1,45 @@
+"""Block gasLimit feasibility (Section II-A / VII-A).
+
+The paper deploys with the default 8,000,000 block gasLimit.  Every
+per-object maintenance transaction of every scheme must fit — in
+particular MI's multi-keyword tree surgery and SMI's logarithmic UpdVO
+must stay bounded as the dataset grows.
+"""
+
+from repro import DataObject, HybridStorageSystem
+from repro.ethereum.gas import BLOCK_GAS_LIMIT
+
+
+def stream(n, keywords_per_object=6):
+    for oid in range(1, n + 1):
+        kws = tuple(f"kw{(oid + j) % 40:02d}" for j in range(keywords_per_object))
+        yield DataObject(oid, kws, b"content-%d" % oid)
+
+
+class TestGasLimitFeasibility:
+    def test_all_schemes_fit_per_tx(self):
+        for scheme in ("mi", "smi", "ci", "ci*"):
+            system = HybridStorageSystem(
+                scheme=scheme, cvc_modulus_bits=512, seed=3
+            )
+            worst = 0
+            for obj in stream(150):
+                report = system.add_object(obj)
+                worst = max(worst, max(r.gas.total for r in report.receipts))
+            assert worst < BLOCK_GAS_LIMIT, (scheme, worst)
+            # Headroom: even the worst transaction uses < 25% of a block.
+            assert worst < BLOCK_GAS_LIMIT // 4, (scheme, worst)
+
+    def test_oversized_batch_hits_the_limit(self):
+        """A single transaction cannot grow unboundedly: batches that
+        exceed the block gas limit abort."""
+        system = HybridStorageSystem(
+            scheme="ci", cvc_modulus_bits=512, seed=3, gas_limit=120_000
+        )
+        import pytest
+
+        from repro.errors import ChainError
+
+        docs = list(stream(20))
+        with pytest.raises(ChainError):
+            system.add_objects_batched(docs)

@@ -1,0 +1,59 @@
+"""Unit tests for the metered execution context."""
+
+import hashlib
+
+from repro.ethereum.gas import GasMeter
+from repro.ethereum.vm import ExecutionContext, estimate_calldata_bytes, int_to_word
+
+
+def make_env(limit=None):
+    return ExecutionContext(meter=GasMeter(limit=limit))
+
+
+class TestKeccak:
+    def test_correct_digest(self):
+        env = make_env()
+        assert env.keccak(b"abc") == hashlib.sha3_256(b"abc").digest()
+
+    def test_charges_per_word(self):
+        env = make_env()
+        env.keccak(b"x" * 64)  # 2 words
+        assert env.meter.by_operation["hash"] == 30 + 6 * 2
+
+    def test_concat_single_charge(self):
+        env = make_env()
+        digest = env.keccak_concat(b"a" * 32, b"b" * 32)
+        assert digest == hashlib.sha3_256(b"a" * 32 + b"b" * 32).digest()
+        assert env.meter.by_operation["hash"] == 30 + 6 * 2
+
+
+class TestMemory:
+    def test_touch_memory(self):
+        env = make_env()
+        env.touch_memory(5)
+        assert env.meter.by_operation["mem"] == 15
+
+    def test_read_calldata_charges_words(self):
+        env = make_env()
+        data = b"z" * 70  # 3 words
+        assert env.read_calldata(data) == data
+        assert env.meter.by_operation["mem"] == 9
+
+
+class TestEvents:
+    def test_emit_records(self):
+        env = make_env()
+        env.emit("Stored", key=1, value="x")
+        assert len(env.events) == 1
+        assert env.events[0].name == "Stored"
+        assert env.events[0].fields == {"key": 1, "value": "x"}
+        assert "Stored" in str(env.events[0])
+
+
+class TestHelpers:
+    def test_estimate_calldata_bytes(self):
+        assert estimate_calldata_bytes(b"ab", b"c") == 3
+
+    def test_int_to_word(self):
+        assert len(int_to_word(7)) == 32
+        assert int_to_word(7)[-1] == 7
