@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=7, help="workload seed (default 7)"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the experiment's rows (with the per-phase "
+        "observability columns) to PATH as JSON",
+    )
     return parser
 
 
@@ -69,7 +76,18 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["size"] = args.size
     if args.queries is not None and args.exp in ("fig11", "fig12", "fig13"):
         kwargs["num_queries"] = args.queries
-    fn(**kwargs)
+    result = fn(**kwargs)
+    if args.json is not None:
+        import json
+
+        payload = {
+            "experiment": args.exp,
+            "seed": args.seed,
+            "rows": runner.rows_to_jsonable(result),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"wrote rows to {args.json}")
     return 0
 
 

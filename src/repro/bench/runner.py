@@ -23,17 +23,19 @@ tab2      asymptotic growth check of maintenance costs
 
 from __future__ import annotations
 
+import dataclasses
 import statistics
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.baselines.gem2 import Gem2Contract
 from repro.core.objects import ObjectMetadata
 from repro.core.system import HybridStorageSystem
 from repro.datasets.synthetic import SyntheticDataset, dblp_like, twitter_like
 from repro.datasets.workloads import ConjunctiveWorkload
 from repro.ethereum.chain import Blockchain
-from repro.ethereum.gas import GasMeter, gas_to_usd
+from repro.ethereum.gas import GasCategory, GasMeter, gas_to_usd
 
 #: Scheme display names used across all printed tables.
 SCHEME_LABELS = {
@@ -100,6 +102,39 @@ class MaintenanceRow:
         }
 
 
+def _counter_delta(snap: dict, base: dict | None, name: str) -> int:
+    value = snap.get(name, 0)
+    if base is not None:
+        value -= base.get(name, 0)
+    return value
+
+
+def _meter_from_counters(snap: dict, base: dict | None) -> GasMeter:
+    """Rebuild a :class:`GasMeter` from live ``gas.*`` counter deltas.
+
+    This is the registry-driven replacement for walking receipts: the
+    categories come straight from the ``gas.write`` / ``gas.read`` /
+    ``gas.others`` counters and the per-op split from ``gas.op.*``.
+    """
+    meter = GasMeter()
+    meter.total = _counter_delta(snap, base, "gas.total")
+    meter.by_category[GasCategory.WRITE] = _counter_delta(
+        snap, base, "gas.write"
+    )
+    meter.by_category[GasCategory.READ] = _counter_delta(
+        snap, base, "gas.read"
+    )
+    meter.by_category[GasCategory.OTHER] = _counter_delta(
+        snap, base, "gas.others"
+    )
+    for name in snap:
+        if name.startswith("gas.op."):
+            delta = _counter_delta(snap, base, name)
+            if delta:
+                meter.by_operation[name[len("gas.op."):]] = delta
+    return meter
+
+
 def measure_maintenance(
     scheme: str,
     dataset_name: str,
@@ -115,25 +150,26 @@ def measure_maintenance(
     reported number is "what an insertion costs once the index holds
     ~``size`` objects", the quantity Fig. 10 plots against dataset size.
     Pass ``warmup_fraction=0`` for a cold-start cumulative average.
+
+    Gas is read from the live ``repro.obs`` counters (a private
+    collector is installed for the run), so the breakdown is exactly
+    the Table III accounting with no receipt walking.
     """
     dataset = _dataset(dataset_name, size, seed=seed)
     warmup = int(size * warmup_fraction)
     if scheme == "gem2":
         return _measure_gem2(dataset_name, dataset, size, warmup)
-    system = HybridStorageSystem(
-        scheme=scheme, seed=seed, cvc_modulus_bits=BENCH_CVC_BITS
-    )
-    baseline = GasMeter()
-    for index, obj in enumerate(dataset.objects()):
-        if index == warmup:
-            baseline = system.maintenance_meter()
-        system.add_object(obj)
-    meter = system.maintenance_meter()
-    measured = GasMeter()
-    measured.merge(meter)
-    measured.total -= baseline.total
-    for category in measured.by_category:
-        measured.by_category[category] -= baseline.by_category[category]
+    with obs.collect() as col:
+        system = HybridStorageSystem(
+            scheme=scheme, seed=seed, cvc_modulus_bits=BENCH_CVC_BITS
+        )
+        base = None
+        for index, obj in enumerate(dataset.objects()):
+            if index == warmup:
+                base = col.metrics.snapshot()
+            system.add_object(obj)
+        snap = col.metrics.snapshot()
+    measured = _meter_from_counters(snap, base)
     measured_count = max(1, size - warmup)
     return MaintenanceRow(
         scheme=scheme,
@@ -149,32 +185,25 @@ def _measure_gem2(
     dataset_name: str, dataset: SyntheticDataset, size: int, warmup: int
 ) -> MaintenanceRow:
     """GEM^2 is maintenance-only: drive its contract directly."""
-    chain = Blockchain()
-    chain.deploy("gem2", Gem2Contract())
-    total = GasMeter()
-    baseline_total = 0
-    baseline_categories = None
-    for index, obj in enumerate(dataset.objects()):
-        if index == warmup:
-            baseline_total = total.total
-            baseline_categories = dict(total.by_category)
-        metadata = ObjectMetadata.of(obj)
-        receipt = chain.send_transaction(
-            "do",
-            "gem2",
-            "register_and_insert",
-            metadata.object_id,
-            metadata.object_hash,
-            metadata.keywords,
-            payload=metadata.payload_bytes(),
-        )
-        total.merge(receipt.gas)
-    measured = GasMeter()
-    measured.merge(total)
-    measured.total -= baseline_total
-    if baseline_categories is not None:
-        for category, amount in baseline_categories.items():
-            measured.by_category[category] -= amount
+    with obs.collect() as col:
+        chain = Blockchain()
+        chain.deploy("gem2", Gem2Contract())
+        base = None
+        for index, obj in enumerate(dataset.objects()):
+            if index == warmup:
+                base = col.metrics.snapshot()
+            metadata = ObjectMetadata.of(obj)
+            chain.send_transaction(
+                "do",
+                "gem2",
+                "register_and_insert",
+                metadata.object_id,
+                metadata.object_hash,
+                metadata.keywords,
+                payload=metadata.payload_bytes(),
+            )
+        snap = col.metrics.snapshot()
+    measured = _meter_from_counters(snap, base)
     measured_count = max(1, size - warmup)
     return MaintenanceRow(
         scheme="gem2",
@@ -188,7 +217,12 @@ def _measure_gem2(
 
 @dataclass
 class QueryRow:
-    """Average query metrics for one (scheme, #keywords) point."""
+    """Average query metrics for one (scheme, #keywords) point.
+
+    The per-phase columns (``sp_ms`` / ``chain_ms`` / ``verify_ms`` /
+    ``parse_ms``) come from the live ``repro.obs`` phase histograms,
+    so a benchmark row is exactly what the tracing layer saw.
+    """
 
     scheme: str
     dataset: str
@@ -198,6 +232,16 @@ class QueryRow:
     verify_ms: float
     num_queries: int
     avg_results: float
+    chain_ms: float = 0.0
+    parse_ms: float = 0.0
+
+
+def _phase_mean_ms(snap: dict, name: str) -> float:
+    """Average of one ``*_seconds`` phase histogram, in milliseconds."""
+    hist = snap.get(name)
+    if not hist or not hist["count"]:
+        return 0.0
+    return 1e3 * hist["sum"] / hist["count"]
 
 
 def measure_queries(
@@ -211,25 +255,25 @@ def measure_queries(
     workload = ConjunctiveWorkload(
         dataset=dataset, num_keywords=num_keywords, seed=seed
     )
-    sp_times: list[float] = []
-    verify_times: list[float] = []
     vo_sizes: list[int] = []
     result_counts: list[int] = []
-    for query in workload.queries(num_queries):
-        result = system.query(query)
-        sp_times.append(result.sp_seconds)
-        verify_times.append(result.verify_seconds)
-        vo_sizes.append(result.vo_total_bytes)
-        result_counts.append(len(result.result_ids))
+    with obs.collect() as col:
+        for query in workload.queries(num_queries):
+            result = system.query(query)
+            vo_sizes.append(result.vo_total_bytes)
+            result_counts.append(len(result.result_ids))
+        snap = col.metrics.snapshot()
     return QueryRow(
         scheme=system.scheme.value,
         dataset=dataset.spec.name,
         num_keywords=num_keywords,
-        sp_ms=1e3 * statistics.mean(sp_times),
+        sp_ms=_phase_mean_ms(snap, "query.sp_seconds"),
         vo_kb=statistics.mean(vo_sizes) / 1024,
-        verify_ms=1e3 * statistics.mean(verify_times),
+        verify_ms=_phase_mean_ms(snap, "query.verify_seconds"),
         num_queries=num_queries,
         avg_results=statistics.mean(result_counts),
+        chain_ms=_phase_mean_ms(snap, "query.chain_seconds"),
+        parse_ms=_phase_mean_ms(snap, "query.parse_seconds"),
     )
 
 
@@ -512,3 +556,45 @@ def run_all(fast: bool = True) -> None:
     for name, fn in EXPERIMENTS.items():
         fn()
     print(f"\nAll experiments finished in {time.time() - started:.1f}s")
+
+
+# ---------------------------------------------------------------------------
+# JSON export
+# ---------------------------------------------------------------------------
+
+
+def rows_to_jsonable(result) -> object:
+    """Convert an experiment's return value into JSON-ready structures.
+
+    Handles the three shapes the experiments produce: a list of
+    :class:`MaintenanceRow` (gas meter expanded into the Table III
+    categories and the per-op split), a list of :class:`QueryRow`
+    (including the registry-derived per-phase columns), and the
+    ``tab2`` dict of scheme -> rows.
+    """
+    if isinstance(result, dict):
+        return {key: rows_to_jsonable(rows) for key, rows in result.items()}
+    if isinstance(result, list):
+        return [rows_to_jsonable(row) for row in result]
+    if isinstance(result, MaintenanceRow):
+        return {
+            "scheme": result.scheme,
+            "dataset": result.dataset,
+            "corpus_size": result.corpus_size,
+            "measured_objects": result.measured_objects,
+            "avg_gas": result.avg_gas,
+            "avg_usd": result.avg_usd,
+            "gas": {
+                "total": result.meter.total,
+                "write": result.meter.write_gas,
+                "read": result.meter.read_gas,
+                "others": result.meter.other_gas,
+                "by_operation": dict(result.meter.by_operation),
+            },
+            "breakdown_usd": result.breakdown_usd(),
+        }
+    if isinstance(result, QueryRow):
+        return dataclasses.asdict(result)
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    return result

@@ -12,6 +12,7 @@ Examples::
     repro add ./registry --id 1 --keywords covid-19,vaccine --content "trial"
     repro add ./registry --from-jsonl corpus.jsonl
     repro query ./registry "covid-19 AND vaccine"
+    repro obs ./registry "covid-19 AND vaccine" --trace-out trace.jsonl
     repro info ./registry
 """
 
@@ -23,6 +24,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core.objects import DataObject
 from repro.core.persistence import load_system, save_system
 from repro.core.system import HybridStorageSystem
@@ -63,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("directory")
     query.add_argument("expression", help='e.g. "covid-19 AND vaccine"')
     query.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="run a query under the observability layer and show the trace",
+    )
+    obs_cmd.add_argument("directory")
+    obs_cmd.add_argument("expression", help='e.g. "covid-19 AND vaccine"')
+    obs_cmd.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="also dump the span trace as JSON lines to PATH",
+    )
+    obs_cmd.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
 
@@ -176,6 +193,39 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """Handle ``repro obs``: a traced, metered query round trip."""
+    system = load_system(args.directory)
+    with obs.collect() as col:
+        result = system.query(args.expression)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "query": str(result.query),
+                    "verified": result.verified,
+                    "result_ids": result.result_ids,
+                    "vo_bytes": result.vo_total_bytes,
+                    "spans": [obs.span_to_dict(s) for s in col.spans],
+                    "metrics": col.metrics.snapshot(),
+                },
+                default=str,
+            )
+        )
+    else:
+        print(f"query:    {result.query}")
+        print(f"verified: {result.verified}")
+        print(f"results:  {result.result_ids}")
+        print("\ntrace:")
+        print(obs.render_tree(col.spans))
+        print("\nmetrics:")
+        print(obs.render_summary(col.metrics))
+    if args.trace_out:
+        obs.write_jsonl(col.spans, args.trace_out)
+        print(f"\nwrote {len(col.spans)} spans to {args.trace_out}")
+    return 0
+
+
 def cmd_info(args) -> int:
     """Handle ``repro info``."""
     system = load_system(args.directory)
@@ -197,6 +247,7 @@ _COMMANDS = {
     "init": cmd_init,
     "add": cmd_add,
     "query": cmd_query,
+    "obs": cmd_obs,
     "info": cmd_info,
 }
 

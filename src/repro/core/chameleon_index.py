@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.chameleon import (
     DEFAULT_ARITY,
     ChameleonTreeDO,
@@ -78,15 +79,16 @@ class ChameleonContract(SmartContract):
         First-seen keywords piggyback their one-time ``c_0`` setup on the
         same transaction via ``new_keywords``.
         """
-        self.env.read_calldata(object_hash)
-        self.storage.store(("objhash", object_id), object_hash)
-        for keyword, commitment in new_keywords:
-            self.setup_keyword(keyword, commitment)
-        for update in updates:
-            self.storage.store(("cnt", update.keyword), update.count)
-        self.emit(
-            "ObjectInserted", object_id=object_id, keywords=len(updates)
-        )
+        with obs.span("maintain.ci.insert", keywords=len(updates)):
+            self.env.read_calldata(object_hash)
+            self.storage.store(("objhash", object_id), object_hash)
+            for keyword, commitment in new_keywords:
+                self.setup_keyword(keyword, commitment)
+            for update in updates:
+                self.storage.store(("cnt", update.keyword), update.count)
+            self.emit(
+                "ObjectInserted", object_id=object_id, keywords=len(updates)
+            )
 
     def insert_objects(self, batch: list[tuple]) -> None:
         """Batched DO entry point: many objects in one transaction.
@@ -251,7 +253,8 @@ class ChameleonSP:
         """Ingest one DO insertion proof."""
         if keyword not in self.trees:
             raise ReproError(f"keyword {keyword!r} was never set up")
-        self.trees[keyword].apply_insertion(proof)
+        with obs.span("sp.index.apply"):
+            self.trees[keyword].apply_insertion(proof)
 
     def view(self, keyword: str) -> ChameleonView:
         """The join engine's IndexView for one keyword."""

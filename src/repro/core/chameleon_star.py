@@ -15,6 +15,7 @@ current filter word plus the count update, with an amortised
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.chameleon_index import ChameleonContract, CountUpdate
 from repro.crypto.bloom import (
     DEFAULT_CAPACITY,
@@ -48,8 +49,9 @@ class ChameleonStarContract(ChameleonContract):
     ) -> None:
         """Counts as in the base contract, plus filter maintenance."""
         super().insert_object(object_id, object_hash, updates, new_keywords)
-        for update in updates:
-            self._update_bloom(update.keyword, object_id)
+        with obs.span("maintain.ci*.bloom", keywords=len(updates)):
+            for update in updates:
+                self._update_bloom(update.keyword, object_id)
 
     def _update_bloom(self, keyword: str, object_id: int) -> None:
         mirror = self._mirrors.setdefault(

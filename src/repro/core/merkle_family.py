@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.mbtree import (
     DEFAULT_FANOUT,
     Entry,
@@ -104,10 +105,11 @@ class MerkleInvertedSP:
 
     def insert(self, metadata: ObjectMetadata) -> None:
         """Mirror a newly confirmed object into every keyword tree."""
-        for keyword in metadata.keywords:
-            self.tree_for(keyword).insert(
-                metadata.object_id, metadata.object_hash
-            )
+        with obs.span("sp.index.insert", keywords=len(metadata.keywords)):
+            for keyword in metadata.keywords:
+                self.tree_for(keyword).insert(
+                    metadata.object_id, metadata.object_hash
+                )
 
     def view(self, keyword: str) -> MBTreeView:
         """The join engine's IndexView for one keyword."""

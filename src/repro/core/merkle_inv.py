@@ -30,6 +30,7 @@ from repro.core.mbtree import (
     leaf_payload,
     node_payload,
 )
+from repro import obs
 from repro.core.objects import ObjectMetadata
 from repro.crypto.hashing import word_count
 from repro.ethereum.contract import SmartContract
@@ -93,20 +94,21 @@ class MerkleInvContract(SmartContract):
         self, object_id: int, object_hash: bytes, keywords: tuple[str, ...]
     ) -> None:
         """DO entry point: store meta-data and update every keyword tree."""
-        self.env.read_calldata(object_hash)
-        self.storage.store(("objhash", object_id), object_hash)
-        for keyword in keywords:
-            tree = self._trees.get(keyword)
-            if tree is None:
-                tree = MBTree(fanout=self.fanout)
-                self._trees[keyword] = tree
-            observer = _ChargingObserver(self.env.meter, self.fanout)
-            tree.insert(object_id, object_hash, observer=observer)
-            # Persist the refreshed root hash word for this keyword.
-            self.storage.store(("root", keyword), tree.root_hash)
-        self.emit(
-            "ObjectInserted", object_id=object_id, keywords=len(keywords)
-        )
+        with obs.span("maintain.mi.insert", keywords=len(keywords)):
+            self.env.read_calldata(object_hash)
+            self.storage.store(("objhash", object_id), object_hash)
+            for keyword in keywords:
+                tree = self._trees.get(keyword)
+                if tree is None:
+                    tree = MBTree(fanout=self.fanout)
+                    self._trees[keyword] = tree
+                observer = _ChargingObserver(self.env.meter, self.fanout)
+                tree.insert(object_id, object_hash, observer=observer)
+                # Persist the refreshed root hash word for this keyword.
+                self.storage.store(("root", keyword), tree.root_hash)
+            self.emit(
+                "ObjectInserted", object_id=object_id, keywords=len(keywords)
+            )
 
     # -- free views (client reads of confirmed state) --------------------------
 

@@ -28,6 +28,7 @@ from repro.core.mbtree import (
     entry_payload,
     reconstruct_root,
 )
+from repro import obs
 from repro.crypto.hashing import word_count
 from repro.errors import IntegrityError
 from repro.ethereum.contract import SmartContract
@@ -78,9 +79,10 @@ class SuppressedMerkleContract(SmartContract):
         self, object_id: int, object_hash: bytes, keywords: tuple[str, ...]
     ) -> None:
         """DO entry point: record the object's meta-data hash."""
-        self.env.read_calldata(object_hash)
-        self.storage.store(("objhash", object_id), object_hash)
-        self.emit("ObjectRegistered", object_id=object_id)
+        with obs.span("maintain.smi.register", keywords=len(keywords)):
+            self.env.read_calldata(object_hash)
+            self.storage.store(("objhash", object_id), object_hash)
+            self.emit("ObjectRegistered", object_id=object_id)
 
     def insert(
         self,
@@ -89,6 +91,15 @@ class SuppressedMerkleContract(SmartContract):
         updates: list[KeywordUpdate],
     ) -> None:
         """SP entry point: Algorithm 2 for every keyword's ``UpdVO``."""
+        with obs.span("maintain.smi.insert", keywords=len(updates)):
+            self._insert(object_id, object_hash, updates)
+
+    def _insert(
+        self,
+        object_id: int,
+        object_hash: bytes,
+        updates: list[KeywordUpdate],
+    ) -> None:
         registered = self.storage.load(("objhash", object_id))
         if registered != object_hash:
             self.emit("InvalidUpdVO", object_id=object_id, reason="hash")

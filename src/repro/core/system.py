@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import obs
 from repro.core import merkle_inv, suppressed
 from repro.core.chameleon_index import (
     ChameleonContract,
@@ -190,20 +191,30 @@ class HybridStorageSystem:
 
     def add_object(self, obj: DataObject) -> InsertReport:
         """Run the full DO pipeline for one new object."""
-        self.store.put(obj)
-        metadata = ObjectMetadata.of(obj)
-        receipts = self._insert_for_scheme(metadata)
-        for receipt in receipts:
-            if not receipt.status:
-                raise ChainError(
-                    f"insertion transaction failed: {receipt.error}"
-                )
-            self._maintenance.merge(receipt.gas)
-        self._object_count += 1
-        self._inserts_since_mine += 1
-        if self._inserts_since_mine >= self.mine_every:
-            self.chain.mine_block()
-            self._inserts_since_mine = 0
+        t0 = time.perf_counter()
+        with obs.span(
+            "insert", scheme=self.scheme.value, object_id=obj.object_id
+        ) as ins_span:
+            self.store.put(obj)
+            metadata = ObjectMetadata.of(obj)
+            receipts = self._insert_for_scheme(metadata)
+            for receipt in receipts:
+                if not receipt.status:
+                    raise ChainError(
+                        f"insertion transaction failed: {receipt.error}"
+                    )
+                self._maintenance.merge(receipt.gas)
+            self._object_count += 1
+            self._inserts_since_mine += 1
+            if self._inserts_since_mine >= self.mine_every:
+                self.chain.mine_block()
+                self._inserts_since_mine = 0
+            gas = sum(r.gas.total for r in receipts)
+            ins_span.set(gas=gas, keywords=len(metadata.keywords))
+        obs.inc("insert.count")
+        obs.observe("insert.seconds", time.perf_counter() - t0,
+                    buckets=obs.TIME_BUCKETS_S)
+        obs.observe("insert.gas", gas, buckets=obs.GAS_BUCKETS)
         return InsertReport(object_id=obj.object_id, receipts=receipts)
 
     def add_objects(self, objects) -> list[InsertReport]:
@@ -221,6 +232,12 @@ class HybridStorageSystem:
         objects = list(objects)
         if not objects:
             raise ReproError("empty batch")
+        with obs.span(
+            "insert.batch", scheme=self.scheme.value, count=len(objects)
+        ):
+            return self._add_objects_batched(objects)
+
+    def _add_objects_batched(self, objects: list[DataObject]) -> InsertReport:
         if self.scheme not in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR):
             reports = self.add_objects(objects)
             merged = InsertReport(
@@ -364,16 +381,23 @@ class HybridStorageSystem:
 
     def process_query(self, query: KeywordQuery) -> QueryAnswer:
         """SP side: evaluate the query and build ``VO_sp``."""
-        conjunct_vos: list[ConjunctiveVO] = []
-        result_ids: set[int] = set()
-        for conj in query.conjunctions:
-            views = [self._sp_view(kw) for kw in sorted(conj)]
-            ids, vo = conjunctive_join(
-                views, order=self.join_order, plan=self.join_plan
-            )
-            conjunct_vos.append(vo)
-            result_ids |= set(ids)
-        objects = {oid: self.store.get(oid) for oid in result_ids}
+        with obs.span(
+            "query.sp",
+            scheme=self.scheme.value,
+            conjunctions=len(query.conjunctions),
+        ) as sp_span:
+            conjunct_vos: list[ConjunctiveVO] = []
+            result_ids: set[int] = set()
+            for conj in query.conjunctions:
+                views = [self._sp_view(kw) for kw in sorted(conj)]
+                with obs.span("query.sp.join", keywords=len(conj)):
+                    ids, vo = conjunctive_join(
+                        views, order=self.join_order, plan=self.join_plan
+                    )
+                conjunct_vos.append(vo)
+                result_ids |= set(ids)
+            objects = {oid: self.store.get(oid) for oid in result_ids}
+            sp_span.set(results=len(result_ids))
         return QueryAnswer(
             result_ids=sorted(result_ids),
             objects=objects,
@@ -414,22 +438,49 @@ class HybridStorageSystem:
 
     def query(self, query: KeywordQuery | str) -> QueryResult:
         """Full round trip: SP processing plus client verification."""
-        if isinstance(query, str):
-            query = KeywordQuery.parse(query)
-        t0 = time.perf_counter()
-        answer = self.process_query(query)
-        sp_seconds = time.perf_counter() - t0
-        proof_system = self.chain_proof_system(query.all_keywords())
-        t1 = time.perf_counter()
-        verified = verify_query(query, answer, proof_system)
-        verify_seconds = time.perf_counter() - t1
+        with obs.span("query", scheme=self.scheme.value) as root_span:
+            if isinstance(query, str):
+                tp = time.perf_counter()
+                with obs.span("query.parse"):
+                    query = KeywordQuery.parse(query)
+                obs.observe("query.parse_seconds", time.perf_counter() - tp,
+                            buckets=obs.TIME_BUCKETS_S)
+            t0 = time.perf_counter()
+            answer = self.process_query(query)
+            sp_seconds = time.perf_counter() - t0
+            tc = time.perf_counter()
+            with obs.span(
+                "query.chain", keywords=len(query.all_keywords())
+            ):
+                proof_system = self.chain_proof_system(query.all_keywords())
+            obs.observe("query.chain_seconds", time.perf_counter() - tc,
+                        buckets=obs.TIME_BUCKETS_S)
+            t1 = time.perf_counter()
+            with obs.span("query.verify"):
+                verified = verify_query(query, answer, proof_system)
+            verify_seconds = time.perf_counter() - t1
+            with obs.span("query.vo_encode"):
+                vo_sp_bytes = len(self._codec.encode(answer.vo))
+            vo_chain_bytes = proof_system.chain_digest_bytes()
+            root_span.set(
+                keywords=len(query.all_keywords()),
+                results=len(verified.ids),
+                vo_bytes=vo_sp_bytes + vo_chain_bytes,
+            )
+        obs.inc("query.count")
+        obs.observe("query.sp_seconds", sp_seconds,
+                    buckets=obs.TIME_BUCKETS_S)
+        obs.observe("query.verify_seconds", verify_seconds,
+                    buckets=obs.TIME_BUCKETS_S)
+        obs.observe("vo.bytes", vo_sp_bytes + vo_chain_bytes,
+                    buckets=obs.SIZE_BUCKETS_BYTES)
         return QueryResult(
             query=query,
             result_ids=sorted(verified.ids),
             objects=answer.objects,
             verified=True,
-            vo_sp_bytes=len(self._codec.encode(answer.vo)),
-            vo_chain_bytes=proof_system.chain_digest_bytes(),
+            vo_sp_bytes=vo_sp_bytes,
+            vo_chain_bytes=vo_chain_bytes,
             sp_seconds=sp_seconds,
             verify_seconds=verify_seconds,
         )

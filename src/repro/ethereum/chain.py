@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.crypto.hashing import EMPTY_DIGEST, sha3
 from repro.crypto.merkle import MerkleTree
 from repro.errors import ChainError, IntegrityError, OutOfGasError
@@ -199,21 +200,29 @@ class Blockchain:
         meter = GasMeter(limit=self.gas_limit)
         env = ExecutionContext(meter=meter)
         receipt = Receipt(tx=tx, status=False, gas=meter, events=env.events)
-        contract.bind(env)
-        try:
-            meter.tx_base()
-            meter.txdata(len(payload))
-            bound_method = getattr(contract, method, None)
-            if bound_method is None or method.startswith("_"):
-                raise ChainError(
-                    f"contract {contract_name!r} has no method {method!r}"
-                )
-            receipt.result = bound_method(*args, **kwargs)
-            receipt.status = True
-        except (IntegrityError, OutOfGasError) as exc:
-            receipt.error = f"{type(exc).__name__}: {exc}"
-        finally:
-            contract.bind(None)
+        with obs.span(
+            "chain.tx", contract=contract_name, method=method
+        ) as tx_span:
+            contract.bind(env)
+            try:
+                meter.tx_base()
+                meter.txdata(len(payload))
+                bound_method = getattr(contract, method, None)
+                if bound_method is None or method.startswith("_"):
+                    raise ChainError(
+                        f"contract {contract_name!r} has no method {method!r}"
+                    )
+                receipt.result = bound_method(*args, **kwargs)
+                receipt.status = True
+            except (IntegrityError, OutOfGasError) as exc:
+                receipt.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                contract.bind(None)
+            tx_span.set(gas=meter.total, status=receipt.status)
+        obs.inc("chain.tx.count")
+        obs.inc("chain.tx.payload_bytes", len(payload))
+        if not receipt.status:
+            obs.inc("chain.tx.failed")
         self.pending.append(receipt)
         self.receipts_by_tx[tx.digest()] = receipt
         return receipt
@@ -237,6 +246,7 @@ class Blockchain:
 
     def mine_block(self) -> Block:
         """Seal all pending receipts into a new block."""
+        obs.inc("chain.blocks")
         tx_tree = MerkleTree([r.tx.digest() for r in self.pending])
         state = None
         state_root = EMPTY_DIGEST

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
 from repro.errors import OutOfGasError
 
 # --- Table I constants -----------------------------------------------------
@@ -72,6 +73,15 @@ class GasCategory(Enum):
     OTHER = "other"  # C_txdata, C_hash, C_mem, C_tx
 
 
+#: Live-counter names per category (Table III columns).  The paper's
+#: tables say "others", so the counter does too.
+_OBS_CATEGORY = {
+    GasCategory.WRITE: "gas.write",
+    GasCategory.READ: "gas.read",
+    GasCategory.OTHER: "gas.others",
+}
+
+
 @dataclass
 class GasMeter:
     """Accumulates gas charges with a per-category and per-op breakdown.
@@ -100,6 +110,7 @@ class GasMeter:
         self.total += amount
         self.by_category[category] += amount
         self.by_operation[operation] = self.by_operation.get(operation, 0) + amount
+        obs.record_gas(amount, _OBS_CATEGORY[category], operation)
 
     # -- convenience wrappers, one per Table I row ---------------------------
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import hashlib
 
+from repro import obs
 from repro.crypto.hashing import DIGEST_SIZE, word_count
 from repro.ethereum.gas import GasMeter
 
@@ -59,12 +60,14 @@ class ExecutionContext:
     def keccak(self, data: bytes) -> bytes:
         """Hash ``data``, charging ``C_hash`` for its word count."""
         self.meter.hash(word_count(data))
+        obs.inc("vm.hashes")
         return hashlib.sha3_256(data).digest()
 
     def keccak_concat(self, *parts: bytes) -> bytes:
         """Hash the concatenation of ``parts`` with one ``C_hash`` charge."""
         total_len = sum(len(p) for p in parts)
         self.meter.hash(word_count(total_len))
+        obs.inc("vm.hashes")
         hasher = hashlib.sha3_256()
         for part in parts:
             hasher.update(part)
@@ -77,6 +80,7 @@ class ExecutionContext:
         model they carry no storage cost; the payload was already paid
         for as calldata/memory.
         """
+        obs.inc("vm.events")
         self.events.append(LogEvent(name=name, fields=fields))
 
 

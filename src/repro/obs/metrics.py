@@ -1,0 +1,234 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns a flat namespace of named instruments
+(``gas.write``, ``vo.bytes``, ``query.verify_seconds``...).  Everything
+is plain Python with no background threads and no wire protocol — a
+registry is just structured accumulation with a ``snapshot`` /
+``merge`` / ``reset`` API, cheap enough to live on the hot path.
+
+Instrument updates are lock-free: under CPython's GIL a lost increment
+requires a thread switch between the read and the write of a single
+``+=``, which is acceptable for telemetry (the registry is not a
+billing system).  Instrument *creation* is locked so concurrent first
+touches of the same name agree on one instrument.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Generic exponential bucket bounds, wide enough for seconds, bytes
+#: and gas alike.  Sites needing finer resolution pass their own.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0,
+    10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+#: Bucket bounds tuned for wall-clock durations in seconds.
+TIME_BUCKETS_S: tuple[float, ...] = (
+    1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Bucket bounds tuned for payload sizes in bytes.
+SIZE_BUCKETS_BYTES: tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+)
+
+#: Bucket bounds tuned for per-transaction gas amounts.
+GAS_BUCKETS: tuple[float, ...] = (
+    1e3, 5e3, 1e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2e6, 4e6, 8e6,
+)
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the tally."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the tally."""
+        self.value = 0
+
+
+class Gauge:
+    """A last-write-wins measurement (e.g. current index size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        self.value = value
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self.value = 0.0
+
+
+class Histogram:
+    """A fixed-bucket histogram over upper-bound ``buckets``.
+
+    A value lands in the first bucket whose bound is >= the value; values
+    above every bound land in the implicit overflow (+inf) bucket, which
+    ``snapshot`` reports with a ``None`` bound so the result stays
+    JSON-serialisable.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r}: no buckets")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Drop all observations, keeping the bucket layout."""
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: count/sum/mean/min/max plus bucket counts."""
+        buckets = [
+            [bound, n] for bound, n in zip(self.bounds, self.counts)
+        ]
+        buckets.append([None, self.counts[-1]])  # overflow (+inf)
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) -----------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """The histogram under ``name``; ``buckets`` only applies on creation."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name, buckets or DEFAULT_BUCKETS)
+                )
+        return instrument
+
+    # -- aggregate API --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One flat dict: counter/gauge values and histogram summaries."""
+        snap: dict = {}
+        for name, counter in self._counters.items():
+            snap[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.value
+        for name, hist in self._histograms.items():
+            snap[name] = hist.snapshot()
+        return snap
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's accumulations into this one.
+
+        Counters and histogram contents add; gauges take the other
+        registry's value (last write wins).  Histograms must agree on
+        bucket bounds.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            mine = self.histogram(name, buckets=hist.bounds)
+            if mine.bounds != hist.bounds:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds differ, cannot merge"
+                )
+            for i, n in enumerate(hist.counts):
+                mine.counts[i] += n
+            mine.count += hist.count
+            mine.sum += hist.sum
+            for bound in (hist.min, hist.max):
+                if bound is None:
+                    continue
+                if mine.min is None or bound < mine.min:
+                    mine.min = bound
+                if mine.max is None or bound > mine.max:
+                    mine.max = bound
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations and bucket layouts."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for hist in self._histograms.values():
+            hist.reset()

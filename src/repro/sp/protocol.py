@@ -18,6 +18,7 @@ import io
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.core.objects import DataObject
 from repro.core.query.codec import VOCodec
 from repro.core.query.parser import KeywordQuery
@@ -26,10 +27,29 @@ from repro.core.query.vo import QueryAnswer
 from repro.errors import QueryError, ReproError
 
 #: Protocol version byte, bumped on breaking format changes.
-PROTOCOL_VERSION = 1
+#: v2: error responses carry a machine-readable error-code byte.
+PROTOCOL_VERSION = 2
 
 _STATUS_OK = 0
 _STATUS_ERROR = 1
+
+# -- machine-readable error codes (one byte on the wire) ---------------------
+
+#: No error (never serialised; the OK status byte covers it).
+ERR_NONE = 0
+#: The request bytes could not be decoded (truncated, bad version...).
+ERR_BAD_REQUEST = 1
+#: The query expression was malformed or uses an unsupported shape.
+ERR_QUERY = 2
+#: The SP failed internally while answering a well-formed query.
+ERR_INTERNAL = 3
+
+ERROR_CODE_NAMES = {
+    ERR_NONE: "none",
+    ERR_BAD_REQUEST: "bad-request",
+    ERR_QUERY: "query",
+    ERR_INTERNAL: "internal",
+}
 
 
 def _write_bytes(out: io.BytesIO, blob: bytes, width: int = 4) -> None:
@@ -103,6 +123,7 @@ class QueryResponse:
     objects: list[DataObject]
     vo_bytes: bytes
     error: str | None = None
+    error_code: int = ERR_NONE
 
     def encode(self) -> bytes:
         """Serialise to the canonical wire form."""
@@ -110,6 +131,8 @@ class QueryResponse:
         out.write(bytes([PROTOCOL_VERSION]))
         if self.error is not None:
             out.write(bytes([_STATUS_ERROR]))
+            code = self.error_code if self.error_code else ERR_INTERNAL
+            out.write(bytes([code]))
             _write_bytes(out, self.error.encode("utf-8"), width=2)
             return out.getvalue()
         out.write(bytes([_STATUS_OK]))
@@ -131,11 +154,13 @@ class QueryResponse:
             raise ReproError(f"unsupported protocol version {version}")
         status = _read_exact(data, 1)[0]
         if status == _STATUS_ERROR:
+            code = _read_exact(data, 1)[0]
             return cls(
                 result_ids=[],
                 objects=[],
                 vo_bytes=b"",
                 error=_read_bytes(data, width=2).decode("utf-8"),
+                error_code=code,
             )
         n_ids = int.from_bytes(_read_exact(data, 4), "big")
         result_ids = [
@@ -163,20 +188,51 @@ class StorageProviderServer:
 
     def handle(self, request_bytes: bytes) -> bytes:
         """Process one serialised request into a response."""
+        with obs.span("sp.request", bytes_in=len(request_bytes)) as req_span:
+            obs.inc("sp.requests")
+            obs.inc("sp.request_bytes", len(request_bytes))
+            response = self._answer(request_bytes)
+            if response.error is not None:
+                obs.inc("sp.errors")
+                req_span.set(
+                    error=ERROR_CODE_NAMES.get(
+                        response.error_code, response.error_code
+                    )
+                )
+            payload = response.encode()
+            obs.inc("sp.response_bytes", len(payload))
+            req_span.set(bytes_out=len(payload))
+        return payload
+
+    def _answer(self, request_bytes: bytes) -> QueryResponse:
+        def error(code: int, exc: Exception) -> QueryResponse:
+            return QueryResponse(
+                result_ids=[],
+                objects=[],
+                vo_bytes=b"",
+                error=str(exc),
+                error_code=code,
+            )
+
         try:
             request = QueryRequest.decode(request_bytes)
+        except ReproError as exc:
+            return error(ERR_BAD_REQUEST, exc)
+        try:
             query = KeywordQuery.parse(request.query_text)
+        except QueryError as exc:
+            return error(ERR_QUERY, exc)
+        try:
             answer = self._system.process_query(query)
-            response = QueryResponse(
+            return QueryResponse(
                 result_ids=answer.result_ids,
                 objects=[answer.objects[oid] for oid in answer.result_ids],
                 vo_bytes=self._codec.encode(answer.vo),
             )
-        except (QueryError, ReproError) as exc:
-            response = QueryResponse(
-                result_ids=[], objects=[], vo_bytes=b"", error=str(exc)
-            )
-        return response.encode()
+        except QueryError as exc:
+            return error(ERR_QUERY, exc)
+        except ReproError as exc:
+            return error(ERR_INTERNAL, exc)
 
 
 @dataclass
@@ -207,20 +263,33 @@ class RemoteClient:
 
     def query(self, text: str) -> RemoteQueryResult:
         """Run a query; returns verified results."""
-        query = KeywordQuery.parse(text)
-        response = QueryResponse.decode(
-            self._transport(QueryRequest(query_text=text).encode())
-        )
-        if response.error is not None:
-            raise QueryError(f"SP returned an error: {response.error}")
-        vo = self._codec.decode(response.vo_bytes)
-        answer = QueryAnswer(
-            result_ids=response.result_ids,
-            objects={obj.object_id: obj for obj in response.objects},
-            vo=vo,
-        )
-        proof_system = self._system.chain_proof_system(query.all_keywords())
-        verified = verify_query(query, answer, proof_system)
+        with obs.span("client.query") as root_span:
+            with obs.span("client.parse"):
+                query = KeywordQuery.parse(text)
+            with obs.span("client.request"):
+                raw = self._transport(QueryRequest(query_text=text).encode())
+            response = QueryResponse.decode(raw)
+            if response.error is not None:
+                code = ERROR_CODE_NAMES.get(
+                    response.error_code, str(response.error_code)
+                )
+                raise QueryError(
+                    f"SP returned an error ({code}): {response.error}"
+                )
+            with obs.span("client.vo_decode", bytes=len(response.vo_bytes)):
+                vo = self._codec.decode(response.vo_bytes)
+            answer = QueryAnswer(
+                result_ids=response.result_ids,
+                objects={obj.object_id: obj for obj in response.objects},
+                vo=vo,
+            )
+            with obs.span("client.chain"):
+                proof_system = self._system.chain_proof_system(
+                    query.all_keywords()
+                )
+            with obs.span("client.verify"):
+                verified = verify_query(query, answer, proof_system)
+            root_span.set(results=len(verified.ids))
         return RemoteQueryResult(
             result_ids=sorted(verified.ids),
             objects=answer.objects,

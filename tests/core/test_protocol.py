@@ -5,6 +5,9 @@ import pytest
 from repro import DataObject, HybridStorageSystem
 from repro.core.query.codec import VOCodec
 from repro.sp.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_QUERY,
     QueryRequest,
     QueryResponse,
     RemoteClient,
@@ -54,10 +57,21 @@ class TestRequestResponseEncoding:
 
     def test_error_response_roundtrip(self):
         resp = QueryResponse(
-            result_ids=[], objects=[], vo_bytes=b"", error="bad query"
+            result_ids=[],
+            objects=[],
+            vo_bytes=b"",
+            error="bad query",
+            error_code=ERR_QUERY,
         )
         decoded = QueryResponse.decode(resp.encode())
         assert decoded.error == "bad query"
+        assert decoded.error_code == ERR_QUERY
+
+    def test_error_without_code_defaults_to_internal(self):
+        resp = QueryResponse(
+            result_ids=[], objects=[], vo_bytes=b"", error="oops"
+        )
+        assert QueryResponse.decode(resp.encode()).error_code == ERR_INTERNAL
 
     def test_truncated_response(self):
         resp = QueryResponse(result_ids=[1], objects=[], vo_bytes=b"xx")
@@ -82,6 +96,19 @@ class TestEndToEnd:
         _, _, client = deployment
         with pytest.raises(QueryError):
             client.query("covid-19 AND NOT vaccine")
+
+    def test_unparsable_query_reports_query_code(self, deployment):
+        _, server, _ = deployment
+        raw = server.handle(QueryRequest("covid-19 AND NOT x").encode())
+        response = QueryResponse.decode(raw)
+        assert response.error is not None
+        assert response.error_code == ERR_QUERY
+
+    def test_garbage_request_reports_bad_request_code(self, deployment):
+        _, server, _ = deployment
+        response = QueryResponse.decode(server.handle(b"\x99junk"))
+        assert response.error is not None
+        assert response.error_code == ERR_BAD_REQUEST
 
     def test_tampering_transport_detected(self, deployment):
         system, server, _ = deployment

@@ -1,0 +1,15 @@
+"""Observability tests share one safety net: never leak a collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_collector():
+    """Guarantee the null sink before and after every obs test."""
+    obs.uninstall()
+    yield
+    obs.uninstall()

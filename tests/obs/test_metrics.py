@@ -1,0 +1,99 @@
+"""Unit tests for the metrics registry: buckets, snapshot, merge, reset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("gas.total").inc(5)
+        reg.counter("gas.total").inc(7)
+        assert reg.snapshot()["gas.total"] == 12
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("index.size").set(10)
+        reg.gauge("index.size").set(3)
+        assert reg.snapshot()["index.size"] == 3
+
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestHistogramBuckets:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 5.0):
+            hist.observe(value)
+        # counts per bucket: le 1.0 -> {0.5, 1.0}; le 2.0 -> {1.5, 2.0};
+        # le 4.0 -> {4.0}; +inf -> {5.0}
+        assert hist.counts == [2, 2, 1, 1]
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(14.0)
+        assert hist.min == 0.5 and hist.max == 5.0
+
+    def test_snapshot_shape(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(3.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["buckets"] == [[1.0, 0], [2.0, 0], [None, 1]]
+        assert snap["mean"] == pytest.approx(3.0)
+
+    def test_unsorted_buckets_are_sorted(self):
+        hist = Histogram("h", buckets=(4.0, 1.0, 2.0))
+        assert hist.bounds == (1.0, 2.0, 4.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistryMergeReset:
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("gas.write").inc(100)
+        b.counter("gas.write").inc(50)
+        b.counter("gas.read").inc(7)
+        a.histogram("t", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("t", buckets=(1.0, 2.0)).observe(1.5)
+        b.gauge("g").set(9)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["gas.write"] == 150
+        assert snap["gas.read"] == 7
+        assert snap["g"] == 9
+        assert snap["t"]["count"] == 2
+        assert snap["t"]["buckets"] == [[1.0, 1], [2.0, 1], [None, 0]]
+        assert snap["t"]["min"] == 0.5 and snap["t"]["max"] == 1.5
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("t", buckets=(1.0,))
+        b.histogram("t", buckets=(2.0,)).observe(1.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["c"] == 0
+        assert snap["g"] == 0.0
+        assert snap["h"]["count"] == 0
+        assert snap["h"]["min"] is None
+        # Bucket layout survives the reset.
+        assert reg.histogram("h").bounds == (1.0,)

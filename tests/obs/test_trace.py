@@ -1,0 +1,159 @@
+"""Unit tests for the tracing layer: nesting, timing, null sink, threads."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+
+
+class TestSpanNesting:
+    def test_parent_child_linkage(self):
+        with obs.collect() as col:
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    pass
+        assert [s.name for s in col.spans] == ["inner", "outer"]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        with obs.collect() as col:
+            with obs.span("root") as root:
+                with obs.span("a"):
+                    pass
+                with obs.span("b"):
+                    pass
+        by_name = {s.name: s for s in col.spans}
+        assert by_name["a"].parent_id == root.span_id
+        assert by_name["b"].parent_id == root.span_id
+        assert by_name["a"].span_id != by_name["b"].span_id
+
+    def test_durations_are_positive_and_nested(self):
+        with obs.collect() as col:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    time.sleep(0.002)
+        by_name = {s.name: s for s in col.spans}
+        assert by_name["inner"].duration_s >= 0.002
+        assert by_name["outer"].duration_s >= by_name["inner"].duration_s
+
+    def test_attributes_at_creation_and_set(self):
+        with obs.collect() as col:
+            with obs.span("work", scheme="ci*") as s:
+                s.set(results=3)
+        (span,) = col.spans
+        assert span.attributes == {"scheme": "ci*", "results": 3}
+
+    def test_exception_annotates_and_pops(self):
+        with obs.collect() as col:
+            try:
+                with obs.span("fails"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+            with obs.span("after"):
+                pass
+        by_name = {s.name: s for s in col.spans}
+        assert by_name["fails"].attributes["error"] == "ValueError"
+        # The failed span was popped: the next span is a root again.
+        assert by_name["after"].parent_id is None
+
+
+class TestNullSink:
+    def test_span_without_collector_is_shared_noop(self):
+        assert obs.current() is None
+        first = obs.span("anything", attr=1)
+        second = obs.span("other")
+        assert first is obs.NULL_SPAN and second is obs.NULL_SPAN
+        with first as entered:
+            entered.set(ignored=True)  # must not raise
+
+    def test_metric_helpers_without_collector_do_nothing(self):
+        obs.inc("some.counter", 5)
+        obs.observe("some.hist", 1.0)
+        obs.set_gauge("some.gauge", 2.0)
+        assert obs.metrics() is None
+        # Nothing leaked into the next installed collector.
+        with obs.collect() as col:
+            assert col.metrics.snapshot() == {}
+
+    def test_collect_restores_previous_collector(self):
+        outer = obs.install()
+        with obs.collect() as inner:
+            assert obs.current() is inner
+        assert obs.current() is outer
+        obs.uninstall()
+        assert obs.current() is None
+
+
+class TestThreadLocalStacks:
+    def test_concurrent_threads_trace_independently(self):
+        start = threading.Barrier(2)
+
+        def worker(label: str):
+            start.wait()
+            with obs.span(f"{label}.outer"):
+                time.sleep(0.005)
+                with obs.span(f"{label}.inner"):
+                    time.sleep(0.002)
+
+        with obs.collect() as col:
+            threads = [
+                threading.Thread(target=worker, args=(label,))
+                for label in ("t1", "t2")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        by_name = {s.name: s for s in col.spans}
+        assert len(col.spans) == 4
+        # Each inner span's parent is its own thread's outer span, even
+        # though both threads were interleaved in time.
+        for label in ("t1", "t2"):
+            inner = by_name[f"{label}.inner"]
+            outer = by_name[f"{label}.outer"]
+            assert inner.parent_id == outer.span_id
+            assert inner.thread == outer.thread
+        assert by_name["t1.inner"].thread != by_name["t2.inner"].thread
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        import json
+
+        with obs.collect() as col:
+            with obs.span("a", k=1):
+                with obs.span("b"):
+                    pass
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(col.spans, str(path))
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {r["name"] for r in records} == {"a", "b"}
+        a = next(r for r in records if r["name"] == "a")
+        assert a["attributes"] == {"k": 1}
+        assert a["duration_ms"] >= 0
+
+    def test_render_tree_shows_hierarchy(self):
+        with obs.collect() as col:
+            with obs.span("query"):
+                with obs.span("query.sp"):
+                    pass
+                with obs.span("query.verify"):
+                    pass
+        tree = obs.render_tree(col.spans)
+        lines = tree.splitlines()
+        assert lines[0].startswith("query ")
+        assert any("├─ query.sp" in line for line in lines)
+        assert any("└─ query.verify" in line for line in lines)
+
+    def test_render_summary_lists_metrics(self):
+        with obs.collect() as col:
+            obs.inc("sp.errors", 2)
+            obs.observe("vo.bytes", 100.0)
+        summary = obs.render_summary(col.metrics)
+        assert "sp.errors" in summary
+        assert "vo.bytes" in summary
