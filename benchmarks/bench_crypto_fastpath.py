@@ -1,0 +1,45 @@
+"""Fast-path verification benchmark and its acceptance gate.
+
+Measures repeated-entry DNF query verification naive (independent
+``pow``, no cache) versus fast (simultaneous multi-exp + fixed-base
+tables + verification cache) for every scheme, writes the rows to
+``BENCH_fastpath.json`` at the repo root, and asserts the acceptance
+criterion: at least 2x on the Chameleon family once the cache is warm.
+"""
+
+import json
+import pathlib
+
+from repro.bench.fastpath import experiment_fastpath
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+
+
+def test_fastpath_speedup(benchmark, size_small):
+    rows = benchmark.pedantic(
+        experiment_fastpath,
+        kwargs={"size": max(60, size_small)},
+        rounds=1,
+        iterations=1,
+    )
+    payload = {
+        "experiment": "fastpath",
+        "rows": [row.to_json() for row in rows],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    by_scheme = {row.scheme: row for row in rows}
+    for scheme in ("ci", "ci*"):
+        row = by_scheme[scheme]
+        benchmark.extra_info[f"{scheme}_speedup_cold"] = round(
+            row.speedup_cold, 2
+        )
+        benchmark.extra_info[f"{scheme}_speedup_cached"] = round(
+            row.speedup_cached, 2
+        )
+        # Acceptance: >= 2x on repeated-entry DNF verification for the
+        # CVC schemes (the cache alone delivers orders of magnitude; the
+        # bound is deliberately conservative for slow CI machines).
+        assert row.speedup_cached >= 2.0, (scheme, row)
+        # The algebraic layer alone must already win, cache aside.
+        assert row.speedup_cold > 1.2, (scheme, row)
+        assert row.cache_hits > 0

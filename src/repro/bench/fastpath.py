@@ -1,0 +1,165 @@
+"""Fast-path crypto benchmark: multi-exp, fixed-base tables, proof cache.
+
+Quantifies the two layers added on the query-serving hot path:
+
+* **algebraic** — CVC ``Ver`` as one simultaneous multi-exponentiation
+  with a fixed-base table for the slot base, versus two independent
+  ``pow`` calls;
+* **memoisation** — the bounded verification cache, which collapses the
+  repeated ``(digest, entry, proof)`` tuples that DNF queries with
+  overlapping conjuncts re-prove across components and repetitions.
+
+The headline metric is verification time for a repeated-entry DNF query
+(overlapping two-keyword conjuncts over the corpus' hottest keywords),
+measured naive (fast path off, cache off) versus fast (both on), per
+scheme.  ``repro-bench --exp fastpath --json BENCH_fastpath.json``
+records the rows; CI gates on the cached speedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.bench.runner import BENCH_CVC_BITS, SCHEME_LABELS
+from repro.core.proofcache import VerificationCache
+from repro.core.query.parser import KeywordQuery
+from repro.core.query.verify import verify_query
+from repro.core.system import HybridStorageSystem
+from repro.crypto import vc
+from repro.crypto.numbers import clear_fixed_base_tables
+from repro.datasets.synthetic import dblp_like
+
+
+@dataclass
+class FastpathRow:
+    """Verification cost for one scheme, naive versus fast path."""
+
+    scheme: str
+    corpus_size: int
+    repeats: int
+    query: str
+    results: int
+    naive_ms: float  # per verification pass, fast path and cache off
+    fast_first_ms: float  # first pass: multi-exp + tables, cold cache
+    fast_cached_ms: float  # later passes: warm cache
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def speedup_cold(self) -> float:
+        """Algebraic gain alone (cold cache)."""
+        return self.naive_ms / self.fast_first_ms if self.fast_first_ms else 0.0
+
+    @property
+    def speedup_cached(self) -> float:
+        """Gain once the cache is warm (the steady state of hot queries)."""
+        return (
+            self.naive_ms / self.fast_cached_ms if self.fast_cached_ms else 0.0
+        )
+
+    def to_json(self) -> dict:
+        """JSON row including the derived speedups CI gates on."""
+        data = dataclasses.asdict(self)
+        data["speedup_cold"] = self.speedup_cold
+        data["speedup_cached"] = self.speedup_cached
+        return data
+
+
+def _hot_query(objects) -> str:
+    """A DNF query whose conjuncts overlap on the hottest keywords.
+
+    Overlapping pairs make the same posting entries appear in several
+    components — the repeated-entry shape the cache is built for.
+    """
+    freq: Counter[str] = Counter()
+    for obj in objects:
+        freq.update(obj.keywords)
+    top = [kw for kw, _ in freq.most_common(4)]
+    w1, w2, w3, w4 = top
+    return (
+        f'("{w1}" AND "{w2}") OR ("{w1}" AND "{w3}") '
+        f'OR ("{w2}" AND "{w3}") OR ("{w1}" AND "{w4}")'
+    )
+
+
+def _time_passes(query, answer, ps, repeats: int) -> list[float]:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        verify_query(query, answer, ps)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def measure_fastpath(
+    scheme: str, size: int, repeats: int, seed: int
+) -> FastpathRow:
+    """Naive-vs-fast verification cost for one scheme."""
+    objects = list(dblp_like(size, seed=seed).objects())
+    system = HybridStorageSystem(
+        scheme=scheme, seed=seed, cvc_modulus_bits=BENCH_CVC_BITS
+    )
+    for obj in objects:
+        system.add_object(obj)
+    text = _hot_query(objects)
+    query = KeywordQuery.parse(text)
+    answer = system.process_query(query)
+
+    # Naive: legacy independent-pow path, no memoisation.
+    system.verify_cache = None
+    with vc.fastpath(False):
+        ps = system.chain_proof_system(query.all_keywords())
+        naive = _time_passes(query, answer, ps, repeats)
+
+    # Fast: multi-exp + fixed-base tables + shared verification cache.
+    clear_fixed_base_tables()
+    cache = VerificationCache()
+    system.verify_cache = cache
+    with vc.fastpath(True):
+        ps = system.chain_proof_system(query.all_keywords())
+        fast = _time_passes(query, answer, ps, repeats)
+
+    later = fast[1:] or fast
+    return FastpathRow(
+        scheme=scheme,
+        corpus_size=size,
+        repeats=repeats,
+        query=text,
+        results=len(answer.result_ids),
+        naive_ms=1e3 * sum(naive) / len(naive),
+        fast_first_ms=1e3 * fast[0],
+        fast_cached_ms=1e3 * sum(later) / len(later),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+
+
+def experiment_fastpath(
+    size: int = 150,
+    repeats: int = 4,
+    seed: int = 7,
+    schemes: tuple[str, ...] = ("ci", "ci*", "smi"),
+) -> list[FastpathRow]:
+    """Fast-path verification benchmark across schemes."""
+    rows = [
+        measure_fastpath(scheme, size, repeats, seed) for scheme in schemes
+    ]
+    print(
+        f"\nFast-path verification — repeated-entry DNF query "
+        f"(DBLP-like, n={size}, {repeats} passes)"
+    )
+    print(
+        f"{'scheme':<8}{'naive (ms)':>12}{'cold (ms)':>12}"
+        f"{'cached (ms)':>13}{'cold x':>8}{'cached x':>10}{'hits':>7}"
+    )
+    for row in rows:
+        print(
+            f"{SCHEME_LABELS[row.scheme]:<8}{row.naive_ms:>12.2f}"
+            f"{row.fast_first_ms:>12.2f}{row.fast_cached_ms:>13.2f}"
+            f"{row.speedup_cold:>8.2f}{row.speedup_cached:>10.2f}"
+            f"{row.cache_hits:>7}"
+        )
+    return rows

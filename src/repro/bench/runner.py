@@ -538,6 +538,13 @@ def experiment_disjunctive(
     return rows
 
 
+def experiment_fastpath(**kwargs):
+    """Fast-path crypto benchmark (lazy import avoids a module cycle)."""
+    from repro.bench.fastpath import experiment_fastpath as _fastpath
+
+    return _fastpath(**kwargs)
+
+
 EXPERIMENTS = {
     "fig6": experiment_fig6,
     "fig10": experiment_fig10,
@@ -547,6 +554,7 @@ EXPERIMENTS = {
     "fig13": experiment_fig13,
     "tab2": experiment_tab2,
     "disj": experiment_disjunctive,
+    "fastpath": experiment_fastpath,
 }
 
 
@@ -595,6 +603,8 @@ def rows_to_jsonable(result) -> object:
         }
     if isinstance(result, QueryRow):
         return dataclasses.asdict(result)
+    if hasattr(result, "to_json"):
+        return result.to_json()
     if dataclasses.is_dataclass(result) and not isinstance(result, type):
         return dataclasses.asdict(result)
     return result

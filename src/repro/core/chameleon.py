@@ -200,6 +200,22 @@ class ChameleonTreeDO:
         randomiser = node_randomness(self.prf_key, position, self.keyword)
         return self.cvc.commit_empty(randomiser)
 
+    def snapshot(self) -> tuple[int, dict[int, vc.CVCAux], dict[int, int]]:
+        """Capture the mutable tree state for transactional rollback.
+
+        Shallow copies suffice: ``insert`` replaces aux objects rather
+        than mutating them in place.
+        """
+        return self.count, dict(self._aux), dict(self._commitments)
+
+    def restore(
+        self, state: tuple[int, dict[int, vc.CVCAux], dict[int, int]]
+    ) -> None:
+        """Roll the tree back to a previously captured snapshot."""
+        self.count, aux, commitments = state
+        self._aux = dict(aux)
+        self._commitments = dict(commitments)
+
     def insert(self, object_id: int, object_hash: bytes) -> InsertionProof:
         """Algorithm 4: add an object, returning its insertion proof."""
         self.count += 1

@@ -21,6 +21,7 @@ from repro.core.chameleon import (
     verify_membership,
 )
 from repro.core.objects import ObjectMetadata
+from repro.core.proofcache import VerificationCache
 from repro.core.query.vo import ProvenEntry
 from repro.crypto import vc
 from repro.crypto.bloom import BloomFilterChain
@@ -170,6 +171,26 @@ class ChameleonDataOwner:
             counts.append(CountUpdate(keyword=keyword, count=tree.count))
         return proofs, counts, new_keywords
 
+    def snapshot(self, keywords) -> dict:
+        """Capture the state of every tree touched by ``keywords``.
+
+        ``None`` marks a keyword whose tree does not exist yet, so
+        :meth:`restore` can delete trees created after the snapshot.
+        """
+        snap: dict[str, tuple | None] = {}
+        for keyword in keywords:
+            tree = self.trees.get(keyword)
+            snap[keyword] = None if tree is None else tree.snapshot()
+        return snap
+
+    def restore(self, snap: dict) -> None:
+        """Roll the owner back to a :meth:`snapshot` (failed receipt)."""
+        for keyword, state in snap.items():
+            if state is None:
+                self.trees.pop(keyword, None)
+            elif keyword in self.trees:
+                self.trees[keyword].restore(state)
+
 
 @dataclass
 class ChameleonView:
@@ -273,6 +294,12 @@ class ChameleonProofSystem:
     ``digests`` binds each queried keyword to its on-chain ``<c_0, cnt>``;
     ``blooms`` (starred variant only) carries the on-chain Bloom filter
     snapshots used to validate skip rounds.
+
+    ``cache``, when set, memoises *successful* entry verifications keyed
+    on the complete proven tuple — the on-chain digest, the claimed
+    entry, and the full proof — so repeated entries across conjuncts and
+    queries pay the CVC exponentiations once.  Any tampered component
+    changes the key, misses, and re-verifies (and fails) from scratch.
     """
 
     pp: vc.CVCPublicParams
@@ -280,6 +307,7 @@ class ChameleonProofSystem:
     arity: int = DEFAULT_ARITY
     blooms: dict[str, BloomFilterChain] | None = None
     value_bytes: int = 128
+    cache: VerificationCache | None = None
 
     def _digest(self, keyword: str) -> tuple[int | None, int]:
         return self.digests.get(keyword, (None, 0))
@@ -294,6 +322,19 @@ class ChameleonProofSystem:
             raise VerificationError(
                 f"keyword {keyword!r} has no on-chain commitment"
             )
+        key = None
+        if self.cache is not None:
+            key = (
+                self.pp.modulus,
+                commitment,
+                count,
+                self.arity,
+                entry.object_id,
+                entry.object_hash,
+                proof,
+            )
+            if self.cache.seen(key):
+                return
         verify_membership(
             self.pp,
             commitment,
@@ -303,6 +344,8 @@ class ChameleonProofSystem:
             entry.object_hash,
             proof,
         )
+        if self.cache is not None:
+            self.cache.add(key)
 
     def is_first(self, keyword: str, entry: ProvenEntry) -> bool:
         """Whether the entry is provably the tree's first."""

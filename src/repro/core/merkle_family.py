@@ -24,6 +24,7 @@ from repro.core.mbtree import (
     paths_adjacent,
 )
 from repro.core.objects import ObjectMetadata
+from repro.core.proofcache import VerificationCache
 from repro.core.query.vo import ProvenEntry
 from repro.crypto.hashing import EMPTY_DIGEST
 from repro.errors import VerificationError
@@ -129,10 +130,15 @@ class MerkleProofSystem:
     the smart contract; keywords absent from the chain map to the empty
     digest, which is itself the completeness evidence for non-existing
     keywords (footnote 4 of the paper).
+
+    ``cache``, when set, memoises successful path verifications keyed on
+    the full proven tuple (root, entry, path) — see
+    :mod:`repro.core.proofcache` for the soundness argument.
     """
 
     roots: dict[str, bytes]
     value_bytes: int = 32
+    cache: VerificationCache | None = None
 
     def _root(self, keyword: str) -> bytes:
         return self.roots.get(keyword, EMPTY_DIGEST)
@@ -142,14 +148,22 @@ class MerkleProofSystem:
         path = entry.proof
         if not isinstance(path, MerklePath):
             raise VerificationError("expected a Merkle path proof")
+        root = self._root(keyword)
+        key = None
+        if self.cache is not None:
+            key = (root, entry.object_id, entry.object_hash, path)
+            if self.cache.seen(key):
+                return
         computed = path.compute_root(
             Entry(key=entry.object_id, value_hash=entry.object_hash)
         )
-        if computed != self._root(keyword):
+        if computed != root:
             raise VerificationError(
                 f"Merkle path for object {entry.object_id} does not match "
                 f"the on-chain root of keyword {keyword!r}"
             )
+        if self.cache is not None:
+            self.cache.add(key)
 
     def is_first(self, keyword: str, entry: ProvenEntry) -> bool:
         """Whether the entry is provably the tree's first."""

@@ -14,11 +14,24 @@ from repro.crypto.hashing import tagged_hash
 from repro.errors import DatasetError
 
 
+#: Maximum keyword size in UTF-8 bytes.  The SP wire codec stores each
+#: keyword behind a one-byte length prefix, so this is a protocol limit,
+#: not a tunable; it is enforced at ingestion so an over-long keyword can
+#: never reach the codec.
+MAX_KEYWORD_BYTES = 255
+
+
 def normalise_keyword(keyword: str) -> str:
-    """Canonical keyword form: stripped, lower-cased, non-empty."""
+    """Canonical keyword form: stripped, lower-cased, non-empty, ≤255 bytes."""
     cleaned = keyword.strip().lower()
     if not cleaned:
         raise DatasetError("keywords must be non-empty")
+    encoded_len = len(cleaned.encode("utf-8"))
+    if encoded_len > MAX_KEYWORD_BYTES:
+        raise DatasetError(
+            f"keyword is {encoded_len} UTF-8 bytes; the wire protocol "
+            f"limits keywords to {MAX_KEYWORD_BYTES} bytes"
+        )
     return cleaned
 
 

@@ -1,0 +1,100 @@
+"""Bounded LRU cache for successful proof verifications.
+
+CVC verification costs two multi-hundred-bit modular exponentiations
+(one on the fast path) per link — orders of magnitude more than a hash —
+and a DNF query re-proves the same ``(digest, entry, proof)`` tuples
+across conjuncts, while hot keywords repeat them across queries.  A
+:class:`VerificationCache` lets a proof system skip re-verifying a tuple
+it has already accepted.
+
+Soundness: only *successful* verifications are cached, and the key must
+include **every** input that determines the verdict (the on-chain digest,
+the claimed entry, and the full proof object).  A tampered tuple differs
+in at least one key component, misses the cache, and is re-verified from
+scratch — a cache hit can therefore never mask a failing proof.
+
+Hits and misses are exported through :mod:`repro.obs` under
+``<prefix>.cache_hit`` / ``<prefix>.cache_miss`` (e.g.
+``vc.verify.cache_hit``) and mirrored on the instance for callers
+without a collector installed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from repro import obs
+
+#: Default number of proven tuples a cache retains.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class VerificationCache:
+    """A bounded, thread-safe LRU set of successfully verified tuples.
+
+    ``maxsize <= 0`` disables the cache entirely (every lookup misses
+    and nothing is stored), which keeps call sites branch-free.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+        metric_prefix: str = "vc.verify",
+    ) -> None:
+        self.maxsize = maxsize
+        self.metric_prefix = metric_prefix
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Hashable, None] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def seen(self, key: Hashable) -> bool:
+        """Whether ``key`` was verified before; records the hit/miss."""
+        if self.maxsize <= 0:
+            self.misses += 1
+            obs.inc(f"{self.metric_prefix}.cache_miss")
+            return False
+        with self._lock:
+            present = key in self._entries
+            if present:
+                self._entries.move_to_end(key)
+        if present:
+            self.hits += 1
+            obs.inc(f"{self.metric_prefix}.cache_hit")
+        else:
+            self.misses += 1
+            obs.inc(f"{self.metric_prefix}.cache_miss")
+        return present
+
+    def add(self, key: Hashable) -> None:
+        """Record a tuple that verified successfully."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._entries[key] = None
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached tuple and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __getstate__(self) -> dict:
+        # Locks cannot cross process boundaries; the worker gets a copy
+        # of the entries and a fresh lock.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

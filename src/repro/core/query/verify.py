@@ -34,6 +34,7 @@ from repro.core.query.vo import (
     QueryAnswer,
 )
 from repro.errors import VerificationError
+from repro.parallel import Executor, SerialExecutor
 
 
 class ProofSystem(Protocol):
@@ -81,18 +82,36 @@ def _check(condition: bool, reason: str) -> None:
         raise VerificationError(reason)
 
 
+def _verify_entry_task(args: tuple[ProofSystem, str, ProvenEntry]) -> None:
+    """Executor task: authenticate one entry (module-level, picklable)."""
+    ps, keyword, entry = args
+    ps.verify_entry(keyword, entry)
+
+
 def verify_full_scan(
-    conj: frozenset[str], vo: FullScanVO, ps: ProofSystem
+    conj: frozenset[str],
+    vo: FullScanVO,
+    ps: ProofSystem,
+    executor: Executor | None = None,
 ) -> VerifiedResults:
-    """Single-keyword component: the entire posting list is the result."""
+    """Single-keyword component: the entire posting list is the result.
+
+    Entry authentication is independent per entry, so a parallel
+    ``executor`` fans it out; the structural checks stay sequential.
+    """
     _check(
         conj == {vo.keyword},
         f"full-scan VO keyword {vo.keyword!r} does not match the query",
     )
     entries = vo.entries
     _check(len(entries) > 0, "full scan of a non-empty keyword returned nothing")
-    for entry in entries:
-        ps.verify_entry(vo.keyword, entry)
+    if executor is not None and executor.kind != "serial" and len(entries) > 1:
+        executor.map(
+            _verify_entry_task, [(ps, vo.keyword, e) for e in entries]
+        )
+    else:
+        for entry in entries:
+            ps.verify_entry(vo.keyword, entry)
     _check(
         ps.is_first(vo.keyword, entries[0]),
         "full scan does not start at the tree's first entry",
@@ -306,7 +325,10 @@ def verify_semi_join_stage(
 
 
 def verify_conjunct(
-    conj: frozenset[str], vo: ConjunctiveVO, ps: ProofSystem
+    conj: frozenset[str],
+    vo: ConjunctiveVO,
+    ps: ProofSystem,
+    executor: Executor | None = None,
 ) -> VerifiedResults:
     """Verify one conjunctive component's VO; returns its result IDs."""
     _check(
@@ -326,7 +348,7 @@ def verify_conjunct(
     _check(vo.base is not None, "VO carries neither a base join nor emptiness")
     if isinstance(vo.base, FullScanVO):
         _check(not vo.stages, "full scan must not carry semi-join stages")
-        return verify_full_scan(conj, vo.base, ps)
+        return verify_full_scan(conj, vo.base, ps, executor=executor)
     assert isinstance(vo.base, MultiWayJoinVO)
     base = vo.base
     base_trees = set(base.trees)
@@ -371,24 +393,51 @@ def verify_conjunct(
     return results
 
 
+def _verify_conjunct_task(
+    args: tuple[frozenset[str], ConjunctiveVO, ProofSystem]
+) -> VerifiedResults:
+    """Executor task: verify one conjunct (module-level, picklable)."""
+    conj, conj_vo, ps = args
+    return verify_conjunct(conj, conj_vo, ps)
+
+
 def verify_query(
     query: KeywordQuery,
     answer: QueryAnswer,
     ps: ProofSystem,
+    executor: Executor | None = None,
 ) -> VerifiedResults:
     """Verify a full DNF query answer end to end.
 
     Checks every conjunctive component, unions the verified IDs, matches
     them against the SP's claimed results, and authenticates every
     returned object against its proven digest and the query condition.
+
+    With a parallel ``executor``, independent conjuncts verify
+    concurrently; a single conjunct instead fans out its per-entry
+    authentication (the pools are never nested).  Failures propagate as
+    :class:`~repro.errors.VerificationError` exactly as on the serial
+    path.
     """
     _check(
         len(answer.vo.conjuncts) == len(query.conjunctions),
         "VO component count does not match the query's DNF",
     )
+    if executor is None:
+        executor = SerialExecutor()
     union = VerifiedResults(ids=set())
-    for conj, conj_vo in zip(query.conjunctions, answer.vo.conjuncts):
-        partial = verify_conjunct(conj, conj_vo, ps)
+    pairs = list(zip(query.conjunctions, answer.vo.conjuncts))
+    if executor.kind != "serial" and len(pairs) > 1:
+        partials = executor.map(
+            _verify_conjunct_task,
+            [(conj, conj_vo, ps) for conj, conj_vo in pairs],
+        )
+    else:
+        partials = [
+            verify_conjunct(conj, conj_vo, ps, executor=executor)
+            for conj, conj_vo in pairs
+        ]
+    for partial in partials:
         union.ids |= partial.ids
         union.hashes.update(partial.hashes)
     _check(

@@ -39,6 +39,7 @@ from repro.core.chameleon_star import ChameleonStarContract
 from repro.core.merkle_family import MerkleInvertedSP, MerkleProofSystem
 from repro.core.mbtree import DEFAULT_FANOUT
 from repro.core.objects import DataObject, ObjectMetadata, ObjectStore
+from repro.core.proofcache import DEFAULT_CACHE_SIZE, VerificationCache
 from repro.core.query.join import conjunctive_join
 from repro.core.query.parser import KeywordQuery
 from repro.core.query.codec import VOCodec
@@ -47,12 +48,19 @@ from repro.core.query.vo import ConjunctiveVO, QueryAnswer, QueryVO
 from repro.crypto import vc
 from repro.crypto.bloom import DEFAULT_CAPACITY, DEFAULT_FILTER_BITS, BloomFilterChain
 from repro.crypto.prf import generate_key
-from repro.errors import ChainError, ReproError
+from repro.errors import ChainError, DatasetError, ReproError
 from repro.ethereum.chain import Blockchain, Receipt
 from repro.ethereum.gas import BLOCK_GAS_LIMIT, GasMeter
+from repro.parallel import Executor, make_executor
 
 #: Contract registration name on the simulated chain.
 ADS_CONTRACT = "ads"
+
+
+def _evaluate_conjunct(args):
+    """Executor task: one conjunct's join (module-level, picklable)."""
+    views, order, plan = args
+    return conjunctive_join(views, order=order, plan=plan)
 
 
 class Scheme(Enum):
@@ -123,6 +131,12 @@ class HybridStorageSystem:
     (default 4), Chameleon tree ``arity`` (q, default 2), Bloom filter
     capacity ``bloom_capacity`` (b, default 30) and the CVC modulus size.
     ``seed`` makes all key material deterministic for reproducible runs.
+
+    Fast-path knobs: ``executor`` picks the execution policy for
+    per-conjunct SP evaluation and client-side verification (``serial``
+    default; ``thread``/``process`` opt in, see :mod:`repro.parallel`);
+    ``verify_cache_size`` bounds the shared LRU of successfully verified
+    proof tuples reused across conjuncts and queries (0 disables it).
     """
 
     def __init__(
@@ -139,6 +153,9 @@ class HybridStorageSystem:
         join_order: str = "size",
         join_plan: str = "cyclic",
         track_state: bool = False,
+        executor: "str | Executor" = "serial",
+        executor_workers: int | None = None,
+        verify_cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         self.scheme = Scheme.parse(scheme)
         self.fanout = fanout
@@ -153,6 +170,19 @@ class HybridStorageSystem:
         self._inserts_since_mine = 0
         self._maintenance = GasMeter()
         self._object_count = 0
+        self.executor = make_executor(executor, workers=executor_workers)
+        if verify_cache_size > 0:
+            prefix = (
+                "vc.verify"
+                if Scheme.parse(scheme)
+                in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR)
+                else "merkle.verify"
+            )
+            self.verify_cache: VerificationCache | None = VerificationCache(
+                maxsize=verify_cache_size, metric_prefix=prefix
+            )
+        else:
+            self.verify_cache = None
 
         if self.scheme in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR):
             pp, td = vc.keygen(
@@ -190,12 +220,21 @@ class HybridStorageSystem:
         return self._object_count
 
     def add_object(self, obj: DataObject) -> InsertReport:
-        """Run the full DO pipeline for one new object."""
+        """Run the full DO pipeline for one new object.
+
+        The raw object reaches the SP's store only once every receipt
+        confirmed, so a failed transaction leaves the store, the DO
+        state and the SP index exactly as they were.
+        """
         t0 = time.perf_counter()
         with obs.span(
             "insert", scheme=self.scheme.value, object_id=obj.object_id
         ) as ins_span:
-            self.store.put(obj)
+            if obj.object_id in self.store:
+                raise DatasetError(
+                    f"object {obj.object_id} already stored; "
+                    "objects are immutable"
+                )
             metadata = ObjectMetadata.of(obj)
             receipts = self._insert_for_scheme(metadata)
             for receipt in receipts:
@@ -203,6 +242,8 @@ class HybridStorageSystem:
                     raise ChainError(
                         f"insertion transaction failed: {receipt.error}"
                     )
+            self.store.put(obj)
+            for receipt in receipts:
                 self._maintenance.merge(receipt.gas)
             self._object_count += 1
             self._inserts_since_mine += 1
@@ -245,31 +286,55 @@ class HybridStorageSystem:
                 receipts=[r for report in reports for r in report.receipts],
             )
             return merged
+        # Stage every mutation: the store is untouched and the DO's
+        # chameleon state snapshotted until the batched transaction's
+        # receipt confirms, so a failed receipt leaves the system able
+        # to answer queries (and retry the batch) consistently.
+        metadatas = [ObjectMetadata.of(obj) for obj in objects]
+        for metadata in metadatas:
+            if metadata.object_id in self.store:
+                raise DatasetError(
+                    f"object {metadata.object_id} already stored; "
+                    "objects are immutable"
+                )
+        touched = {kw for m in metadatas for kw in m.keywords}
+        do_snapshot = self._do.snapshot(touched)
         batch = []
         payload = b""
         sp_work = []
+        try:
+            for metadata in metadatas:
+                proofs, counts, new_keywords = self._do.insert(metadata)
+                new_kw_list = sorted(new_keywords.items())
+                batch.append(
+                    (
+                        metadata.object_id,
+                        metadata.object_hash,
+                        counts,
+                        new_kw_list,
+                    )
+                )
+                payload += metadata.payload_bytes()
+                payload += b"".join(
+                    kw.encode() + c.to_bytes(self.value_bytes, "big")
+                    for kw, c in new_kw_list
+                )
+                payload += b"".join(
+                    u.keyword.encode() + u.count.to_bytes(8, "big")
+                    for u in counts
+                )
+                sp_work.append((metadata, proofs, new_kw_list))
+            receipt = self.chain.send_transaction(
+                "do", ADS_CONTRACT, "insert_objects", batch, payload=payload
+            )
+        except BaseException:
+            self._do.restore(do_snapshot)
+            raise
+        if not receipt.status:
+            self._do.restore(do_snapshot)
+            raise ChainError(f"batched insertion failed: {receipt.error}")
         for obj in objects:
             self.store.put(obj)
-            metadata = ObjectMetadata.of(obj)
-            proofs, counts, new_keywords = self._do.insert(metadata)
-            new_kw_list = sorted(new_keywords.items())
-            batch.append(
-                (metadata.object_id, metadata.object_hash, counts, new_kw_list)
-            )
-            payload += metadata.payload_bytes()
-            payload += b"".join(
-                kw.encode() + c.to_bytes(self.value_bytes, "big")
-                for kw, c in new_kw_list
-            )
-            payload += b"".join(
-                u.keyword.encode() + u.count.to_bytes(8, "big") for u in counts
-            )
-            sp_work.append((metadata, proofs, new_kw_list))
-        receipt = self.chain.send_transaction(
-            "do", ADS_CONTRACT, "insert_objects", batch, payload=payload
-        )
-        if not receipt.status:
-            raise ChainError(f"batched insertion failed: {receipt.error}")
         for metadata, proofs, new_kw_list in sp_work:
             for keyword, commitment in new_kw_list:
                 self.sp_index.register_keyword(keyword, commitment)
@@ -333,28 +398,37 @@ class HybridStorageSystem:
                 self.sp_index.insert(metadata)
             return [register, update_tx]
 
-        # Chameleon family.
-        proofs, counts, new_keywords = self._do.insert(metadata)
-        new_kw_list = sorted(new_keywords.items())
-        payload = metadata.payload_bytes()
-        payload += b"".join(
-            kw.encode() + c.to_bytes(self.value_bytes, "big")
-            for kw, c in new_kw_list
-        )
-        payload += b"".join(
-            u.keyword.encode() + u.count.to_bytes(8, "big") for u in counts
-        )
-        receipt = self.chain.send_transaction(
-            "do",
-            ADS_CONTRACT,
-            "insert_object",
-            metadata.object_id,
-            metadata.object_hash,
-            counts,
-            new_kw_list,
-            payload=payload,
-        )
-        if receipt.status:
+        # Chameleon family.  The DO's off-chain state mutates while
+        # building the transaction, so snapshot it and roll back when
+        # the receipt fails — otherwise the DO and the chain diverge.
+        do_snapshot = self._do.snapshot(metadata.keywords)
+        try:
+            proofs, counts, new_keywords = self._do.insert(metadata)
+            new_kw_list = sorted(new_keywords.items())
+            payload = metadata.payload_bytes()
+            payload += b"".join(
+                kw.encode() + c.to_bytes(self.value_bytes, "big")
+                for kw, c in new_kw_list
+            )
+            payload += b"".join(
+                u.keyword.encode() + u.count.to_bytes(8, "big") for u in counts
+            )
+            receipt = self.chain.send_transaction(
+                "do",
+                ADS_CONTRACT,
+                "insert_object",
+                metadata.object_id,
+                metadata.object_hash,
+                counts,
+                new_kw_list,
+                payload=payload,
+            )
+        except BaseException:
+            self._do.restore(do_snapshot)
+            raise
+        if not receipt.status:
+            self._do.restore(do_snapshot)
+        else:
             for keyword, commitment in new_kw_list:
                 self.sp_index.register_keyword(keyword, commitment)
             for keyword, proof in proofs.items():
@@ -380,7 +454,11 @@ class HybridStorageSystem:
         return view
 
     def process_query(self, query: KeywordQuery) -> QueryAnswer:
-        """SP side: evaluate the query and build ``VO_sp``."""
+        """SP side: evaluate the query and build ``VO_sp``.
+
+        Conjuncts are independent joins; with a parallel executor they
+        are evaluated concurrently (the index views are read-only).
+        """
         with obs.span(
             "query.sp",
             scheme=self.scheme.value,
@@ -388,14 +466,36 @@ class HybridStorageSystem:
         ) as sp_span:
             conjunct_vos: list[ConjunctiveVO] = []
             result_ids: set[int] = set()
-            for conj in query.conjunctions:
-                views = [self._sp_view(kw) for kw in sorted(conj)]
-                with obs.span("query.sp.join", keywords=len(conj)):
-                    ids, vo = conjunctive_join(
-                        views, order=self.join_order, plan=self.join_plan
+            if (
+                self.executor.kind != "serial"
+                and len(query.conjunctions) > 1
+            ):
+                tasks = [
+                    (
+                        [self._sp_view(kw) for kw in sorted(conj)],
+                        self.join_order,
+                        self.join_plan,
                     )
-                conjunct_vos.append(vo)
-                result_ids |= set(ids)
+                    for conj in query.conjunctions
+                ]
+                with obs.span(
+                    "query.sp.join_parallel",
+                    conjunctions=len(tasks),
+                    executor=self.executor.kind,
+                ):
+                    outcomes = self.executor.map(_evaluate_conjunct, tasks)
+                for ids, vo in outcomes:
+                    conjunct_vos.append(vo)
+                    result_ids |= set(ids)
+            else:
+                for conj in query.conjunctions:
+                    views = [self._sp_view(kw) for kw in sorted(conj)]
+                    with obs.span("query.sp.join", keywords=len(conj)):
+                        ids, vo = conjunctive_join(
+                            views, order=self.join_order, plan=self.join_plan
+                        )
+                    conjunct_vos.append(vo)
+                    result_ids |= set(ids)
             objects = {oid: self.store.get(oid) for oid in result_ids}
             sp_span.set(results=len(result_ids))
         return QueryAnswer(
@@ -411,7 +511,7 @@ class HybridStorageSystem:
                 kw: self.chain.call_view(ADS_CONTRACT, "view_root", kw)
                 for kw in keywords
             }
-            return MerkleProofSystem(roots=roots)
+            return MerkleProofSystem(roots=roots, cache=self.verify_cache)
         digests = {
             kw: self.chain.call_view(ADS_CONTRACT, "view_digest", kw)
             for kw in keywords
@@ -434,6 +534,7 @@ class HybridStorageSystem:
             arity=self.arity,
             blooms=blooms,
             value_bytes=self.value_bytes,
+            cache=self.verify_cache,
         )
 
     def query(self, query: KeywordQuery | str) -> QueryResult:
@@ -456,8 +557,10 @@ class HybridStorageSystem:
             obs.observe("query.chain_seconds", time.perf_counter() - tc,
                         buckets=obs.TIME_BUCKETS_S)
             t1 = time.perf_counter()
-            with obs.span("query.verify"):
-                verified = verify_query(query, answer, proof_system)
+            with obs.span("query.verify", executor=self.executor.kind):
+                verified = verify_query(
+                    query, answer, proof_system, executor=self.executor
+                )
             verify_seconds = time.perf_counter() - t1
             with obs.span("query.vo_encode"):
                 vo_sp_bytes = len(self._codec.encode(answer.vo))
@@ -474,16 +577,24 @@ class HybridStorageSystem:
                     buckets=obs.TIME_BUCKETS_S)
         obs.observe("vo.bytes", vo_sp_bytes + vo_chain_bytes,
                     buckets=obs.SIZE_BUCKETS_BYTES)
+        # The flag reflects the actual verification outcome — the claimed
+        # result set must coincide with the independently verified one —
+        # rather than being hard-coded (any failed check above raises
+        # VerificationError out of this method before reaching here).
         return QueryResult(
             query=query,
             result_ids=sorted(verified.ids),
             objects=answer.objects,
-            verified=True,
+            verified=set(answer.result_ids) == verified.ids,
             vo_sp_bytes=vo_sp_bytes,
             vo_chain_bytes=vo_chain_bytes,
             sp_seconds=sp_seconds,
             verify_seconds=verify_seconds,
         )
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op for ``serial``)."""
+        self.executor.close()
 
     # -- reporting ------------------------------------------------------------------
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import hashlib
 import secrets
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
@@ -145,6 +147,177 @@ def generate_distinct_primes(count: int, bits: int, rng: RandomSource) -> list[i
             seen.add(p)
             primes.append(p)
     return primes
+
+
+# ---------------------------------------------------------------------------
+# Fast-path exponentiation: simultaneous multi-exp and fixed-base tables
+# ---------------------------------------------------------------------------
+
+#: Window width (bits) for the interleaved simultaneous exponentiation.
+MULTI_EXP_WINDOW = 5
+
+#: Window width (bits) for fixed-base precomputation tables.  Six bits
+#: keeps a 264-bit exponent to 44 table rows of 63 entries each — cheap
+#: enough to build once and far faster than a square-and-multiply chain.
+FIXED_BASE_WINDOW = 6
+
+#: Upper bound on cached fixed-base tables; oldest are evicted first.
+FIXED_BASE_CACHE_SIZE = 64
+
+
+class FixedBaseTable:
+    """Precomputed windowed powers of one fixed base.
+
+    Stores ``base^(d * 2^(w*k)) mod n`` for every window position ``k``
+    and digit ``d``, so :meth:`pow` needs only table lookups and modular
+    multiplications — no squarings.  Worth building for any base that is
+    exponentiated repeatedly (the CVC slot and pair bases the data owner
+    touches on every insert, and the slot bases every verification uses).
+    """
+
+    __slots__ = ("base", "modulus", "window", "max_bits", "_rows")
+
+    def __init__(
+        self,
+        base: int,
+        modulus: int,
+        max_bits: int,
+        window: int = FIXED_BASE_WINDOW,
+    ) -> None:
+        if max_bits <= 0:
+            raise ParameterError("max_bits must be positive")
+        if window <= 0:
+            raise ParameterError("window must be positive")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        self.max_bits = max_bits
+        rows: list[list[int]] = []
+        b = self.base
+        for _ in range((max_bits + window - 1) // window):
+            row = [1] * (1 << window)
+            row[1] = b
+            for d in range(2, 1 << window):
+                row[d] = row[d - 1] * b % modulus
+            rows.append(row)
+            b = row[-1] * b % modulus  # b^(2^window)
+        self._rows = rows
+
+    def pow(self, exponent: int) -> int:
+        """``base^exponent mod modulus`` via table lookups."""
+        if exponent < 0:
+            raise ParameterError("fixed-base exponent must be non-negative")
+        if exponent.bit_length() > self.max_bits:
+            # Fall back for out-of-range exponents rather than mis-compute.
+            return pow(self.base, exponent, self.modulus)
+        result = 1
+        modulus = self.modulus
+        window = self.window
+        mask = (1 << window) - 1
+        for row in self._rows:
+            digit = exponent & mask
+            if digit:
+                result = result * row[digit] % modulus
+            exponent >>= window
+            if not exponent:
+                break
+        return result
+
+
+_fixed_base_tables: OrderedDict[tuple[int, int], FixedBaseTable] = OrderedDict()
+_fixed_base_lock = threading.Lock()
+
+
+def fixed_base_table(
+    base: int, modulus: int, max_bits: int
+) -> FixedBaseTable:
+    """A (bounded, LRU) process-wide cache of fixed-base tables.
+
+    Keyed on ``(modulus, base)``; a cached table whose ``max_bits`` is
+    too small for the request is rebuilt at the larger size.
+    """
+    key = (modulus, base)
+    with _fixed_base_lock:
+        table = _fixed_base_tables.get(key)
+        if table is not None and table.max_bits >= max_bits:
+            _fixed_base_tables.move_to_end(key)
+            return table
+    # Build outside the lock: table construction is the expensive part.
+    table = FixedBaseTable(base, modulus, max_bits)
+    with _fixed_base_lock:
+        _fixed_base_tables[key] = table
+        _fixed_base_tables.move_to_end(key)
+        while len(_fixed_base_tables) > FIXED_BASE_CACHE_SIZE:
+            _fixed_base_tables.popitem(last=False)
+    return table
+
+
+def clear_fixed_base_tables() -> None:
+    """Drop every cached fixed-base table (tests and memory pressure)."""
+    with _fixed_base_lock:
+        _fixed_base_tables.clear()
+
+
+def multi_exp(
+    pairs: list[tuple[int, int]],
+    modulus: int,
+    tables: list[FixedBaseTable | None] | None = None,
+    window: int = MULTI_EXP_WINDOW,
+) -> int:
+    """Simultaneous multi-exponentiation: ``prod base_i^exp_i mod n``.
+
+    Uses Shamir's trick generalised to interleaved fixed-window
+    exponentiation: one shared squaring chain serves every base, so k
+    exponentiations cost roughly one exponentiation plus k window
+    multiplications per window — instead of k independent ``pow`` calls.
+
+    ``tables[i]``, when provided, is a :class:`FixedBaseTable` for
+    ``pairs[i]``'s base: that factor is then computed by table lookups
+    and leaves the shared squaring chain entirely.  A single remaining
+    non-table base degenerates to the native ``pow`` (CPython's C loop
+    beats an interpreted window walk for one base).
+    """
+    if modulus <= 0:
+        raise ParameterError("modulus must be positive")
+    if tables is not None and len(tables) != len(pairs):
+        raise ParameterError("tables must align one-to-one with pairs")
+    result = 1 % modulus
+    interleaved: list[tuple[int, int]] = []
+    for index, (base, exponent) in enumerate(pairs):
+        if exponent < 0:
+            raise ParameterError("multi_exp exponents must be non-negative")
+        if exponent == 0:
+            continue
+        table = tables[index] if tables is not None else None
+        if table is not None:
+            result = result * table.pow(exponent) % modulus
+        else:
+            interleaved.append((base % modulus, exponent))
+    if not interleaved:
+        return result
+    if len(interleaved) == 1:
+        base, exponent = interleaved[0]
+        return result * pow(base, exponent, modulus) % modulus
+    digit_tables: list[list[int]] = []
+    for base, _ in interleaved:
+        row = [1] * (1 << window)
+        row[1] = base
+        for d in range(2, 1 << window):
+            row[d] = row[d - 1] * base % modulus
+        digit_tables.append(row)
+    max_bits = max(exponent.bit_length() for _, exponent in interleaved)
+    mask = (1 << window) - 1
+    acc = 1
+    for position in range(((max_bits + window - 1) // window) - 1, -1, -1):
+        if acc != 1:
+            for _ in range(window):
+                acc = acc * acc % modulus
+        shift = position * window
+        for (_, exponent), row in zip(interleaved, digit_tables):
+            digit = (exponent >> shift) & mask
+            if digit:
+                acc = acc * row[digit] % modulus
+    return result * acc % modulus
 
 
 def mod_inverse(a: int, modulus: int) -> int:

@@ -33,16 +33,20 @@ two multi-hundred-bit modular exponentiations versus one SHA3 call.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.crypto.hashing import DIGEST_SIZE, sha3
 from repro.crypto.numbers import (
+    FixedBaseTable,
     RandomSource,
+    fixed_base_table,
     generate_distinct_primes,
     generate_rsa_modulus,
     make_random,
     mod_inverse,
+    multi_exp,
 )
 from repro.errors import CommitmentError, ParameterError, TrapdoorRequiredError
 
@@ -58,6 +62,57 @@ DEFAULT_MODULUS_BITS = 1024
 MESSAGE_BITS = 8 * DIGEST_SIZE
 
 Message = bytes | int | None
+
+# ---------------------------------------------------------------------------
+# Fast-path switch
+# ---------------------------------------------------------------------------
+
+#: When True (the default), Com/Open/Ver run on the simultaneous
+#: multi-exponentiation + fixed-base-table fast path; the naive
+#: independent-``pow`` path is kept for parity testing and benchmarking.
+_FASTPATH_ENABLED = True
+
+
+def fastpath_enabled() -> bool:
+    """Whether the multi-exp/fixed-base fast path is active."""
+    return _FASTPATH_ENABLED
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Enable or disable the fast path; returns the previous setting."""
+    global _FASTPATH_ENABLED
+    previous = _FASTPATH_ENABLED
+    _FASTPATH_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fastpath(enabled: bool):
+    """Context manager scoping a fast-path override."""
+    previous = set_fastpath(enabled)
+    try:
+        yield
+    finally:
+        set_fastpath(previous)
+
+
+def _table_bits(pp: "CVCPublicParams") -> int:
+    """Exponent width a base table must cover: messages and randomisers.
+
+    Randomisers are reduced modulo ``phi(N)`` by collision finding, so
+    the modulus width bounds them; encoded messages are ``MESSAGE_BITS``.
+    """
+    return max(MESSAGE_BITS, pp.modulus.bit_length())
+
+
+def _slot_table(pp: "CVCPublicParams", slot: int) -> FixedBaseTable:
+    """Cached fixed-base table for ``S_slot`` (0 = randomiser base)."""
+    return fixed_base_table(pp.slot_bases[slot], pp.modulus, _table_bits(pp))
+
+
+def _pair_table(pp: "CVCPublicParams", i: int, j: int) -> FixedBaseTable:
+    """Cached fixed-base table for ``T_{i,j}``."""
+    return fixed_base_table(pp.pair_base(i, j), pp.modulus, _table_bits(pp))
 
 
 def encode_message(message: Message) -> int:
@@ -233,11 +288,25 @@ def commit(
             f"expected {pp.arity} messages, got {len(messages)}"
         )
     encoded = [encode_message(m) for m in messages]
+    c = _commit_value(pp, encoded, randomiser)
+    return c, CVCAux(messages=encoded, randomiser=randomiser)
+
+
+def _commit_value(pp: CVCPublicParams, encoded: list[int], randomiser: int) -> int:
+    """The commitment group element for already-encoded messages."""
+    if _FASTPATH_ENABLED and randomiser >= 0:
+        pairs = [(pp.slot_bases[0], randomiser)]
+        tables: list[FixedBaseTable | None] = [_slot_table(pp, 0)]
+        for slot, z in enumerate(encoded, start=1):
+            if z:
+                pairs.append((pp.slot_bases[slot], z))
+                tables.append(_slot_table(pp, slot))
+        return multi_exp(pairs, pp.modulus, tables=tables)
     c = pow(pp.slot_bases[0], randomiser, pp.modulus)
     for slot, z in enumerate(encoded, start=1):
         if z:
             c = c * pow(pp.slot_bases[slot], z, pp.modulus) % pp.modulus
-    return c, CVCAux(messages=encoded, randomiser=randomiser)
+    return c
 
 
 def open_slot(pp: CVCPublicParams, slot: int, message: Message, aux: CVCAux) -> int:
@@ -252,6 +321,17 @@ def open_slot(pp: CVCPublicParams, slot: int, message: Message, aux: CVCAux) -> 
         raise CommitmentError(
             f"aux holds a different message at slot {slot}; cannot open"
         )
+    if _FASTPATH_ENABLED and aux.randomiser >= 0:
+        pairs = [(pp.pair_base(0, slot), aux.randomiser)]
+        tables: list[FixedBaseTable | None] = [_pair_table(pp, 0, slot)]
+        for other in range(1, pp.arity + 1):
+            if other == slot:
+                continue
+            z_other = aux.messages[other - 1]
+            if z_other:
+                pairs.append((pp.pair_base(other, slot), z_other))
+                tables.append(_pair_table(pp, other, slot))
+        return multi_exp(pairs, pp.modulus, tables=tables)
     proof = pow(pp.pair_base(0, slot), aux.randomiser, pp.modulus)
     for other in range(1, pp.arity + 1):
         if other == slot:
@@ -277,6 +357,15 @@ def verify(
     if not 0 < proof < pp.modulus or not 0 < commitment < pp.modulus:
         return False
     z = encode_message(message)
+    if _FASTPATH_ENABLED:
+        # One combined exponentiation: the varying base (the proof) runs
+        # through the shared chain, the fixed slot base through its table.
+        lhs = multi_exp(
+            [(proof, pp.slot_exponent(slot)), (pp.slot_base(slot), z)],
+            pp.modulus,
+            tables=[None, _slot_table(pp, slot)],
+        )
+        return lhs == commitment
     lhs = pow(proof, pp.slot_exponent(slot), pp.modulus)
     if z:
         lhs = lhs * pow(pp.slot_base(slot), z, pp.modulus) % pp.modulus
@@ -332,11 +421,7 @@ def find_collision(
 
 def _recommit(pp: CVCPublicParams, aux: CVCAux) -> tuple[int, CVCAux]:
     """Recompute a commitment from already-encoded aux contents."""
-    c = pow(pp.slot_bases[0], aux.randomiser, pp.modulus)
-    for slot, z in enumerate(aux.messages, start=1):
-        if z:
-            c = c * pow(pp.slot_bases[slot], z, pp.modulus) % pp.modulus
-    return c, aux
+    return _commit_value(pp, aux.messages, aux.randomiser), aux
 
 
 def commitment_byte_size(pp: CVCPublicParams) -> int:

@@ -182,10 +182,12 @@ class Blockchain:
         Charges ``C_tx`` plus ``C_txdata`` per payload byte before the
         method runs, enforces the block gas limit throughout, and records
         a receipt.  A failed execution (including out-of-gas) produces a
-        ``status=False`` receipt with the gas consumed so far — state
-        changes are *not* rolled back because the ADS contracts validate
-        inputs before mutating, matching the paper's abort-on-invalid
-        behaviour (Algorithm 2, line 2).
+        ``status=False`` receipt with the gas consumed so far, and every
+        storage write the method made is *reverted* — EVM semantics: a
+        failed transaction burns gas but leaves no state behind.  Without
+        the revert, a batched insertion aborting mid-way (e.g. at the
+        block gas limit) would leave partial count updates on chain that
+        no honest SP could ever prove against.
         """
         contract = self.contract(contract_name)
         nonce = self._nonces.get(sender, 0)
@@ -204,6 +206,7 @@ class Blockchain:
             "chain.tx", contract=contract_name, method=method
         ) as tx_span:
             contract.bind(env)
+            state_snapshot = contract.storage.snapshot()
             try:
                 meter.tx_base()
                 meter.txdata(len(payload))
@@ -216,6 +219,7 @@ class Blockchain:
                 receipt.status = True
             except (IntegrityError, OutOfGasError) as exc:
                 receipt.error = f"{type(exc).__name__}: {exc}"
+                contract.storage.restore(state_snapshot)
             finally:
                 contract.bind(None)
             tx_span.set(gas=meter.total, status=receipt.status)

@@ -129,6 +129,16 @@ class ContractStorage:
             data += self.load(key_prefix + ("w", i))
         return data[:length]
 
+    # -- transaction revert support -------------------------------------------
+
+    def snapshot(self) -> dict[StorageKey, bytes]:
+        """Copy of the occupied words (words themselves are immutable)."""
+        return dict(self._words)
+
+    def restore(self, words: dict[StorageKey, bytes]) -> None:
+        """Reset to a :meth:`snapshot` — the EVM revert on a failed tx."""
+        self._words = dict(words)
+
     # -- unmetered inspection (tests, reporting; not part of the cost model) --
 
     def peek(self, key: StorageKey) -> bytes:

@@ -1,0 +1,96 @@
+"""Pluggable execution policy for CPU-heavy pipeline stages.
+
+The SP evaluates each DNF conjunct independently, and the client
+verifies each conjunct (and each full-scan entry) independently — both
+are embarrassingly parallel over pure functions.  This module provides
+the executor abstraction threaded through
+:class:`~repro.core.system.HybridStorageSystem`, the SP server and
+:func:`~repro.core.query.verify.verify_query`:
+
+* ``serial`` (default) — plain in-process iteration, zero overhead;
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; under
+  CPython the big-int exponentiations hold the GIL, so this mainly
+  overlaps unrelated work, but it is dependency-free and safe;
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor` for
+  genuine multi-core scaling; task functions and their arguments must be
+  picklable (ours are module-level functions over dataclasses).
+
+Executors preserve input order and propagate the first raised exception,
+so swapping ``serial`` for ``thread``/``process`` never changes
+observable behaviour — only wall-clock time.
+"""
+
+from __future__ import annotations
+
+from concurrent import futures
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Executor kinds accepted by :func:`make_executor`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+class SerialExecutor:
+    """The default policy: run everything inline, in order."""
+
+    kind = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, inline."""
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class PoolExecutor:
+    """Thread- or process-pool policy over :mod:`concurrent.futures`."""
+
+    def __init__(self, kind: str, workers: int | None = None) -> None:
+        if kind == "thread":
+            self._pool: futures.Executor = futures.ThreadPoolExecutor(
+                max_workers=workers
+            )
+        elif kind == "process":
+            self._pool = futures.ProcessPoolExecutor(max_workers=workers)
+        else:  # pragma: no cover - guarded by make_executor
+            raise ParameterError(f"unknown pool kind {kind!r}")
+        self.kind = kind
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` across the pool; ordered, first error propagates."""
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down and release its workers."""
+        self._pool.shutdown(wait=True)
+
+
+Executor = SerialExecutor | PoolExecutor
+
+
+def make_executor(
+    spec: "str | Executor | None", workers: int | None = None
+) -> Executor:
+    """Resolve an executor from its name (or pass one through).
+
+    ``None`` and ``"serial"`` yield the inline executor; ``"thread"``
+    and ``"process"`` build pools with ``workers`` workers (``None``
+    lets the pool pick the host default).
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, (SerialExecutor, PoolExecutor)):
+        return spec
+    if spec == "serial":
+        return SerialExecutor()
+    if spec in ("thread", "process"):
+        return PoolExecutor(spec, workers=workers)
+    raise ParameterError(
+        f"unknown executor {spec!r}; expected one of: "
+        + ", ".join(EXECUTOR_KINDS)
+    )

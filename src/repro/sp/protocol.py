@@ -19,12 +19,12 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import obs
-from repro.core.objects import DataObject
+from repro.core.objects import MAX_KEYWORD_BYTES, DataObject
 from repro.core.query.codec import VOCodec
 from repro.core.query.parser import KeywordQuery
 from repro.core.query.verify import verify_query
 from repro.core.query.vo import QueryAnswer
-from repro.errors import QueryError, ReproError
+from repro.errors import DatasetError, QueryError, ReproError
 
 #: Protocol version byte, bumped on breaking format changes.
 #: v2: error responses carry a machine-readable error-code byte.
@@ -75,7 +75,16 @@ def encode_object(obj: DataObject) -> bytes:
     out.write(obj.object_id.to_bytes(8, "big"))
     out.write(len(obj.keywords).to_bytes(2, "big"))
     for keyword in obj.keywords:
-        _write_bytes(out, keyword.encode("utf-8"), width=1)
+        blob = keyword.encode("utf-8")
+        if len(blob) > MAX_KEYWORD_BYTES:
+            # Ingestion already enforces this; the codec re-checks so a
+            # rogue object raises a library error, not an OverflowError
+            # from the one-byte length prefix.
+            raise ReproError(
+                f"keyword is {len(blob)} UTF-8 bytes; the wire format "
+                f"caps keywords at {MAX_KEYWORD_BYTES} bytes"
+            )
+        _write_bytes(out, blob, width=1)
     _write_bytes(out, obj.content)
     return out.getvalue()
 
@@ -222,6 +231,10 @@ class StorageProviderServer:
             query = KeywordQuery.parse(request.query_text)
         except QueryError as exc:
             return error(ERR_QUERY, exc)
+        except DatasetError as exc:
+            # e.g. a keyword beyond the 255-byte wire limit: the request
+            # itself is malformed, not the query structure.
+            return error(ERR_BAD_REQUEST, exc)
         try:
             answer = self._system.process_query(query)
             return QueryResponse(

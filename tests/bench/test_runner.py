@@ -78,6 +78,7 @@ class TestExperimentSmoke:
             "fig13",
             "tab2",
             "disj",
+            "fastpath",
         }
         assert set(ABLATIONS) == {
             "abl-fanout",

@@ -1,0 +1,157 @@
+"""Executor policy: resolution, equivalence with serial, error paths.
+
+The contract of :mod:`repro.parallel` is that swapping ``serial`` for a
+pool changes wall-clock time only: ordering, results and raised
+exceptions are identical.  Process pools are exercised sparingly (one
+smoke test) because of their per-worker start-up cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataObject, HybridStorageSystem
+from repro.errors import ParameterError, VerificationError
+from repro.parallel import (
+    EXECUTOR_KINDS,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestMakeExecutor:
+    def test_defaults_to_serial(self):
+        assert make_executor(None).kind == "serial"
+        assert make_executor("serial").kind == "serial"
+
+    def test_passthrough_of_instances(self):
+        ex = SerialExecutor()
+        assert make_executor(ex) is ex
+
+    def test_thread_pool(self):
+        ex = make_executor("thread", workers=2)
+        try:
+            assert ex.kind == "thread"
+            assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            ex.close()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            make_executor("gpu")
+
+    def test_kinds_registry(self):
+        assert set(EXECUTOR_KINDS) == {"serial", "thread", "process"}
+
+
+class TestExecutorSemantics:
+    def test_order_preserved(self):
+        ex = PoolExecutor("thread", workers=4)
+        try:
+            items = list(range(50))
+            assert ex.map(_square, items) == [x * x for x in items]
+        finally:
+            ex.close()
+
+    def test_first_error_propagates(self):
+        for ex in (SerialExecutor(), PoolExecutor("thread", workers=2)):
+            try:
+                with pytest.raises(ValueError):
+                    ex.map(_boom, [1, 2])
+            finally:
+                ex.close()
+
+
+DOCS = [
+    DataObject(1, ("covid-19", "sars-cov-2"), b"a"),
+    DataObject(2, ("covid-19",), b"b"),
+    DataObject(4, ("covid-19", "symptom", "vaccine"), b"c"),
+    DataObject(5, ("covid-19", "vaccine"), b"d"),
+    DataObject(6, ("symptom",), b"e"),
+    DataObject(7, ("sars-cov-2", "vaccine"), b"f"),
+]
+
+QUERIES = (
+    "(covid-19 AND vaccine) OR (sars-cov-2 AND vaccine) OR symptom",
+    "covid-19 AND vaccine",
+    "symptom OR missing-keyword",
+    "covid-19",
+)
+
+
+@pytest.mark.parametrize("scheme", ["smi", "ci", "ci*"])
+class TestParallelQueryEquivalence:
+    def test_thread_executor_matches_serial(self, scheme):
+        serial = HybridStorageSystem(
+            scheme=scheme, cvc_modulus_bits=512, seed=21
+        )
+        threaded = HybridStorageSystem(
+            scheme=scheme,
+            cvc_modulus_bits=512,
+            seed=21,
+            executor="thread",
+            executor_workers=3,
+        )
+        try:
+            serial.add_objects(DOCS)
+            threaded.add_objects(DOCS)
+            for text in QUERIES:
+                a = serial.query(text)
+                b = threaded.query(text)
+                assert a.result_ids == b.result_ids, (scheme, text)
+                assert b.verified
+        finally:
+            threaded.close()
+
+    def test_tampering_detected_under_parallel_verification(self, scheme):
+        system = HybridStorageSystem(
+            scheme=scheme,
+            cvc_modulus_bits=512,
+            seed=21,
+            executor="thread",
+            executor_workers=3,
+        )
+        try:
+            system.add_objects(DOCS)
+            answer = system.process_query(
+                system.query("covid-19 OR symptom").query
+            )
+            answer.result_ids.pop()  # SP silently drops a result
+            from repro.core.query.parser import KeywordQuery
+            from repro.core.query.verify import verify_query
+
+            query = KeywordQuery.parse("covid-19 OR symptom")
+            ps = system.chain_proof_system(query.all_keywords())
+            with pytest.raises(VerificationError):
+                verify_query(query, answer, ps, executor=system.executor)
+        finally:
+            system.close()
+
+
+class TestProcessExecutorSmoke:
+    def test_process_pool_round_trip(self):
+        """One end-to-end query through a process pool: results, the
+        verification verdict and picklability of every task payload."""
+        system = HybridStorageSystem(
+            scheme="ci",
+            cvc_modulus_bits=512,
+            seed=21,
+            executor="process",
+            executor_workers=2,
+        )
+        try:
+            system.add_objects(DOCS[:5])
+            result = system.query("(covid-19 AND vaccine) OR symptom")
+            assert result.verified
+            assert result.result_ids == [4, 5, 6]
+        finally:
+            system.close()
