@@ -1,0 +1,41 @@
+"""Domain-specific static analysis (``repro-lint``).
+
+The Python type system cannot see the invariants the paper's security
+argument rests on: constant-time digest comparison, deterministically
+ordered commitment inputs, seeded randomness, fail-closed verifiers,
+integral gas, and lock-guarded shared state.  This package enforces them
+mechanically with a small AST-checker framework:
+
+* :mod:`repro.analysis.framework` — checker base class, registry,
+  module parsing, ``# reprolint: disable=<rule>`` suppressions;
+* :mod:`repro.analysis.checkers` — the six built-in domain rules;
+* :mod:`repro.analysis.baseline` — committed grandfather list;
+* :mod:`repro.analysis.reporters` — text/JSON output + obs metrics;
+* :mod:`repro.analysis.cli` — the ``repro-lint`` console script.
+
+Run ``repro-lint src/repro`` (or ``python -m repro.analysis``).
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Checker,
+    ModuleSource,
+    default_checkers,
+    register,
+    registered_rules,
+)
+from repro.analysis.runner import LintResult, lint_source, run_lint
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleSource",
+    "default_checkers",
+    "lint_source",
+    "register",
+    "registered_rules",
+    "run_lint",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — alias for the ``repro-lint`` script."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,77 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+The baseline is a committed JSON file mapping each finding's
+line-independent :attr:`~repro.analysis.findings.Finding.baseline_key`
+to a count.  ``repro-lint`` subtracts baselined counts before failing,
+so legacy findings can be burned down incrementally while every *new*
+finding breaks CI immediately.  Changing the set of accepted findings
+therefore requires touching the baseline file explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by baseline key with a count each."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; raises on version mismatch."""
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {BASELINE_VERSION})"
+            )
+        entries = {
+            str(key): int(count)
+            for key, count in payload.get("entries", {}).items()
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Build a baseline accepting exactly the given findings."""
+        return cls(entries=dict(Counter(f.baseline_key for f in findings)))
+
+    def save(self, path: str) -> None:
+        """Write the baseline file (sorted keys, stable diffs)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], int, list[str]]:
+        """Split findings into (new, n_baselined, stale_keys).
+
+        For each key, up to the baselined count of findings is absorbed;
+        the rest are new.  Keys in the baseline with no matching finding
+        any more are *stale* and should be pruned from the file.
+        """
+        budget = dict(self.entries)
+        fresh: list[Finding] = []
+        absorbed = 0
+        for finding in sorted(findings):
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        stale = sorted(key for key, count in budget.items() if count > 0)
+        return fresh, absorbed, stale

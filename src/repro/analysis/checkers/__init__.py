@@ -1,0 +1,22 @@
+"""Built-in domain checkers.
+
+Importing this package registers every checker with the framework
+registry; :func:`repro.analysis.framework.default_checkers` relies on
+that side effect.
+"""
+
+from repro.analysis.checkers.crypto_hygiene import CryptoHygieneChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.gas_integrality import GasIntegralityChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.timing import TimingSafeCompareChecker
+from repro.analysis.checkers.verification import VerificationDisciplineChecker
+
+__all__ = [
+    "CryptoHygieneChecker",
+    "DeterminismChecker",
+    "GasIntegralityChecker",
+    "LockDisciplineChecker",
+    "TimingSafeCompareChecker",
+    "VerificationDisciplineChecker",
+]

@@ -1,0 +1,85 @@
+"""gas-integrality: gas accounting stays in exact integer arithmetic.
+
+Gas is an integer quantity; the moment a float enters the accumulation
+path, totals stop matching the receipts bit-for-bit and the Table III
+breakdown drifts.  In ``ethereum/gas.py`` / ``ethereum/vm.py`` this rule
+flags float literals, true division and ``float(...)`` conversions —
+except in the US$ *reporting* helpers (function or constant names
+carrying ``usd``/``price``), which are presentational by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Checker,
+    ModuleSource,
+    enclosing_symbol,
+    register,
+    walk_with_stack,
+)
+
+_REPORTING_NAME = re.compile(r"(usd|price)", re.IGNORECASE)
+
+
+def _in_reporting_context(ancestors: tuple[ast.AST, ...]) -> bool:
+    """Inside a US$-conversion helper or a pricing-constant assignment?"""
+    for node in ancestors:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _REPORTING_NAME.search(node.name):
+                return True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                name = target.id if isinstance(target, ast.Name) else ""
+                if name and _REPORTING_NAME.search(name):
+                    return True
+    return False
+
+
+@register
+class GasIntegralityChecker(Checker):
+    """Flags float arithmetic in the gas accounting modules."""
+
+    rule = "gas-integrality"
+    description = (
+        "no float literals, true division, or float() in gas accounting "
+        "(US$ reporting helpers exempt)"
+    )
+    paths = ("ethereum/gas.py", "ethereum/vm.py")
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(src.tree):
+            if _in_reporting_context(ancestors):
+                continue
+            symbol = enclosing_symbol(ancestors)
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                yield self.finding(
+                    src,
+                    node,
+                    f"float literal {node.value!r} in gas accounting; "
+                    "gas must stay integral",
+                    symbol=symbol,
+                )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield self.finding(
+                    src,
+                    node,
+                    "true division produces floats; use // in gas accounting",
+                    symbol=symbol,
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                yield self.finding(
+                    src,
+                    node,
+                    "float() conversion in gas accounting; gas must stay integral",
+                    symbol=symbol,
+                )

@@ -1,0 +1,131 @@
+"""verification-discipline: ``verify_*`` functions must fail closed.
+
+A verifier that swallows exceptions or returns ``True`` without having
+performed a single check silently voids the whole ADS guarantee (the
+vChain/EVeCA failure mode).  This rule inspects every function whose
+name marks it as a verifier (``verify*`` / ``_verify*`` / ``*_verify``)
+and flags:
+
+* bare ``except:`` handlers (they swallow ``VerificationError`` too);
+* ``except``-handlers whose body is only ``pass``;
+* an unconditional ``return True`` — one reachable before any check
+  (``if``/``try``/loop/``assert``/``raise``/``_check(...)``-style call)
+  has run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Checker,
+    ModuleSource,
+    enclosing_symbol,
+    register,
+    walk_with_stack,
+)
+
+_VERIFY_NAME = re.compile(r"^_?verify|_verify$|^_?ver$")
+
+#: A call to any of these (by name fragment) counts as "a check ran".
+_CHECKING_CALL = re.compile(r"(check|verify|validate|assert|require)", re.IGNORECASE)
+
+
+def _is_verifier(name: str) -> bool:
+    return bool(_VERIFY_NAME.search(name))
+
+
+def _is_checking_stmt(stmt: ast.stmt) -> bool:
+    """Statements that establish 'a check has run' for return-True scanning."""
+    if isinstance(stmt, (ast.If, ast.For, ast.While, ast.Try, ast.Assert, ast.Raise)):
+        return True
+    if isinstance(stmt, (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+                if _CHECKING_CALL.search(name):
+                    return True
+    return False
+
+
+@register
+class VerificationDisciplineChecker(Checker):
+    """Flags fail-open patterns inside verifier functions."""
+
+    rule = "verification-discipline"
+    description = (
+        "verify_* functions may not contain bare except, except-pass, or "
+        "an unconditional 'return True'"
+    )
+    paths = ("",)
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_verifier(node.name):
+                continue
+            qualname = enclosing_symbol((*ancestors, node))
+            yield from self._check_handlers(src, node, qualname)
+            yield from self._check_return_true(src, node.body, qualname)
+
+    def _walk_own(self, func: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function's own body, not descending into nested defs."""
+        for child in ast.iter_child_nodes(func):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs get their own top-level visit
+            yield child
+            yield from self._walk_own(child)
+
+    def _check_handlers(
+        self, src: ModuleSource, func: ast.AST, qualname: str
+    ) -> Iterator[Finding]:
+        for node in self._walk_own(func):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    src,
+                    node,
+                    "bare 'except:' in a verifier swallows VerificationError; "
+                    "catch specific exceptions and re-raise",
+                    symbol=qualname,
+                )
+            elif all(isinstance(stmt, ast.Pass) for stmt in node.body):
+                yield self.finding(
+                    src,
+                    node,
+                    "'except: pass' in a verifier fails open; "
+                    "verifiers must raise VerificationError on failure",
+                    symbol=qualname,
+                )
+
+    def _check_return_true(
+        self, src: ModuleSource, body: list[ast.stmt], qualname: str, guarded: bool = False
+    ) -> Iterator[Finding]:
+        """Scan a statement sequence for a pre-check ``return True``."""
+        for stmt in body:
+            if (
+                isinstance(stmt, ast.Return)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is True
+                and not guarded
+            ):
+                yield self.finding(
+                    src,
+                    stmt,
+                    "'return True' before any check has run: this verifier "
+                    "cannot fail; verifiers must fail closed",
+                    symbol=qualname,
+                )
+            elif isinstance(stmt, ast.With):
+                # 'with' blocks are transparent containers: recurse with
+                # the current guard state, then inherit whatever it set.
+                yield from self._check_return_true(src, stmt.body, qualname, guarded)
+                guarded = guarded or any(_is_checking_stmt(s) for s in stmt.body)
+            if _is_checking_stmt(stmt):
+                guarded = True

@@ -1,0 +1,120 @@
+"""``repro-lint``: the command-line front end of :mod:`repro.analysis`.
+
+Exit codes: 0 clean (or fully baselined), 1 new findings or scan errors,
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.framework import default_checkers, registered_rules
+from repro.analysis.reporters import record_metrics, render_json, render_text
+from repro.analysis.runner import run_lint
+
+#: Default committed baseline location, relative to the repo root.
+DEFAULT_BASELINE = os.path.join("tools", "reprolint-baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-specific static analysis for the repro codebase: "
+            "crypto, determinism, and verification invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings; used when it exists "
+            f"(default: {DEFAULT_BASELINE} if present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file to accept the current findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, cls in sorted(registered_rules().items()):
+            print(f"{rule}: {cls.description}")
+        return 0
+
+    try:
+        select = args.select.split(",") if args.select else None
+        checkers = default_checkers(select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    result = run_lint(args.paths, checkers)
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        path = baseline_path or DEFAULT_BASELINE
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        Baseline.from_findings(result.findings).save(path)
+        print(f"baseline written: {path} ({len(result.findings)} finding(s))")
+        return 0
+
+    baselined = 0
+    stale: list[str] = []
+    findings = result.findings
+    if baseline_path is not None and os.path.exists(baseline_path):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined, stale = baseline.apply(findings)
+
+    record_metrics(findings, result.files_scanned)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, result.files_scanned, baselined, stale))
+    return 1 if findings or result.errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Finding reporters: human text, machine JSON, obs metrics.
+
+The text reporter prints one line per finding plus a per-rule summary;
+the JSON reporter emits a single document suitable for tooling.  Both
+also feed the :mod:`repro.obs` metrics registry (``lint.files``,
+``lint.findings``, ``lint.finding.<rule>``) so a lint run integrates
+with the same telemetry surface as the rest of the system.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro import obs
+from repro.analysis.findings import Finding
+
+
+def record_metrics(findings: list[Finding], files_scanned: int) -> None:
+    """Export lint telemetry through the installed obs collector."""
+    obs.inc("lint.files", files_scanned)
+    obs.inc("lint.findings", len(findings))
+    for rule, count in Counter(f.rule for f in findings).items():
+        obs.inc(f"lint.finding.{rule}", count)
+
+
+def render_text(
+    findings: list[Finding],
+    files_scanned: int,
+    baselined: int = 0,
+    stale_keys: list[str] | None = None,
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in sorted(findings)]
+    by_rule = Counter(f.rule for f in findings)
+    if lines:
+        lines.append("")
+    summary = (
+        f"{len(findings)} finding(s) in {files_scanned} file(s)"
+        if findings
+        else f"clean: 0 findings in {files_scanned} file(s)"
+    )
+    if baselined:
+        summary += f" ({baselined} baselined)"
+    lines.append(summary)
+    for rule in sorted(by_rule):
+        lines.append(f"  {rule}: {by_rule[rule]}")
+    for key in stale_keys or []:
+        lines.append(f"  stale baseline entry (prune it): {key}")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    files_scanned: int,
+    baselined: int = 0,
+    stale_keys: list[str] | None = None,
+) -> str:
+    """Machine-readable report for tooling and CI artifacts."""
+    payload = {
+        "files_scanned": files_scanned,
+        "baselined": baselined,
+        "stale_baseline_keys": stale_keys or [],
+        "counts": dict(sorted(Counter(f.rule for f in findings).items())),
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,95 @@
+"""Lint runner: file discovery, checker dispatch, suppression filtering."""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, ModuleSource, default_checkers
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, pre-baseline."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+                out.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            out.append(path)
+    return sorted(set(out))
+
+
+def lint_module(src: ModuleSource, checkers: list[Checker]) -> tuple[list[Finding], int]:
+    """Run the applicable checkers over one parsed module.
+
+    Returns the surviving findings and the number suppressed by
+    ``# reprolint: disable=...`` comments.
+    """
+    raw: list[Finding] = []
+    for checker in checkers:
+        if checker.applies_to(src.module):
+            raw.extend(checker.check(src))
+    suppressions = src.suppressed_rules()
+    kept: list[Finding] = []
+    dropped = 0
+    for finding in raw:
+        rules = suppressions.get(finding.line, ())
+        if finding.rule in rules or "all" in rules:
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped
+
+
+def lint_source(
+    text: str,
+    module: str,
+    checkers: list[Checker] | None = None,
+    path: str = "<string>",
+) -> list[Finding]:
+    """Lint an in-memory source string (unit-test / fixture entry point)."""
+    src = ModuleSource.parse(path, text=text, module=module)
+    findings, _ = lint_module(src, checkers if checkers is not None else default_checkers())
+    return findings
+
+
+def run_lint(
+    paths: Iterable[str],
+    checkers: list[Checker] | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    active = checkers if checkers is not None else default_checkers()
+    result = LintResult()
+    for filename in iter_python_files(paths):
+        try:
+            src = ModuleSource.parse(filename)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.errors.append(f"{filename}: {exc}")
+            continue
+        findings, suppressed = lint_module(src, active)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files_scanned += 1
+    result.findings.sort()
+    return result

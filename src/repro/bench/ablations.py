@@ -18,8 +18,8 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
-from repro.core.system import HybridStorageSystem
 from repro.bench.runner import BENCH_CVC_BITS, _dataset, measure_queries
+from repro.core.system import HybridStorageSystem
 from repro.datasets.workloads import ConjunctiveWorkload
 from repro.ethereum.gas import GAS_TXDATA_PER_BYTE, gas_to_usd
 

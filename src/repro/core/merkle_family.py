@@ -26,7 +26,7 @@ from repro.core.mbtree import (
 from repro.core.objects import ObjectMetadata
 from repro.core.proofcache import VerificationCache
 from repro.core.query.vo import ProvenEntry
-from repro.crypto.hashing import EMPTY_DIGEST
+from repro.crypto.hashing import EMPTY_DIGEST, digests_equal
 from repro.errors import VerificationError
 
 
@@ -157,7 +157,7 @@ class MerkleProofSystem:
         computed = path.compute_root(
             Entry(key=entry.object_id, value_hash=entry.object_hash)
         )
-        if computed != root:
+        if not digests_equal(computed, root):
             raise VerificationError(
                 f"Merkle path for object {entry.object_id} does not match "
                 f"the on-chain root of keyword {keyword!r}"
@@ -187,7 +187,7 @@ class MerkleProofSystem:
 
     def keyword_empty(self, keyword: str) -> bool:
         """Whether VO_chain shows the keyword's tree empty."""
-        return self._root(keyword) == EMPTY_DIGEST
+        return digests_equal(self._root(keyword), EMPTY_DIGEST)
 
     def definitely_absent(self, keyword: str, object_id: int) -> bool:
         """Whether on-chain filters prove the ID absent."""

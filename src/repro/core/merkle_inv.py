@@ -21,6 +21,7 @@ IV-A cost analysis places it:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.mbtree import (
     DEFAULT_FANOUT,
     InternalNode,
@@ -30,7 +31,6 @@ from repro.core.mbtree import (
     leaf_payload,
     node_payload,
 )
-from repro import obs
 from repro.core.objects import ObjectMetadata
 from repro.crypto.hashing import word_count
 from repro.ethereum.contract import SmartContract

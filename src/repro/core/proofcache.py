@@ -56,18 +56,20 @@ class VerificationCache:
     def seen(self, key: Hashable) -> bool:
         """Whether ``key`` was verified before; records the hit/miss."""
         if self.maxsize <= 0:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             obs.inc(f"{self.metric_prefix}.cache_miss")
             return False
         with self._lock:
             present = key in self._entries
             if present:
                 self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
         if present:
-            self.hits += 1
             obs.inc(f"{self.metric_prefix}.cache_hit")
         else:
-            self.misses += 1
             obs.inc(f"{self.metric_prefix}.cache_miss")
         return present
 
@@ -85,8 +87,8 @@ class VerificationCache:
         """Drop every cached tuple and reset the counters."""
         with self._lock:
             self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+            self.hits = 0
+            self.misses = 0
 
     def __getstate__(self) -> dict:
         # Locks cannot cross process boundaries; the worker gets a copy

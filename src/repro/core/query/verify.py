@@ -21,6 +21,7 @@ filters for the starred variant.  Every check failure raises
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -32,7 +33,9 @@ from repro.core.query.vo import (
     MultiWayJoinVO,
     ProvenEntry,
     QueryAnswer,
+    SemiJoinProbe,
 )
+from repro.crypto.hashing import digests_equal
 from repro.errors import VerificationError
 from repro.parallel import Executor, SerialExecutor
 
@@ -259,7 +262,7 @@ def verify_semi_join_stage(
     keyword: str,
     candidates: set[int],
     candidate_hashes: dict[int, bytes],
-    probes,
+    probes: Sequence[SemiJoinProbe],
     ps: ProofSystem,
 ) -> set[int]:
     """Verify one semi-join stage: every candidate probed, matches kept."""
@@ -281,8 +284,10 @@ def verify_semi_join_stage(
         if probe.lower is not None and probe.lower.object_id == cid:
             ps.verify_entry(keyword, probe.lower)
             _check(
-                probe.lower.object_hash
-                == candidate_hashes.get(cid, probe.lower.object_hash),
+                digests_equal(
+                    probe.lower.object_hash,
+                    candidate_hashes.get(cid, probe.lower.object_hash),
+                ),
                 "candidate hash mismatch across trees",
             )
             survivors.add(cid)
@@ -453,7 +458,7 @@ def verify_query(
             "returned object carries a different ID",
         )
         _check(
-            obj.digest() == union.hashes[object_id],
+            digests_equal(obj.digest(), union.hashes[object_id]),
             f"object {object_id} does not hash to its proven digest",
         )
         _check(

@@ -29,7 +29,7 @@ from repro.core.mbtree import (
 )
 from repro.core.objects import ObjectMetadata
 from repro.core.suppressed import SuppressedMerkleContract
-from repro.crypto.hashing import EMPTY_DIGEST
+from repro.crypto.hashing import EMPTY_DIGEST, digests_equal
 from repro.errors import QueryError, VerificationError
 from repro.ethereum.chain import Blockchain, Receipt
 
@@ -107,7 +107,7 @@ def verify_range(root_hash: bytes, vo: RangeVO) -> list[Entry]:
     """
     if vo.lo > vo.hi:
         raise VerificationError("malformed VO: inverted range")
-    if root_hash == EMPTY_DIGEST:
+    if digests_equal(root_hash, EMPTY_DIGEST):
         # Empty tree: the only valid answer is the empty one with no
         # boundary evidence.
         if vo.results or vo.left_boundary or vo.right_boundary:
@@ -116,7 +116,7 @@ def verify_range(root_hash: bytes, vo: RangeVO) -> list[Entry]:
 
     def check_entry(item: RangeEntry, label: str) -> None:
         """Verify one proven entry against the root."""
-        if item.path.compute_root(item.entry) != root_hash:
+        if not digests_equal(item.path.compute_root(item.entry), root_hash):
             raise VerificationError(f"{label} fails Merkle verification")
 
     for item in vo.results:

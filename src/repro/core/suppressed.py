@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.mbtree import (
     DEFAULT_FANOUT,
     MBTree,
@@ -28,8 +29,7 @@ from repro.core.mbtree import (
     entry_payload,
     reconstruct_root,
 )
-from repro import obs
-from repro.crypto.hashing import word_count
+from repro.crypto.hashing import digests_equal, word_count
 from repro.errors import IntegrityError
 from repro.ethereum.contract import SmartContract
 
@@ -101,7 +101,7 @@ class SuppressedMerkleContract(SmartContract):
         updates: list[KeywordUpdate],
     ) -> None:
         registered = self.storage.load(("objhash", object_id))
-        if registered != object_hash:
+        if not digests_equal(registered, object_hash):
             self.emit("InvalidUpdVO", object_id=object_id, reason="hash")
             raise IntegrityError(
                 "object hash in UpdVO does not match the DO's registration"
@@ -115,7 +115,7 @@ class SuppressedMerkleContract(SmartContract):
             # An absent keyword reads as the zero word, which equals the
             # EMPTY_DIGEST an empty spine reconstructs to.
             old_root = reconstruct_root(spine, hash_fn=self._hash)
-            if old_root != stored_root:
+            if not digests_equal(old_root, stored_root):
                 self.emit(
                     "InvalidUpdVO",
                     object_id=object_id,

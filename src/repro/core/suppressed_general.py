@@ -42,10 +42,9 @@ from repro.core.mbtree import (
     node_payload,
     paths_adjacent,
 )
-from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.crypto.hashing import EMPTY_DIGEST, digests_equal, sha3, word_count
 from repro.errors import IntegrityError, ReproError
 from repro.ethereum.contract import SmartContract
-from repro.crypto.hashing import word_count
 
 
 @dataclass(frozen=True)
@@ -125,7 +124,7 @@ def generate_general_update(tree: MBTree, key: int) -> GeneralUpdateProof:
 
     Must be called before applying the insertion to the mirror tree.
     """
-    if tree.root_hash == EMPTY_DIGEST:
+    if digests_equal(tree.root_hash, EMPTY_DIGEST):
         return GeneralUpdateProof(levels=(), leaf_entries=(), insert_index=0)
     node = tree._root
     levels: list[tuple[int, tuple[bytes, ...]]] = []
@@ -185,7 +184,7 @@ def verify_and_update_root(
     """
     # -- empty tree bootstrap ---------------------------------------------------
     if not proof.leaf_entries and not proof.levels:
-        if stored_root != EMPTY_DIGEST:
+        if not digests_equal(stored_root, EMPTY_DIGEST):
             raise IntegrityError("empty-tree proof against a non-empty root")
         new_entry = hash_fn(entry_payload(key, value_hash))
         return hash_fn(leaf_payload((new_entry,)))
@@ -198,10 +197,10 @@ def verify_and_update_root(
     for followed, digests in reversed(proof.levels):
         if not 0 <= followed < len(digests):
             raise IntegrityError("path index out of range")
-        if digests[followed] != current:
+        if not digests_equal(digests[followed], current):
             raise IntegrityError("path digest mismatch along the UpdVO")
         current = hash_fn(node_payload(digests))
-    if current != stored_root:
+    if not digests_equal(current, stored_root):
         raise IntegrityError("UpdVO does not match the stored root hash")
 
     # -- 2. ordering: the insertion must be key-correct -------------------------
@@ -221,7 +220,7 @@ def verify_and_update_root(
             pred = proof.predecessor
             if pred.entry.key >= key:
                 raise IntegrityError("global predecessor does not precede key")
-            if pred.path.compute_root(pred.entry) != stored_root:
+            if not digests_equal(pred.path.compute_root(pred.entry), stored_root):
                 raise IntegrityError("predecessor path fails verification")
             first_path = proof.leaf_entry_path(0)
             if not paths_adjacent(pred.path, first_path):
@@ -239,7 +238,7 @@ def verify_and_update_root(
             succ = proof.successor
             if succ.entry.key <= key:
                 raise IntegrityError("global successor does not follow key")
-            if succ.path.compute_root(succ.entry) != stored_root:
+            if not digests_equal(succ.path.compute_root(succ.entry), stored_root):
                 raise IntegrityError("successor path fails verification")
             last_path = proof.leaf_entry_path(len(entries) - 1)
             if not paths_adjacent(last_path, succ.path):
@@ -301,7 +300,7 @@ class GeneralSuppressedContract(SmartContract):
     ) -> None:
         """Validate a generalised ``UpdVO`` and update the root."""
         registered = self.storage.load(("objhash", object_id))
-        if registered != object_hash:
+        if not digests_equal(registered, object_hash):
             self.emit("InvalidUpdVO", object_id=object_id, reason="hash")
             raise IntegrityError(
                 "object hash does not match the DO's registration"

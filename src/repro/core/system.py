@@ -36,13 +36,13 @@ from repro.core.chameleon_index import (
     ChameleonSP,
 )
 from repro.core.chameleon_star import ChameleonStarContract
-from repro.core.merkle_family import MerkleInvertedSP, MerkleProofSystem
 from repro.core.mbtree import DEFAULT_FANOUT
+from repro.core.merkle_family import MerkleInvertedSP, MerkleProofSystem
 from repro.core.objects import DataObject, ObjectMetadata, ObjectStore
 from repro.core.proofcache import DEFAULT_CACHE_SIZE, VerificationCache
+from repro.core.query.codec import VOCodec
 from repro.core.query.join import conjunctive_join
 from repro.core.query.parser import KeywordQuery
-from repro.core.query.codec import VOCodec
 from repro.core.query.verify import verify_query
 from repro.core.query.vo import ConjunctiveVO, QueryAnswer, QueryVO
 from repro.crypto import vc

@@ -15,6 +15,7 @@ All digests are raw 32-byte :class:`bytes` values.
 from __future__ import annotations
 
 import hashlib
+import hmac
 from typing import Iterable
 
 #: Size of a digest and of an Ethereum storage/memory word, in bytes.
@@ -52,6 +53,18 @@ def tagged_hash(tag: str, *parts: bytes) -> bytes:
     for part in parts:
         hasher.update(part)
     return hasher.digest()
+
+
+def digests_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time digest equality.
+
+    Verification code compares attacker-supplied digests against trusted
+    values; short-circuiting ``==`` leaks the length of the matching
+    prefix through timing.  Every digest/root comparison on a
+    verification path must go through this helper (enforced by the
+    ``timing-safe-compare`` rule of ``repro-lint``).
+    """
+    return hmac.compare_digest(a, b)
 
 
 def hash_int(value: int) -> bytes:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.hashing import EMPTY_DIGEST, tagged_hash
+from repro.crypto.hashing import EMPTY_DIGEST, digests_equal, tagged_hash
 from repro.errors import VerificationError
 
 _LEAF_TAG = "mht-leaf"
@@ -110,7 +110,7 @@ class MerkleTree:
 
     def verify(self, payload: bytes, proof: MerkleProof) -> None:
         """Raise :class:`VerificationError` unless the proof checks out."""
-        if proof.compute_root(payload) != self.root:
+        if not digests_equal(proof.compute_root(payload), self.root):
             raise VerificationError("Merkle proof does not match tree root")
 
     def _rebuild(self) -> None:
@@ -132,4 +132,4 @@ class MerkleTree:
 
 def verify_proof(root: bytes, payload: bytes, proof: MerkleProof) -> bool:
     """Stateless proof check against a known root digest."""
-    return proof.compute_root(payload) == root
+    return digests_equal(proof.compute_root(payload), root)

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-import secrets
 
 from repro.crypto.hashing import DIGEST_SIZE
+from repro.crypto.numbers import make_random
 
 #: Size of a PRF key in bytes.
 KEY_SIZE = 32
@@ -23,10 +23,11 @@ def generate_key(seed: int | None = None) -> bytes:
 
     With ``seed`` given, the key is derived deterministically — used by
     tests and benchmarks that need reproducible runs.  Without a seed a
-    cryptographically random key is drawn.
+    cryptographically random key is drawn through the shared entropy
+    source in :mod:`repro.crypto.numbers`.
     """
     if seed is None:
-        return secrets.token_bytes(KEY_SIZE)
+        return make_random(None).randbits(8 * KEY_SIZE).to_bytes(KEY_SIZE, "big")
     return hashlib.sha3_256(b"repro-prf-key" + seed.to_bytes(16, "big")).digest()
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.hashing import sha3
+from repro.crypto.hashing import digests_equal, sha3
 from repro.crypto.numbers import generate_rsa_modulus, make_random, mod_inverse
 
 #: Standard public exponent.
@@ -44,7 +44,10 @@ class PublicKey:
         """Check ``signature^e == FDH(message) (mod n)``."""
         if not 0 < signature < self.n:
             return False
-        return pow(signature, self.e, self.n) == _full_domain_hash(message, self.n)
+        width = (self.n.bit_length() + 7) // 8
+        recovered = pow(signature, self.e, self.n).to_bytes(width, "big")
+        expected = _full_domain_hash(message, self.n).to_bytes(width, "big")
+        return digests_equal(recovered, expected)
 
     def byte_size(self) -> int:
         """Serialised size in bytes."""

@@ -33,6 +33,7 @@ two multi-hundred-bit modular exponentiations versus one SHA3 call.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
@@ -87,7 +88,7 @@ def set_fastpath(enabled: bool) -> bool:
 
 
 @contextmanager
-def fastpath(enabled: bool):
+def fastpath(enabled: bool) -> Iterator[None]:
     """Context manager scoping a fast-path override."""
     previous = set_fastpath(enabled)
     try:

@@ -20,13 +20,13 @@ from repro.ethereum.gas import (
     gas_to_usd,
     hash_gas,
 )
-from repro.ethereum.storage import ContractStorage, to_word, word_to_int
 from repro.ethereum.state import (
     LightClient,
     StateCommitment,
     StorageProof,
     verify_storage_proof,
 )
+from repro.ethereum.storage import ContractStorage, to_word, word_to_int
 from repro.ethereum.vm import ExecutionContext, LogEvent
 
 __all__ = [

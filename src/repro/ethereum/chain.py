@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.crypto.hashing import EMPTY_DIGEST, digests_equal, sha3
 from repro.crypto.merkle import MerkleTree
 from repro.errors import ChainError, IntegrityError, OutOfGasError
 from repro.ethereum.contract import SmartContract
@@ -297,7 +297,7 @@ class Blockchain:
     def verify_chain(self) -> bool:
         """Check hash linkage of every sealed block."""
         for prev, block in zip(self.blocks, self.blocks[1:]):
-            if block.header.parent_hash != prev.header.hash():
+            if not digests_equal(block.header.parent_hash, prev.header.hash()):
                 return False
         return True
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.mbtree import Entry, MBTree, MerklePath, paths_adjacent
-from repro.crypto.hashing import EMPTY_DIGEST, sha3
+from repro.crypto.hashing import EMPTY_DIGEST, digests_equal, sha3
 from repro.errors import ReproError, VerificationError
 
 #: Slot keys are mapped into this many bits of MB-tree key space (the
@@ -112,7 +112,11 @@ class StateCommitment:
         slots: list[tuple[int, bytes]] = []
         for name, contract in contracts.items():
             storage = contract.storage
-            for key in storage.keys():
+            # Canonical byte order keeps the snapshot independent of the
+            # contracts' storage insertion order.
+            for key in sorted(
+                storage.keys(), key=lambda k: encode_storage_key(name, k)
+            ):
                 slot = storage_slot_id(name, key)
                 slots.append((slot, storage.peek(key)))
         for slot, word in sorted(slots):
@@ -160,11 +164,11 @@ def verify_storage_proof(state_root: bytes, proof: StorageProof) -> bytes:
         if proof.path is None:
             raise VerificationError("presence proof lacks a Merkle path")
         entry = Entry(key=slot, value_hash=sha3(b"state-word" + proof.word))
-        if proof.path.compute_root(entry) != state_root:
+        if not digests_equal(proof.path.compute_root(entry), state_root):
             raise VerificationError("storage proof fails against state root")
         return proof.word
     # Absence: empty state, or boundary leaves bracketing the slot.
-    if state_root == EMPTY_DIGEST:
+    if digests_equal(state_root, EMPTY_DIGEST):
         if proof.lower or proof.upper:
             raise VerificationError("boundary proof against an empty state")
         return b"\x00" * 32
@@ -173,17 +177,15 @@ def verify_storage_proof(state_root: bytes, proof: StorageProof) -> bytes:
     if proof.lower is not None:
         if proof.lower.key >= slot:
             raise VerificationError("lower boundary does not precede slot")
-        if (
-            proof.lower_path is None
-            or proof.lower_path.compute_root(proof.lower) != state_root
+        if proof.lower_path is None or not digests_equal(
+            proof.lower_path.compute_root(proof.lower), state_root
         ):
             raise VerificationError("lower boundary fails verification")
     if proof.upper is not None:
         if proof.upper.key <= slot:
             raise VerificationError("upper boundary does not follow slot")
-        if (
-            proof.upper_path is None
-            or proof.upper_path.compute_root(proof.upper) != state_root
+        if proof.upper_path is None or not digests_equal(
+            proof.upper_path.compute_root(proof.upper), state_root
         ):
             raise VerificationError("upper boundary fails verification")
     if proof.lower is not None and proof.upper is not None:
@@ -209,7 +211,7 @@ class LightClient:
 
     def accept_header(self, header) -> None:
         """Follow the chain: each header must extend the current head."""
-        if header.parent_hash != self._head_hash:
+        if not digests_equal(header.parent_hash, self._head_hash):
             raise VerificationError("header does not extend the known head")
         if header.number != self._head_number + 1:
             raise VerificationError("non-consecutive header number")

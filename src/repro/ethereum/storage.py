@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.crypto.hashing import DIGEST_SIZE
-from repro.ethereum.gas import GasMeter
 from repro.errors import StorageError
+from repro.ethereum.gas import GasMeter
 
 #: A storage key: any hashable tuple of primitive components.
 StorageKey = tuple

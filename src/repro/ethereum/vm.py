@@ -15,9 +15,8 @@ contract cannot diverge from what it was charged for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import hashlib
+from dataclasses import dataclass, field
 
 from repro import obs
 from repro.crypto.hashing import DIGEST_SIZE, word_count

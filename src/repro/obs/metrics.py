@@ -6,11 +6,12 @@ is plain Python with no background threads and no wire protocol — a
 registry is just structured accumulation with a ``snapshot`` /
 ``merge`` / ``reset`` API, cheap enough to live on the hot path.
 
-Instrument updates are lock-free: under CPython's GIL a lost increment
-requires a thread switch between the read and the write of a single
-``+=``, which is acceptable for telemetry (the registry is not a
-billing system).  Instrument *creation* is locked so concurrent first
-touches of the same name agree on one instrument.
+Counters and histograms take a tiny per-instrument lock on update so
+concurrent workloads never lose increments; gauges are a single
+last-write-wins store and stay lock-free.  Instrument *creation* is
+locked as well, so concurrent first touches of the same name agree on
+one instrument.  Instruments are process-local (they hold locks and are
+not picklable); cross-process aggregation goes through ``snapshot``.
 """
 
 from __future__ import annotations
@@ -44,21 +45,24 @@ GAS_BUCKETS: tuple[float, ...] = (
 class Counter:
     """A monotonically increasing tally."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (must be non-negative) to the tally."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r}: negative increment")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
         """Zero the tally."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
@@ -88,7 +92,7 @@ class Histogram:
     JSON-serialisable.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max", "_lock")
 
     def __init__(
         self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
@@ -103,16 +107,19 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        bucket = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -121,24 +128,51 @@ class Histogram:
 
     def reset(self) -> None:
         """Drop all observations, keeping the bucket layout."""
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.sum = 0.0
-        self.min = None
-        self.max = None
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.sum = 0.0
+            self.min = None
+            self.max = None
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ, cannot merge"
+            )
+        with other._lock:
+            counts = list(other.counts)
+            count, total = other.count, other.sum
+            low, high = other.min, other.max
+        with self._lock:
+            for i, n in enumerate(counts):
+                self.counts[i] += n
+            self.count += count
+            self.sum += total
+            for bound in (low, high):
+                if bound is None:
+                    continue
+                if self.min is None or bound < self.min:
+                    self.min = bound
+                if self.max is None or bound > self.max:
+                    self.max = bound
 
     def snapshot(self) -> dict:
         """JSON-ready view: count/sum/mean/min/max plus bucket counts."""
-        buckets = [
-            [bound, n] for bound, n in zip(self.bounds, self.counts)
-        ]
-        buckets.append([None, self.counts[-1]])  # overflow (+inf)
+        with self._lock:
+            buckets = [
+                [bound, n] for bound, n in zip(self.bounds, self.counts)
+            ]
+            buckets.append([None, self.counts[-1]])  # overflow (+inf)
+            count, total = self.count, self.sum
+            low, high = self.min, self.max
         return {
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": low,
+            "max": high,
             "buckets": buckets,
         }
 
@@ -207,22 +241,7 @@ class MetricsRegistry:
         for name, gauge in other._gauges.items():
             self.gauge(name).set(gauge.value)
         for name, hist in other._histograms.items():
-            mine = self.histogram(name, buckets=hist.bounds)
-            if mine.bounds != hist.bounds:
-                raise ValueError(
-                    f"histogram {name!r}: bucket bounds differ, cannot merge"
-                )
-            for i, n in enumerate(hist.counts):
-                mine.counts[i] += n
-            mine.count += hist.count
-            mine.sum += hist.sum
-            for bound in (hist.min, hist.max):
-                if bound is None:
-                    continue
-                if mine.min is None or bound < mine.min:
-                    mine.min = bound
-                if mine.max is None or bound > mine.max:
-                    mine.max = bound
+            self.histogram(name, buckets=hist.bounds).merge_from(hist)
 
     def reset(self) -> None:
         """Zero every instrument, keeping registrations and bucket layouts."""

@@ -23,7 +23,7 @@ observable behaviour — only wall-clock time.
 from __future__ import annotations
 
 from concurrent import futures
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 from repro.errors import ParameterError
 

@@ -1,0 +1,90 @@
+"""Exit-code and reporting tests for the ``repro-lint`` CLI."""
+
+import json
+
+from repro.analysis.cli import main
+
+# A verifier that fails open — verification-discipline applies to every
+# module key, so the fixture works from any temporary path.
+BAD_SOURCE = "def verify_thing(vo):\n    return True\n"
+
+CLEAN_SOURCE = "def verify_thing(vo):\n    check(vo)\n    return True\n"
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", BAD_SOURCE)
+        assert main([bad]) == 1
+        out = capsys.readouterr().out
+        assert "verification-discipline" in out
+        assert "bad.py:2" in out
+
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        clean = write(tmp_path, "clean.py", CLEAN_SOURCE)
+        assert main([clean]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_rule_exit_two(self, tmp_path):
+        clean = write(tmp_path, "clean.py", CLEAN_SOURCE)
+        assert main([clean, "--select", "no-such-rule"]) == 2
+
+    def test_syntax_error_exit_one(self, tmp_path, capsys):
+        broken = write(tmp_path, "broken.py", "def broken(:\n")
+        assert main([broken]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "timing-safe-compare",
+            "crypto-hygiene",
+            "determinism",
+            "verification-discipline",
+            "gas-integrality",
+            "lock-discipline",
+        ):
+            assert rule in out
+
+
+class TestBaselineFlow:
+    def test_write_then_pass_with_baseline(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", BAD_SOURCE)
+        baseline = str(tmp_path / "baseline.json")
+        assert main([bad, "--baseline", baseline, "--write-baseline"]) == 0
+        # The grandfathered finding no longer fails the build...
+        assert main([bad, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        # ...but a second, new finding does.
+        worse = write(tmp_path, "worse.py", BAD_SOURCE + BAD_SOURCE.replace("thing", "other"))
+        assert main([bad, worse, "--baseline", baseline]) == 1
+
+    def test_corrupt_baseline_exit_two(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", BAD_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        assert main([bad, "--baseline", str(baseline)]) == 2
+
+    def test_stale_baseline_keys_are_reported(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", BAD_SOURCE)
+        baseline = str(tmp_path / "baseline.json")
+        assert main([bad, "--baseline", baseline, "--write-baseline"]) == 0
+        fixed = write(tmp_path, "bad.py", CLEAN_SOURCE)
+        assert main([fixed, "--baseline", baseline]) == 0
+        assert "stale" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_report_parses(self, tmp_path, capsys):
+        bad = write(tmp_path, "bad.py", BAD_SOURCE)
+        assert main([bad, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "verification-discipline"
+        assert payload["files_scanned"] == 1

@@ -1,0 +1,28 @@
+"""The tree must lint clean: repro-lint over src/repro with the committed
+baseline is part of the tier-1 suite, so re-introducing (say) a ``==``
+digest comparison in a verification module fails the build immediately.
+"""
+
+import os
+
+from repro.analysis import run_lint
+from repro.analysis.baseline import Baseline
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BASELINE = os.path.join(REPO_ROOT, "tools", "reprolint-baseline.json")
+
+
+def test_source_tree_lints_clean():
+    result = run_lint([os.path.join(REPO_ROOT, "src", "repro")])
+    assert result.errors == []
+    assert result.files_scanned > 50
+    findings = result.findings
+    if os.path.exists(BASELINE):
+        findings, _, _ = Baseline.load(BASELINE).apply(findings)
+    assert not findings, "\n".join(f.render() for f in findings)
+
+
+def test_committed_baseline_is_empty():
+    # The whole point of this PR: every finding was fixed, not baselined.
+    if os.path.exists(BASELINE):
+        assert Baseline.load(BASELINE).entries == {}

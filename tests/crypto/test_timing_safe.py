@@ -1,0 +1,65 @@
+"""Regression tests: digest equality on verify paths is constant-time.
+
+``digests_equal`` resolves ``hmac.compare_digest`` through the module
+attribute at call time, so monkeypatching ``hmac.compare_digest`` with a
+counting spy observes every constant-time comparison made anywhere in
+the verification stack — even though call sites import ``digests_equal``
+by name.
+"""
+
+import hmac
+
+import pytest
+
+from repro.core.mbtree import MBTree
+from repro.core.range_queries import range_query, verify_range
+from repro.crypto.hashing import digests_equal, sha3
+from repro.crypto.merkle import MerkleTree, verify_proof
+from repro.crypto.signatures import generate_keypair
+
+
+@pytest.fixture()
+def compare_digest_spy(monkeypatch):
+    calls = []
+    real = hmac.compare_digest
+
+    def spy(a, b):
+        calls.append((bytes(a), bytes(b)))
+        return real(a, b)
+
+    monkeypatch.setattr(hmac, "compare_digest", spy)
+    return calls
+
+
+def test_digests_equal_wraps_compare_digest(compare_digest_spy):
+    assert digests_equal(b"\x01" * 32, b"\x01" * 32)
+    assert not digests_equal(b"\x01" * 32, b"\x02" * 32)
+    assert len(compare_digest_spy) == 2
+
+
+def test_merkle_verify_path_uses_compare_digest(compare_digest_spy):
+    tree = MerkleTree([b"obj-%d" % i for i in range(8)])
+    proof = tree.prove(3)
+    tree.verify(b"obj-3", proof)
+    assert verify_proof(tree.root, b"obj-3", proof)
+    assert len(compare_digest_spy) == 2
+    # Both comparisons ran over the actual root digest.
+    assert all(tree.root in call for call in compare_digest_spy)
+
+
+def test_range_verification_uses_compare_digest(compare_digest_spy):
+    tree = MBTree(fanout=4)
+    for key in range(0, 30, 3):
+        tree.insert(key, sha3(b"v%d" % key))
+    _, vo = range_query(tree, 6, 18)
+    verify_range(tree.root_hash, vo)
+    # One path check per result plus the two boundary entries.
+    assert len(compare_digest_spy) >= len(vo.results) + 2
+
+
+def test_rsa_fdh_verify_uses_compare_digest(compare_digest_spy):
+    key = generate_keypair(bits=512, seed=7)
+    signature = key.sign(b"authenticated digest")
+    assert key.public_key.verify(b"authenticated digest", signature)
+    assert not key.public_key.verify(b"tampered digest", signature)
+    assert len(compare_digest_spy) == 2
