@@ -107,31 +107,54 @@ def measure_fastpath(
     text = _hot_query(objects)
     query = KeywordQuery.parse(text)
     answer = system.process_query(query)
+    uses_cvc = system.uses_cvc
 
-    # Naive: legacy independent-pow path, no memoisation.
+    # Untimed warm-up pass: pulls the verification code paths (imports,
+    # bytecode specialisation, allocator pools) into steady state so the
+    # first *timed* pass measures the algorithm, not interpreter warm-up.
+    # Cheap Merkle-only schemes finish a pass in single-digit ms, where
+    # that warm-up noise used to dwarf the measurement.
     system.verify_cache = None
     with vc.fastpath(False):
         ps = system.chain_proof_system(query.all_keywords())
-        naive = _time_passes(query, answer, ps, repeats)
+        _time_passes(query, answer, ps, 1)
+        naive = min(_time_passes(query, answer, ps, repeats))
 
-    # Fast: multi-exp + fixed-base tables + shared verification cache.
-    clear_fixed_base_tables()
+    # Fast, cold: multi-exp with freshly built state.  Each timed pass
+    # starts from an empty verification cache, and — only for the CVC
+    # schemes — cleared fixed-base tables, so table construction is
+    # charged to the cold path it belongs to.  Merkle-only schemes never
+    # touch the tables; forcing a rebuild would distort their cold pass,
+    # so they skip the clearing entirely.  The minimum over ``repeats``
+    # independent cold passes is the noise-robust cold cost.
+    cold = []
+    with vc.fastpath(True):
+        for _ in range(repeats):
+            if uses_cvc:
+                clear_fixed_base_tables()
+            # The proof system binds the cache at construction, so the
+            # fresh cache must be installed before building it.
+            system.verify_cache = VerificationCache()
+            ps = system.chain_proof_system(query.all_keywords())
+            cold.extend(_time_passes(query, answer, ps, 1))
+
+    # Fast, cached: warm cache and warm tables (steady state).
     cache = VerificationCache()
     system.verify_cache = cache
     with vc.fastpath(True):
         ps = system.chain_proof_system(query.all_keywords())
-        fast = _time_passes(query, answer, ps, repeats)
+        _time_passes(query, answer, ps, 1)
+        cached = _time_passes(query, answer, ps, repeats)
 
-    later = fast[1:] or fast
     return FastpathRow(
         scheme=scheme,
         corpus_size=size,
         repeats=repeats,
         query=text,
         results=len(answer.result_ids),
-        naive_ms=1e3 * sum(naive) / len(naive),
-        fast_first_ms=1e3 * fast[0],
-        fast_cached_ms=1e3 * sum(later) / len(later),
+        naive_ms=1e3 * naive,
+        fast_first_ms=1e3 * min(cold),
+        fast_cached_ms=1e3 * sum(cached) / len(cached),
         cache_hits=cache.hits,
         cache_misses=cache.misses,
     )

@@ -545,6 +545,13 @@ def experiment_fastpath(**kwargs):
     return _fastpath(**kwargs)
 
 
+def experiment_witness(**kwargs):
+    """Batch witness engine benchmark (lazy import avoids a module cycle)."""
+    from repro.bench.witness import experiment_witness as _witness
+
+    return _witness(**kwargs)
+
+
 EXPERIMENTS = {
     "fig6": experiment_fig6,
     "fig10": experiment_fig10,
@@ -555,6 +562,7 @@ EXPERIMENTS = {
     "tab2": experiment_tab2,
     "disj": experiment_disjunctive,
     "fastpath": experiment_fastpath,
+    "witness": experiment_witness,
 }
 
 

@@ -171,6 +171,59 @@ class ChameleonDataOwner:
             counts.append(CountUpdate(keyword=keyword, count=tree.count))
         return proofs, counts, new_keywords
 
+    def insert_many(self, metadatas: list[ObjectMetadata], scheduler=None):
+        """Batched Algorithm 4: stage all collisions, batch the openings.
+
+        Per metadata, returns the same ``(proofs, counts, new_keywords)``
+        triple as :meth:`insert` — with byte-identical witnesses, since
+        chameleon openings do not depend on the aux state they are
+        computed from.  The win is in *how* they are computed: all
+        collisions are applied first, then every opening request is
+        routed through a :class:`~repro.sp.scheduler.WitnessScheduler`
+        (one is created if not supplied), which groups the requests per
+        commitment — a node inserted in this batch that also gained
+        children needs several slots of one commitment — and computes
+        each group with a single divide-and-conquer pass.
+        """
+        if scheduler is None:
+            # Imported lazily: repro.sp imports this module at load time.
+            from repro.sp.scheduler import WitnessScheduler, tree_aux_source
+
+            scheduler = WitnessScheduler(tree_aux_source(self), self.cvc.pp)
+        staged_batch = []
+        with obs.span("do.insert_many", objects=len(metadatas)):
+            for metadata in metadatas:
+                staged = {}
+                counts = []
+                new_keywords = {}
+                for keyword in metadata.keywords:
+                    tree, created = self.tree_for(keyword)
+                    if created:
+                        new_keywords[keyword] = tree.root_commitment
+                    record = tree.stage_insert(
+                        metadata.object_id, metadata.object_hash
+                    )
+                    pi_future = scheduler.request(keyword, record.position, 1)
+                    rho_future = scheduler.request(
+                        keyword, record.parent_position, record.child_index + 1
+                    )
+                    staged[keyword] = (record, pi_future, rho_future)
+                    counts.append(
+                        CountUpdate(keyword=keyword, count=tree.count)
+                    )
+                staged_batch.append((staged, counts, new_keywords))
+            scheduler.flush()
+            results = []
+            for staged, counts, new_keywords in staged_batch:
+                proofs = {
+                    keyword: record.to_proof(
+                        pi_future.result(), rho_future.result()
+                    )
+                    for keyword, (record, pi_future, rho_future) in staged.items()
+                }
+                results.append((proofs, counts, new_keywords))
+        return results
+
     def snapshot(self, keywords) -> dict:
         """Capture the state of every tree touched by ``keywords``.
 
@@ -324,7 +377,7 @@ class ChameleonProofSystem:
             )
         key = None
         if self.cache is not None:
-            key = (
+            key = self.cache.key(
                 self.pp.modulus,
                 commitment,
                 count,

@@ -151,7 +151,9 @@ class MerkleProofSystem:
         root = self._root(keyword)
         key = None
         if self.cache is not None:
-            key = (root, entry.object_id, entry.object_hash, path)
+            key = self.cache.key(
+                root, entry.object_id, entry.object_hash, path.cache_token()
+            )
             if self.cache.seen(key):
                 return
         computed = path.compute_root(

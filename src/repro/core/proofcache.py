@@ -31,6 +31,40 @@ from repro import obs
 DEFAULT_CACHE_SIZE = 4096
 
 
+class CacheKey:
+    """A verification-cache key with its hash computed exactly once.
+
+    Cache keys deliberately embed the *full* proof object (soundness —
+    see the module docstring), which makes Python's tuple hash walk the
+    whole proof.  A bare tuple gets re-hashed by every dict operation
+    (`in`, ``move_to_end``, insert, eviction) — for cheap schemes like
+    the Merkle index that bookkeeping rivals the verification itself and
+    erased the cold-path win.  Wrapping the tuple pins the hash at
+    construction so each ``seen``/``add`` round trip hashes the proof
+    once instead of four-plus times.
+
+    Unpickling recomputes the hash: ``str`` hashes are salted per
+    process, so a carried-over value would corrupt the receiving dict.
+    """
+
+    __slots__ = ("parts", "_hash")
+
+    def __init__(self, parts: tuple) -> None:
+        self.parts = parts
+        self._hash = hash(parts)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CacheKey):
+            return self.parts == other.parts
+        return NotImplemented
+
+    def __reduce__(self) -> tuple:
+        return (CacheKey, (self.parts,))
+
+
 class VerificationCache:
     """A bounded, thread-safe LRU set of successfully verified tuples.
 
@@ -45,6 +79,8 @@ class VerificationCache:
     ) -> None:
         self.maxsize = maxsize
         self.metric_prefix = metric_prefix
+        self._hit_metric = f"{metric_prefix}.cache_hit"
+        self._miss_metric = f"{metric_prefix}.cache_miss"
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[Hashable, None] = OrderedDict()
@@ -53,12 +89,16 @@ class VerificationCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def key(self, *parts: Hashable) -> CacheKey:
+        """Build a hash-consed key; pass the same key to seen and add."""
+        return CacheKey(parts)
+
     def seen(self, key: Hashable) -> bool:
         """Whether ``key`` was verified before; records the hit/miss."""
         if self.maxsize <= 0:
             with self._lock:
                 self.misses += 1
-            obs.inc(f"{self.metric_prefix}.cache_miss")
+            obs.inc(self._miss_metric)
             return False
         with self._lock:
             present = key in self._entries
@@ -67,10 +107,7 @@ class VerificationCache:
                 self.hits += 1
             else:
                 self.misses += 1
-        if present:
-            obs.inc(f"{self.metric_prefix}.cache_hit")
-        else:
-            obs.inc(f"{self.metric_prefix}.cache_miss")
+        obs.inc(self._hit_metric if present else self._miss_metric)
         return present
 
     def add(self, key: Hashable) -> None:

@@ -137,6 +137,15 @@ class HybridStorageSystem:
     default; ``thread``/``process`` opt in, see :mod:`repro.parallel`);
     ``verify_cache_size`` bounds the shared LRU of successfully verified
     proof tuples reused across conjuncts and queries (0 disables it).
+
+    Batch-witness knobs: ``witness_batching`` routes batched ingestion
+    through the DO's staged insert + per-commitment divide-and-conquer
+    openings (byte-identical witnesses, fewer multiplications);
+    ``witness_warmer`` attaches a :class:`~repro.sp.warmer.CacheWarmer`
+    that pre-verifies hot keywords' proofs into the verification cache
+    on insert and on a trailing access signal (``warm_hot_threshold``
+    accesses; 0 warms every dirty keyword).  Call :meth:`warm_pending`
+    inline or ``system.warmer.start()`` for the background thread.
     """
 
     def __init__(
@@ -156,6 +165,9 @@ class HybridStorageSystem:
         executor: "str | Executor" = "serial",
         executor_workers: int | None = None,
         verify_cache_size: int = DEFAULT_CACHE_SIZE,
+        witness_batching: bool = True,
+        witness_warmer: bool = False,
+        warm_hot_threshold: int = 0,
     ) -> None:
         self.scheme = Scheme.parse(scheme)
         self.fanout = fanout
@@ -213,6 +225,17 @@ class HybridStorageSystem:
         self.contract = contract
         self.chain.deploy(ADS_CONTRACT, contract)
         self._codec = VOCodec(value_bytes=self.value_bytes)
+        self.witness_batching = witness_batching
+        self.warmer = None
+        if witness_warmer:
+            # Imported lazily: repro.sp pulls in this module's consumers.
+            from repro.sp.warmer import CacheWarmer
+
+            self.warmer = CacheWarmer(
+                prove=lambda kw: self._sp_view(kw).all_proven(),
+                proof_system=self.chain_proof_system,
+                hot_threshold=warm_hot_threshold,
+            )
 
     # -- ingestion ------------------------------------------------------------------
 
@@ -252,6 +275,8 @@ class HybridStorageSystem:
                 self._inserts_since_mine = 0
             gas = sum(r.gas.total for r in receipts)
             ins_span.set(gas=gas, keywords=len(metadata.keywords))
+            if self.warmer is not None:
+                self.warmer.note_insert(metadata.keywords)
         obs.inc("insert.count")
         obs.observe("insert.seconds", time.perf_counter() - t0,
                     buckets=obs.TIME_BUCKETS_S)
@@ -303,8 +328,13 @@ class HybridStorageSystem:
         payload = b""
         sp_work = []
         try:
-            for metadata in metadatas:
-                proofs, counts, new_keywords = self._do.insert(metadata)
+            if self.witness_batching:
+                do_results = self._do.insert_many(metadatas)
+            else:
+                do_results = [self._do.insert(m) for m in metadatas]
+            for metadata, (proofs, counts, new_keywords) in zip(
+                metadatas, do_results
+            ):
                 new_kw_list = sorted(new_keywords.items())
                 batch.append(
                     (
@@ -353,6 +383,8 @@ class HybridStorageSystem:
         self._maintenance.merge(receipt.gas)
         self._object_count += len(objects)
         self.chain.mine_block()
+        if self.warmer is not None:
+            self.warmer.note_insert(touched)
         return InsertReport(
             object_id=objects[-1].object_id, receipts=[receipt]
         )
@@ -546,6 +578,8 @@ class HybridStorageSystem:
                     query = KeywordQuery.parse(query)
                 obs.observe("query.parse_seconds", time.perf_counter() - tp,
                             buckets=obs.TIME_BUCKETS_S)
+            if self.warmer is not None:
+                self.warmer.note_access(query.all_keywords())
             t0 = time.perf_counter()
             answer = self.process_query(query)
             sp_seconds = time.perf_counter() - t0
@@ -592,8 +626,46 @@ class HybridStorageSystem:
             verify_seconds=verify_seconds,
         )
 
+    def warm_pending(self, limit: int | None = None) -> int:
+        """Inline warming pass: absorb the access signal, warm hot keywords.
+
+        Requires ``witness_warmer=True``; returns the number of entries
+        verified into the cache.
+        """
+        if self.warmer is None:
+            raise ReproError(
+                "warming requires HybridStorageSystem(witness_warmer=True)"
+            )
+        self.warmer.sync_from_metrics()
+        return self.warmer.run_pending(limit=limit)
+
+    @property
+    def uses_cvc(self) -> bool:
+        """Whether the scheme authenticates with chameleon commitments.
+
+        Merkle-only schemes (MI/SMI) hash — they own no fixed-base
+        tables and no CVC openings, so batch/warm-up machinery keyed on
+        this flag skips them entirely.
+        """
+        return self.scheme in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR)
+
+    def prewarm_crypto(self) -> int:
+        """Scheme-aware table setup: build the CVC fixed-base tables early.
+
+        The Chameleon schemes exponentiate the same public bases on
+        every commit/verify, so building their windowed tables ahead of
+        the first query moves that one-off cost out of the cold path.
+        Merkle-only schemes hash — they have no tables to build and
+        skip the setup entirely.  Returns the number of tables touched.
+        """
+        if self.uses_cvc:
+            return vc.prewarm_tables(self._cvc.pp, pairs=True)
+        return 0
+
     def close(self) -> None:
         """Release the executor's worker pool (no-op for ``serial``)."""
+        if self.warmer is not None:
+            self.warmer.stop()
         self.executor.close()
 
     # -- reporting ------------------------------------------------------------------

@@ -26,7 +26,10 @@ from repro.crypto.vc import (
     commit,
     find_collision,
     keygen,
+    open_all,
+    open_many,
     open_slot,
+    prewarm_tables,
     verify,
 )
 
@@ -51,7 +54,10 @@ __all__ = [
     "hash_concat",
     "keygen",
     "node_randomness",
+    "open_all",
+    "open_many",
     "open_slot",
+    "prewarm_tables",
     "prf_int",
     "sha3",
     "tagged_hash",

@@ -38,11 +38,15 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import obs
 from repro.crypto.hashing import DIGEST_SIZE, sha3
 from repro.crypto.numbers import (
+    FIXED_BASE_CACHE_SIZE,
     FixedBaseTable,
     RandomSource,
+    batch_openings,
     fixed_base_table,
+    fixed_base_tables_warm,
     generate_distinct_primes,
     generate_rsa_modulus,
     make_random,
@@ -148,6 +152,12 @@ class CVCPublicParams:
     exponents: tuple[int, ...]  # e_0 (randomiser), e_1..e_q (slots)
     slot_bases: tuple[int, ...]  # S_i = a^{P/e_i}
     pair_bases: tuple[tuple[int, ...], ...]  # T[i][j] = a^{P/(e_i e_j)}
+    #: The group element ``a`` the bases are powers of.  Publishing it is
+    #: safe (every published base already is a deterministic power of it)
+    #: and enables the divide-and-conquer batch openings of
+    #: :func:`open_many`.  ``0`` marks legacy parameters generated before
+    #: the base was retained; those fall back to per-slot openings.
+    base: int = 0
 
     @property
     def randomiser_exponent(self) -> int:
@@ -246,6 +256,7 @@ def keygen(
         exponents=tuple(exponents),
         slot_bases=slot_bases,
         pair_bases=pair_bases,
+        base=base,
     )
     td = CVCTrapdoor(p=modulus.p, q=modulus.q)
     return pp, td
@@ -345,6 +356,148 @@ def open_slot(pp: CVCPublicParams, slot: int, message: Message, aux: CVCAux) -> 
                 % pp.modulus
             )
     return proof
+
+
+def _pair_tables_warm(pp: CVCPublicParams, slots: list[int]) -> bool:
+    """Whether every pair table a per-slot opening of ``slots`` needs is hot."""
+    bases: list[int] = []
+    for slot in slots:
+        for other in range(pp.arity + 1):
+            if other != slot:
+                bases.append(pp.pair_base(other, slot))
+    return fixed_base_tables_warm(bases, pp.modulus, _table_bits(pp))
+
+
+def _open_many_dnc(
+    pp: CVCPublicParams, slots: list[int], aux: CVCAux
+) -> dict[int, int]:
+    """Divide-and-conquer openings via :func:`batch_openings`.
+
+    Index 0 of the weight vector is the randomiser (guarded by ``e_0``);
+    indices 1..q are the encoded slot messages.  The returned values are
+    bit-identical to :func:`open_slot`'s — same group elements, computed
+    through a shared recursion instead of independent passes.
+    """
+    weights = [aux.randomiser] + list(aux.messages)
+    return batch_openings(
+        pp.base, list(pp.exponents), weights, pp.modulus, indices=slots
+    )
+
+
+def open_many(
+    pp: CVCPublicParams,
+    slots: list[int],
+    aux: CVCAux,
+    strategy: str = "auto",
+) -> dict[int, int]:
+    """Open several slots of one commitment in a single batch.
+
+    Returns ``{slot: proof}`` with each proof exactly equal to
+    ``open_slot(pp, slot, aux-held-message, aux)``.  Three strategies:
+
+    * ``"batch"`` — the RootFactor-style divide-and-conquer of
+      :func:`repro.crypto.numbers.batch_openings`: all openings in
+      O(k log k) shared multiplications, no fixed-base tables needed.
+    * ``"per-slot"`` — loop over :func:`open_slot` (fast only when the
+      fixed-base pair tables are already built and fit in the cache).
+    * ``"auto"`` — batch when the fast path is on and the per-slot route
+      would have to (re)build tables: cold caches, or an arity whose
+      pair-base working set exceeds the table cache and thrashes it.
+
+    With the fast path disabled, or for legacy parameters that did not
+    retain the group base, every strategy degrades to the per-slot loop.
+    """
+    if strategy not in ("auto", "batch", "per-slot"):
+        raise ParameterError(f"unknown open_many strategy {strategy!r}")
+    unique_slots: list[int] = []
+    for slot in slots:
+        pp._check_slot(slot)
+        if slot not in unique_slots:
+            unique_slots.append(slot)
+    obs.inc("vc.batch.requests")
+    obs.inc("vc.batch.openings", len(unique_slots))
+    can_batch = (
+        _FASTPATH_ENABLED
+        and pp.base != 0
+        and aux.randomiser >= 0
+        and len(unique_slots) >= 2
+    )
+    if can_batch and strategy == "auto":
+        pair_count = (pp.arity + 1) * pp.arity // 2
+        use_batch = pair_count > FIXED_BASE_CACHE_SIZE or not _pair_tables_warm(
+            pp, unique_slots
+        )
+    else:
+        use_batch = can_batch and strategy == "batch"
+    if use_batch:
+        obs.inc("vc.batch.dnc")
+        with obs.span(
+            "vc.open_many", slots=len(unique_slots), strategy="batch"
+        ):
+            return _open_many_dnc(pp, unique_slots, aux)
+    obs.inc("vc.batch.per_slot")
+    with obs.span(
+        "vc.open_many", slots=len(unique_slots), strategy="per-slot"
+    ):
+        return {slot: _open_encoded(pp, slot, aux) for slot in unique_slots}
+
+
+def _open_encoded(pp: CVCPublicParams, slot: int, aux: CVCAux) -> int:
+    """Per-slot opening for the message ``aux`` already holds (encoded)."""
+    if _FASTPATH_ENABLED and aux.randomiser >= 0:
+        pairs = [(pp.pair_base(0, slot), aux.randomiser)]
+        tables: list[FixedBaseTable | None] = [_pair_table(pp, 0, slot)]
+        for other in range(1, pp.arity + 1):
+            if other == slot:
+                continue
+            z_other = aux.messages[other - 1]
+            if z_other:
+                pairs.append((pp.pair_base(other, slot), z_other))
+                tables.append(_pair_table(pp, other, slot))
+        return multi_exp(pairs, pp.modulus, tables=tables)
+    proof = pow(pp.pair_base(0, slot), aux.randomiser, pp.modulus)
+    for other in range(1, pp.arity + 1):
+        if other == slot:
+            continue
+        z_other = aux.messages[other - 1]
+        if z_other:
+            proof = (
+                proof
+                * pow(pp.pair_base(other, slot), z_other, pp.modulus)
+                % pp.modulus
+            )
+    return proof
+
+
+def open_all(
+    pp: CVCPublicParams, aux: CVCAux, strategy: str = "auto"
+) -> dict[int, int]:
+    """Open every slot of one commitment: ``open_many`` over ``1..arity``."""
+    return open_many(pp, list(range(1, pp.arity + 1)), aux, strategy=strategy)
+
+
+def prewarm_tables(pp: CVCPublicParams, pairs: bool = False) -> int:
+    """Eagerly build the fixed-base tables this ``pp`` will use.
+
+    Slot tables serve commitment/verification; ``pairs=True`` adds the
+    pair tables used by per-slot openings (skipped automatically when
+    the arity's pair working set would overflow the table cache).  This
+    is CVC-specific machinery — Merkle-only schemes have no tables to
+    warm, and callers gate on the scheme before invoking it.  Returns
+    the number of tables touched.
+    """
+    if not _FASTPATH_ENABLED:
+        return 0
+    touched = 0
+    for slot in range(pp.arity + 1):
+        _slot_table(pp, slot)
+        touched += 1
+    if pairs and (pp.arity + 1) * pp.arity // 2 <= FIXED_BASE_CACHE_SIZE:
+        for i in range(pp.arity + 1):
+            for j in range(i + 1, pp.arity + 1):
+                _pair_table(pp, i, j)
+                touched += 1
+    return touched
 
 
 def verify(
@@ -455,6 +608,16 @@ class VectorCommitment:
         """Open the commitment at a slot (produce a proof)."""
         return open_slot(self.pp, slot, message, aux)
 
+    def open_many(
+        self, slots: list[int], aux: CVCAux, strategy: str = "auto"
+    ) -> dict[int, int]:
+        """Batch-open several slots (see :func:`open_many`)."""
+        return open_many(self.pp, slots, aux, strategy=strategy)
+
+    def open_all(self, aux: CVCAux, strategy: str = "auto") -> dict[int, int]:
+        """Batch-open every slot (see :func:`open_all`)."""
+        return open_all(self.pp, aux, strategy=strategy)
+
     def verify(self, commitment: int, slot: int, message: Message, proof: int) -> bool:
         """Check a proof; returns whether it is valid."""
         return verify(self.pp, commitment, slot, message, proof)
@@ -506,6 +669,16 @@ class ChameleonVectorCommitment:
     def open(self, slot: int, message: Message, aux: CVCAux) -> int:
         """Open the commitment at a slot (produce a proof)."""
         return open_slot(self.pp, slot, message, aux)
+
+    def open_many(
+        self, slots: list[int], aux: CVCAux, strategy: str = "auto"
+    ) -> dict[int, int]:
+        """Batch-open several slots (see :func:`open_many`)."""
+        return open_many(self.pp, slots, aux, strategy=strategy)
+
+    def open_all(self, aux: CVCAux, strategy: str = "auto") -> dict[int, int]:
+        """Batch-open every slot (see :func:`open_all`)."""
+        return open_all(self.pp, aux, strategy=strategy)
 
     def verify(self, commitment: int, slot: int, message: Message, proof: int) -> bool:
         """Check a proof; returns whether it is valid."""

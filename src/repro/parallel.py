@@ -22,6 +22,8 @@ observable behaviour — only wall-clock time.
 
 from __future__ import annotations
 
+import functools
+import traceback
 from concurrent import futures
 from typing import Callable, Iterable, TypeVar
 
@@ -34,13 +36,48 @@ R = TypeVar("R")
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
+class RemoteTraceback(Exception):
+    """Carries a worker's formatted traceback across the pool boundary.
+
+    Process pools pickle exceptions back to the parent, which discards
+    the worker-side traceback — the parent's stack then points at the
+    ``map`` call instead of the line that failed.  We capture the
+    formatted traceback in the worker and chain it onto the re-raised
+    exception as its ``__cause__``, so ``raise`` sites inside workers
+    stay visible in the parent's error output for both pool kinds.
+    """
+
+    def __init__(self, formatted: str) -> None:
+        super().__init__(formatted)
+        self.formatted = formatted
+
+    def __str__(self) -> str:
+        return f"\n\n(worker traceback)\n{self.formatted}"
+
+
+def _guarded_call(fn: Callable[[T], R], item: T) -> tuple[bool, object]:
+    """Run one task, capturing any exception with its traceback text.
+
+    Module-level (not a closure) so process pools can pickle it.
+    """
+    try:
+        return True, fn(item)
+    except BaseException as exc:  # noqa: B036 - re-raised in the parent
+        return False, (exc, traceback.format_exc())
+
+
 class SerialExecutor:
     """The default policy: run everything inline, in order."""
 
     kind = "serial"
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Apply ``fn`` to every item, inline."""
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        chunksize: int | None = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every item, inline (``chunksize`` is moot)."""
         return [fn(item) for item in items]
 
     def close(self) -> None:
@@ -48,9 +85,21 @@ class SerialExecutor:
 
 
 class PoolExecutor:
-    """Thread- or process-pool policy over :mod:`concurrent.futures`."""
+    """Thread- or process-pool policy over :mod:`concurrent.futures`.
 
-    def __init__(self, kind: str, workers: int | None = None) -> None:
+    ``chunksize`` batches that many items into each pickled task for
+    process pools (the default of 1 round-trips one item at a time,
+    which drowns small tasks in IPC overhead); thread pools ignore it.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        workers: int | None = None,
+        chunksize: int = 1,
+    ) -> None:
+        if chunksize < 1:
+            raise ParameterError("chunksize must be at least 1")
         if kind == "thread":
             self._pool: futures.Executor = futures.ThreadPoolExecutor(
                 max_workers=workers
@@ -60,10 +109,31 @@ class PoolExecutor:
         else:  # pragma: no cover - guarded by make_executor
             raise ParameterError(f"unknown pool kind {kind!r}")
         self.kind = kind
+        self.chunksize = chunksize
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Apply ``fn`` across the pool; ordered, first error propagates."""
-        return list(self._pool.map(fn, items))
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        chunksize: int | None = None,
+    ) -> list[R]:
+        """Apply ``fn`` across the pool; ordered, first error propagates.
+
+        The first failing item's exception (in input order) is re-raised
+        in the parent with the worker's traceback chained as its cause.
+        ``chunksize`` overrides the executor default for this call.
+        """
+        size = self.chunksize if chunksize is None else chunksize
+        if size < 1:
+            raise ParameterError("chunksize must be at least 1")
+        guarded = functools.partial(_guarded_call, fn)
+        results: list[R] = []
+        for ok, payload in self._pool.map(guarded, items, chunksize=size):
+            if not ok:
+                exc, formatted = payload  # type: ignore[misc]
+                raise exc from RemoteTraceback(formatted)
+            results.append(payload)  # type: ignore[arg-type]
+        return results
 
     def close(self) -> None:
         """Shut the pool down and release its workers."""
@@ -74,13 +144,15 @@ Executor = SerialExecutor | PoolExecutor
 
 
 def make_executor(
-    spec: "str | Executor | None", workers: int | None = None
+    spec: "str | Executor | None",
+    workers: int | None = None,
+    chunksize: int = 1,
 ) -> Executor:
     """Resolve an executor from its name (or pass one through).
 
     ``None`` and ``"serial"`` yield the inline executor; ``"thread"``
     and ``"process"`` build pools with ``workers`` workers (``None``
-    lets the pool pick the host default).
+    lets the pool pick the host default) and the given ``chunksize``.
     """
     if spec is None:
         return SerialExecutor()
@@ -89,7 +161,7 @@ def make_executor(
     if spec == "serial":
         return SerialExecutor()
     if spec in ("thread", "process"):
-        return PoolExecutor(spec, workers=workers)
+        return PoolExecutor(spec, workers=workers, chunksize=chunksize)
     raise ParameterError(
         f"unknown executor {spec!r}; expected one of: "
         + ", ".join(EXECUTOR_KINDS)

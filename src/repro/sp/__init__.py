@@ -19,8 +19,11 @@ from repro.sp.protocol import (
     RemoteQueryResult,
     StorageProviderServer,
 )
+from repro.sp.scheduler import WitnessScheduler, tree_aux_source
+from repro.sp.warmer import CacheWarmer
 
 __all__ = [
+    "CacheWarmer",
     "ChameleonSP",
     "ChameleonView",
     "MBTreeView",
@@ -31,4 +34,6 @@ __all__ = [
     "RemoteClient",
     "RemoteQueryResult",
     "StorageProviderServer",
+    "WitnessScheduler",
+    "tree_aux_source",
 ]

@@ -1,0 +1,206 @@
+"""Cross-request witness coalescing for the Chameleon schemes.
+
+Witness (opening) computation is the expensive half of the Chameleon
+pipeline: each opening is an O(arity) multi-exponentiation, and several
+callers routinely need openings of the *same* commitment — a batched
+ingest opens slot 1 of a new node plus one child slot per new child, and
+concurrent warm-up passes touch overlapping hot keywords.  The
+:class:`WitnessScheduler` sits between those callers and
+:func:`repro.crypto.vc.open_many`:
+
+* callers **register** the ``(keyword, position, slot)`` openings they
+  need and immediately receive a :class:`concurrent.futures.Future`;
+* registrations for an opening already pending or in flight are
+  **deduplicated** onto the existing future (``sp.batch.deduped``);
+* :meth:`flush` groups pending requests **per commitment** and computes
+  each group through a single divide-and-conquer
+  :func:`~repro.crypto.vc.open_many` call, fanning the results back out
+  to every waiting future via the configured executor.
+
+Openings of a chameleon commitment are unique group elements — the slot
+exponents are coprime to the group order, so ``x -> x^e`` is a bijection
+and the opening does not depend on *when* (at which aux state) it is
+computed.  Batch-computed witnesses are therefore byte-identical to the
+ones the serial path would have produced, which keeps VOs stable across
+scheduling policies.
+
+Telemetry: ``sp.batch.requests`` / ``sp.batch.deduped`` /
+``sp.batch.commitments`` / ``sp.batch.openings`` / ``sp.batch.flushes``
+counters and an ``sp.batch.flush`` span per drain.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.crypto import vc
+from repro.errors import ReproError
+from repro.parallel import Executor, SerialExecutor
+
+#: A request key: (keyword, node position, 1-based CVC slot).
+RequestKey = tuple[str, int, int]
+
+
+def _open_batch(args: tuple[vc.CVCPublicParams, vc.CVCAux, list[int], str]):
+    """Executor task: all requested slots of one commitment, batched.
+
+    Module-level so process pools can pickle it; ``pp`` and ``aux`` are
+    plain dataclasses and travel with the task.
+    """
+    pp, aux, slots, strategy = args
+    return vc.open_many(pp, slots, aux, strategy=strategy)
+
+
+@dataclass
+class _PendingGroup:
+    """Per-commitment accumulator of requested slots and their futures."""
+
+    keyword: str
+    position: int
+    slots: dict[int, Future] = field(default_factory=dict)
+
+
+class WitnessScheduler:
+    """Dedupes and batches CVC opening requests across concurrent callers.
+
+    ``aux_source(keyword, position)`` resolves the commitment's auxiliary
+    information (the DO's per-node state); ``executor`` runs the
+    per-commitment batches (serial by default — the batching itself is
+    the main win; thread/process pools add overlap on top).
+
+    Thread safety: registration and flushing are serialised by one lock;
+    the opening computations run outside it.  A future is removed from
+    the in-flight map only after its result is set, so a concurrent
+    registration either joins the computation or starts a fresh one —
+    never observes a half-resolved entry.
+    """
+
+    def __init__(
+        self,
+        aux_source,
+        pp: vc.CVCPublicParams,
+        executor: Executor | None = None,
+        strategy: str = "auto",
+    ) -> None:
+        self._aux_source = aux_source
+        self._pp = pp
+        self._executor = executor if executor is not None else SerialExecutor()
+        self._strategy = strategy
+        self._lock = threading.Lock()
+        self._pending: dict[tuple[str, int], _PendingGroup] = {}
+        self._inflight: dict[RequestKey, Future] = {}
+
+    def request(self, keyword: str, position: int, slot: int) -> "Future[int]":
+        """Register one opening request; returns a future for its proof.
+
+        Duplicate registrations (same keyword, position and slot) share
+        one future and one computation until the result is delivered.
+        """
+        key: RequestKey = (keyword, position, slot)
+        with self._lock:
+            obs.inc("sp.batch.requests")
+            existing = self._inflight.get(key)
+            if existing is not None:
+                obs.inc("sp.batch.deduped")
+                return existing
+            group_key = (keyword, position)
+            group = self._pending.get(group_key)
+            if group is None:
+                group = _PendingGroup(keyword=keyword, position=position)
+                self._pending[group_key] = group
+            future: "Future[int]" = Future()
+            group.slots[slot] = future
+            self._inflight[key] = future
+        return future
+
+    def request_many(
+        self, requests: list[RequestKey]
+    ) -> "list[Future[int]]":
+        """Register several opening requests at once."""
+        return [self.request(kw, pos, slot) for kw, pos, slot in requests]
+
+    def pending_count(self) -> int:
+        """Number of distinct openings queued for the next flush."""
+        with self._lock:
+            return sum(len(group.slots) for group in self._pending.values())
+
+    def flush(self) -> int:
+        """Drain the queue: one ``open_many`` per commitment.
+
+        Returns the number of openings computed.  Failures propagate to
+        every future waiting on the failed commitment and re-raise here.
+        """
+        with self._lock:
+            groups = list(self._pending.values())
+            self._pending.clear()
+        if not groups:
+            return 0
+        obs.inc("sp.batch.flushes")
+        computed = 0
+        with obs.span(
+            "sp.batch.flush",
+            commitments=len(groups),
+            openings=sum(len(group.slots) for group in groups),
+        ):
+            try:
+                # Aux is resolved at *flush* time, after every staged
+                # mutation of the commitment has landed — a group
+                # registered early would otherwise open from a vector
+                # missing later-staged slot values.
+                tasks = [
+                    (
+                        self._pp,
+                        self._aux_source(group.keyword, group.position),
+                        sorted(group.slots),
+                        self._strategy,
+                    )
+                    for group in groups
+                ]
+                results = self._executor.map(_open_batch, tasks)
+            except BaseException as exc:
+                self._fail(groups, exc)
+                raise
+            for group, openings in zip(groups, results):
+                for slot, future in group.slots.items():
+                    future.set_result(openings[slot])
+                    computed += 1
+                with self._lock:
+                    for slot in group.slots:
+                        self._inflight.pop(
+                            (group.keyword, group.position, slot), None
+                        )
+        obs.inc("sp.batch.commitments", len(groups))
+        obs.inc("sp.batch.openings", computed)
+        return computed
+
+    def _fail(self, groups: list[_PendingGroup], exc: BaseException) -> None:
+        """Propagate a flush failure to every waiting future."""
+        with self._lock:
+            for group in groups:
+                for slot, future in group.slots.items():
+                    if not future.done():
+                        future.set_exception(exc)
+                    self._inflight.pop(
+                        (group.keyword, group.position, slot), None
+                    )
+
+    def open(self, keyword: str, position: int, slot: int) -> int:
+        """Convenience: request one opening and flush immediately."""
+        future = self.request(keyword, position, slot)
+        self.flush()
+        return future.result()
+
+
+def tree_aux_source(owner) -> "object":
+    """Adapter: resolve aux from a :class:`ChameleonDataOwner`'s trees."""
+
+    def resolve(keyword: str, position: int) -> vc.CVCAux:
+        tree = owner.trees.get(keyword)
+        if tree is None:
+            raise ReproError(f"no tree for keyword {keyword!r}")
+        return tree.aux_at(position)
+
+    return resolve

@@ -1,0 +1,215 @@
+"""Background verification-cache warming for hot keywords.
+
+The PR-2 fast path made *repeated* verifications ~free (the shared
+:class:`~repro.core.proofcache.VerificationCache`), but the first query
+after an insert still pays the full CVC exponentiation chain per entry —
+~800 ms at corpus 150 versus ~4 ms warm.  The :class:`CacheWarmer`
+closes that gap by doing the first verification *ahead of the query*:
+
+* **on insert** the touched keywords are marked dirty (their on-chain
+  digests changed, so previously cached tuples no longer apply);
+* **on access** a trailing per-keyword frequency signal accumulates —
+  either directly via :meth:`note_access` or pulled from the obs metrics
+  registry (``sp.keyword.access.*`` counters) via
+  :meth:`sync_from_metrics`;
+* :meth:`run_pending` (deterministic, inline) or the background thread
+  (:meth:`start`/:meth:`stop`) then warms the hot dirty keywords: it
+  assembles each entry's membership proof from the SP's stored material
+  and pushes it through the scheme's *real* ``verify_entry`` — the same
+  code path a client runs — so only proofs that actually verify land in
+  the cache.
+
+Soundness is inherited, not re-argued: the cache stores successful
+verifications keyed on the complete proven tuple, and the warmer adds
+entries only through ``verify_entry`` itself.  A tampered proof raises
+at warm time and caches nothing, so a later query re-verifies (and
+fails) from scratch — warming can never turn an invalid proof into an
+accepted one.
+
+Telemetry: ``sp.warm.keywords`` / ``sp.warm.entries`` /
+``sp.warm.failures`` counters and one ``sp.warm.keyword`` span per
+warmed keyword.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.errors import VerificationError
+
+#: Accesses within the trailing window before a keyword counts as hot.
+DEFAULT_HOT_THRESHOLD = 2
+
+#: Metrics-registry counter prefix carrying the access signal.
+ACCESS_METRIC_PREFIX = "sp.keyword.access."
+
+
+class CacheWarmer:
+    """Precomputes successful proof verifications for hot keywords.
+
+    ``prove(keyword)`` returns the keyword's proven entries (the SP's
+    view assembles them from stored witnesses); ``proof_system(keywords)``
+    builds the client-side proof system bound to the *current* on-chain
+    digests, sharing the verification cache to be warmed.  Both are
+    supplied by :class:`~repro.core.system.HybridStorageSystem`, but any
+    pair with the same contract works (the warmer is scheme-agnostic:
+    CVC membership proofs and Merkle paths warm identically).
+
+    A keyword is warmed when it is *dirty* (inserted since the last
+    warm) and *hot* (trailing accesses ≥ ``hot_threshold``).  Passing
+    ``hot_threshold=0`` warms every dirty keyword — the eager on-insert
+    policy the witness benchmark uses.
+    """
+
+    def __init__(
+        self,
+        prove,
+        proof_system,
+        hot_threshold: int = DEFAULT_HOT_THRESHOLD,
+    ) -> None:
+        self._prove = prove
+        self._proof_system = proof_system
+        self.hot_threshold = hot_threshold
+        self._lock = threading.Lock()
+        self._dirty: dict[str, None] = {}  # insertion-ordered set
+        self._accesses: dict[str, int] = {}
+        self._synced: dict[str, int] = {}  # registry counts already consumed
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- signals ----------------------------------------------------------------
+
+    def note_insert(self, keywords) -> None:
+        """Mark keywords dirty: their digests (and proofs) just changed."""
+        with self._lock:
+            for keyword in keywords:
+                self._dirty[keyword] = None
+
+    def note_access(self, keywords) -> None:
+        """Record one access to each keyword (the trailing hot signal)."""
+        with self._lock:
+            for keyword in keywords:
+                self._accesses[keyword] = self._accesses.get(keyword, 0) + 1
+        for keyword in keywords:
+            obs.inc(ACCESS_METRIC_PREFIX + keyword)
+
+    def sync_from_metrics(self) -> int:
+        """Pull the access signal from the obs metrics registry.
+
+        Consumes the delta of every ``sp.keyword.access.<kw>`` counter
+        since the previous sync, so components that only emit metrics
+        (e.g. a remote SP front-end) still feed the warmer.  Returns the
+        number of accesses absorbed.
+        """
+        registry = obs.metrics()
+        if registry is None:
+            return 0
+        snapshot = registry.snapshot()
+        absorbed = 0
+        with self._lock:
+            for name in sorted(snapshot):
+                if not name.startswith(ACCESS_METRIC_PREFIX):
+                    continue
+                keyword = name[len(ACCESS_METRIC_PREFIX):]
+                total = int(snapshot[name])
+                delta = total - self._synced.get(keyword, 0)
+                if delta > 0:
+                    self._accesses[keyword] = (
+                        self._accesses.get(keyword, 0) + delta
+                    )
+                    self._synced[keyword] = total
+                    absorbed += delta
+        return absorbed
+
+    def pending(self) -> list[str]:
+        """Dirty keywords whose trailing access count clears the bar."""
+        with self._lock:
+            return [
+                keyword
+                for keyword in self._dirty
+                if self._accesses.get(keyword, 0) >= self.hot_threshold
+            ]
+
+    # -- warming ----------------------------------------------------------------
+
+    def warm(self, keyword: str) -> int:
+        """Verify every current proof of one keyword into the cache.
+
+        Returns the number of entries warmed.  A proof that fails
+        verification is counted, skipped and left uncached (fail
+        closed); the keyword stays dirty so the failure is re-observed.
+        """
+        entries = self._prove(keyword)
+        if not entries:
+            with self._lock:
+                self._dirty.pop(keyword, None)
+            return 0
+        ps = self._proof_system(frozenset((keyword,)))
+        warmed = 0
+        failures = 0
+        with obs.span("sp.warm.keyword", keyword=keyword, entries=len(entries)):
+            for entry in entries:
+                try:
+                    ps.verify_entry(keyword, entry)
+                    warmed += 1
+                except VerificationError:
+                    failures += 1
+        obs.inc("sp.warm.entries", warmed)
+        if failures:
+            obs.inc("sp.warm.failures", failures)
+        else:
+            with self._lock:
+                self._dirty.pop(keyword, None)
+                self._accesses[keyword] = 0
+        obs.inc("sp.warm.keywords")
+        return warmed
+
+    def run_pending(self, limit: int | None = None) -> int:
+        """Warm up to ``limit`` pending keywords inline; returns entries."""
+        total = 0
+        for keyword in self.pending()[: limit if limit is not None else None]:
+            total += self.warm(keyword)
+        return total
+
+    # -- background mode --------------------------------------------------------
+
+    def start(self, interval_s: float = 0.05) -> None:
+        """Run :meth:`run_pending` on a daemon thread every ``interval_s``."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._loop, args=(interval_s,), daemon=True,
+                name="cache-warmer",
+            )
+            self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread and wait for it to exit."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+
+    def _loop(self, interval_s: float) -> None:
+        while not self._stop.wait(interval_s):
+            self.sync_from_metrics()
+            self.run_pending()
+
+    # -- test hooks -------------------------------------------------------------
+
+    def wait_idle(self, timeout_s: float = 2.0) -> bool:
+        """Block until nothing is pending (background-mode tests)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if not self.pending():
+                return True
+            time.sleep(0.01)
+        return not self.pending()

@@ -79,6 +79,7 @@ class TestExperimentSmoke:
             "tab2",
             "disj",
             "fastpath",
+            "witness",
         }
         assert set(ABLATIONS) == {
             "abl-fanout",

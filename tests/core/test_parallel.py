@@ -15,6 +15,7 @@ from repro.errors import ParameterError, VerificationError
 from repro.parallel import (
     EXECUTOR_KINDS,
     PoolExecutor,
+    RemoteTraceback,
     SerialExecutor,
     make_executor,
 )
@@ -69,6 +70,70 @@ class TestExecutorSemantics:
                     ex.map(_boom, [1, 2])
             finally:
                 ex.close()
+
+    def test_first_failing_item_in_input_order_wins(self):
+        ex = PoolExecutor("thread", workers=4)
+        try:
+            with pytest.raises(ValueError, match="boom on 2"):
+                ex.map(_boom_on_even, [1, 3, 2, 4, 6])
+        finally:
+            ex.close()
+
+
+def _boom_on_even(x):
+    if x % 2 == 0:
+        raise ValueError(f"boom on {x}")
+    return x
+
+
+class TestRemoteTraceback:
+    """Worker failures surface with their original type and traceback."""
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_worker_traceback_chained_as_cause(self, kind):
+        ex = PoolExecutor(kind, workers=2)
+        try:
+            with pytest.raises(ValueError, match="boom on 1") as info:
+                ex.map(_boom, [1, 2])
+        finally:
+            ex.close()
+        cause = info.value.__cause__
+        assert isinstance(cause, RemoteTraceback)
+        # The worker-side frame (the raise inside _boom) is preserved.
+        assert "_boom" in cause.formatted
+        assert "boom on 1" in cause.formatted
+        assert "(worker traceback)" in str(cause)
+
+
+class TestChunksize:
+    def test_chunked_process_map_matches_serial(self):
+        ex = PoolExecutor("process", workers=2, chunksize=5)
+        try:
+            items = list(range(20))
+            assert ex.map(_square, items) == [x * x for x in items]
+            # A per-call override beats the executor default.
+            assert ex.map(_square, items, chunksize=3) == [
+                x * x for x in items
+            ]
+        finally:
+            ex.close()
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ParameterError):
+            PoolExecutor("thread", chunksize=0)
+        ex = PoolExecutor("thread", workers=1)
+        try:
+            with pytest.raises(ParameterError):
+                ex.map(_square, [1], chunksize=0)
+        finally:
+            ex.close()
+
+    def test_make_executor_forwards_chunksize(self):
+        ex = make_executor("thread", workers=1, chunksize=4)
+        try:
+            assert ex.chunksize == 4
+        finally:
+            ex.close()
 
 
 DOCS = [

@@ -1,0 +1,195 @@
+"""Batch witness engine, crypto layer: D&C openings match per-slot ones.
+
+The whole engine rests on one invariant: an opening of a chameleon
+vector commitment is a *unique* group element (slot exponents are
+coprime to the group order, so ``x -> x^e`` is a bijection), so however
+an opening is computed — per slot, divide-and-conquer, before or after
+trapdoor collisions — the bits must be identical.  These tests pin that
+invariant across arities, randomisers, strategies and both fast-path
+settings.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.crypto import vc
+from repro.crypto.numbers import batch_openings, clear_fixed_base_tables
+from repro.errors import CommitmentError, ParameterError
+
+
+def messages_for(arity: int) -> list[bytes]:
+    return [f"message-{index}".encode() for index in range(arity)]
+
+
+@pytest.fixture(params=[2, 4, 8], scope="module")
+def committed(request):
+    """(pp, td, commitment, aux) at the parametrised arity."""
+    arity = request.param
+    pp, td = vc.shared_test_params(arity)
+    c, aux = vc.commit(pp, messages_for(arity), randomiser=987654321)
+    return pp, td, c, aux
+
+
+def slot_openings(pp, aux, raw=None):
+    """Reference openings straight from ``open_slot``.
+
+    ``raw`` holds the slot messages as originally committed (``aux``
+    stores only their encodings, and ``open_slot`` takes the raw form).
+    """
+    if raw is None:
+        raw = messages_for(pp.arity)
+    return {
+        slot: vc.open_slot(pp, slot, raw[slot - 1], aux)
+        for slot in range(1, pp.arity + 1)
+    }
+
+
+class TestOpenManyParity:
+    @pytest.mark.parametrize("strategy", ["auto", "batch", "per-slot"])
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_all_strategies_match_open_slot(self, committed, strategy, fast):
+        pp, _td, _c, aux = committed
+        reference = slot_openings(pp, aux)
+        with vc.fastpath(fast):
+            openings = vc.open_all(pp, aux, strategy=strategy)
+        assert openings == reference
+
+    def test_every_opening_verifies(self, committed):
+        pp, _td, c, aux = committed
+        raw = messages_for(pp.arity)
+        openings = vc.open_all(pp, aux, strategy="batch")
+        for slot, proof in openings.items():
+            assert vc.verify(pp, c, slot, raw[slot - 1], proof)
+
+    def test_subset_and_duplicate_slots(self, committed):
+        pp, _td, _c, aux = committed
+        reference = slot_openings(pp, aux)
+        openings = vc.open_many(pp, [2, 1, 2, 1], aux, strategy="batch")
+        assert openings == {1: reference[1], 2: reference[2]}
+
+    def test_parity_after_collisions(self, committed):
+        """Openings from a collided aux still match — and still verify."""
+        pp, td, c, aux = committed
+        raw = messages_for(pp.arity)
+        aux = vc.find_collision(pp, td, c, 1, raw[0], b"replacement", aux)
+        aux = vc.find_collision(pp, td, c, 2, raw[1], b"again", aux)
+        raw[0], raw[1] = b"replacement", b"again"
+        reference = slot_openings(pp, aux, raw=raw)
+        assert vc.open_all(pp, aux, strategy="batch") == reference
+        for slot, proof in reference.items():
+            assert vc.verify(pp, c, slot, raw[slot - 1], proof)
+
+    def test_parity_across_randomisers(self):
+        pp, _td = vc.shared_test_params(3)
+        for randomiser in (0, 1, 2**64 - 1, 987654321):
+            _c, aux = vc.commit(pp, messages_for(3), randomiser=randomiser)
+            assert vc.open_all(pp, aux, strategy="batch") == slot_openings(
+                pp, aux
+            )
+
+    def test_legacy_params_without_base_fall_back(self, committed):
+        """Parameters predating ``base`` retention cannot batch — but work."""
+        pp, _td, _c, aux = committed
+        legacy = dataclasses.replace(pp, base=0)
+        assert vc.open_all(legacy, aux, strategy="batch") == slot_openings(
+            legacy, aux
+        )
+
+    def test_unknown_strategy_rejected(self, committed):
+        pp, _td, _c, aux = committed
+        with pytest.raises(ParameterError):
+            vc.open_many(pp, [1], aux, strategy="bogus")
+
+    def test_out_of_range_slot_rejected(self, committed):
+        pp, _td, _c, aux = committed
+        with pytest.raises(CommitmentError):
+            vc.open_many(pp, [pp.arity + 1], aux)
+
+    def test_facade_methods_delegate(self, committed):
+        pp, td, _c, aux = committed
+        cvc = vc.ChameleonVectorCommitment(pp.arity, _pp=pp, _td=td)
+        reference = slot_openings(pp, aux)
+        assert cvc.open_all(aux) == reference
+        assert cvc.open_many([1, 2], aux) == {
+            1: reference[1],
+            2: reference[2],
+        }
+
+    def test_counters_emitted(self, committed):
+        pp, _td, _c, aux = committed
+        with obs.collect() as col:
+            vc.open_many(pp, [1, 2, 2], aux, strategy="batch")
+            snap = col.metrics.snapshot()
+        assert snap["vc.batch.requests"] == 1
+        assert snap["vc.batch.openings"] == 2  # duplicates deduplicated
+        assert snap["vc.batch.dnc"] == 1
+
+    def test_auto_prefers_batch_on_cold_tables(self, committed):
+        pp, _td, _c, aux = committed
+        with vc.fastpath(True):
+            clear_fixed_base_tables()
+            with obs.collect() as col:
+                vc.open_all(pp, aux, strategy="auto")
+                snap = col.metrics.snapshot()
+        assert snap.get("vc.batch.dnc", 0) == 1
+
+    def test_auto_prefers_per_slot_on_warm_tables(self, committed):
+        pp, _td, _c, aux = committed
+        if (pp.arity + 1) * pp.arity // 2 > 64:
+            pytest.skip("pair working set exceeds the table cache")
+        with vc.fastpath(True):
+            clear_fixed_base_tables()
+            vc.prewarm_tables(pp, pairs=True)
+            with obs.collect() as col:
+                vc.open_all(pp, aux, strategy="auto")
+                snap = col.metrics.snapshot()
+        assert snap.get("vc.batch.per_slot", 0) == 1
+
+
+class TestBatchOpeningsUnit:
+    """Direct unit coverage of the D&C recursion over toy groups."""
+
+    def test_matches_definition_small(self):
+        # Hand-checkable instance: L_i = a^{sum_{j!=i} z_j * P/(e_i e_j)}.
+        modulus = 101 * 103
+        base = 7
+        exponents = [3, 5, 11]
+        weights = [4, 9, 2]
+        product = 3 * 5 * 11
+        expected = {}
+        for i, e_i in enumerate(exponents):
+            exponent = sum(
+                z * (product // (e_i * e_j))
+                for j, (e_j, z) in enumerate(zip(exponents, weights))
+                if j != i
+            )
+            expected[i] = pow(base, exponent, modulus)
+        assert (
+            batch_openings(base, exponents, weights, modulus) == expected
+        )
+
+    def test_indices_prune_to_subset(self):
+        modulus = 101 * 103
+        full = batch_openings(7, [3, 5, 11, 13], [4, 9, 2, 6], modulus)
+        subset = batch_openings(
+            7, [3, 5, 11, 13], [4, 9, 2, 6], modulus, indices=[0, 3]
+        )
+        assert subset == {0: full[0], 3: full[3]}
+
+    def test_rejects_misaligned_weights(self):
+        with pytest.raises(ParameterError):
+            batch_openings(7, [3, 5], [1], 101)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ParameterError):
+            batch_openings(7, [3, 5], [1, 2], 101, indices=[2])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ParameterError):
+            batch_openings(7, [3, 5], [1, -2], 101)
+
+    def test_empty_cases(self):
+        assert batch_openings(7, [], [], 101) == {}
+        assert batch_openings(7, [3], [1], 101, indices=[]) == {}

@@ -1,0 +1,209 @@
+"""WitnessScheduler: dedup, batching, concurrency, failure propagation."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core.chameleon import ChameleonTreeDO
+from repro.crypto import vc
+from repro.crypto.prf import generate_key
+from repro.errors import ReproError
+from repro.sp.scheduler import WitnessScheduler, tree_aux_source
+
+
+ARITY = 2
+
+
+class FakeOwner:
+    """Minimal stand-in exposing ``trees`` like ChameleonDataOwner."""
+
+    def __init__(self, trees):
+        self.trees = trees
+
+
+@pytest.fixture(scope="module")
+def owner():
+    pp, td = vc.shared_test_params(ARITY + 1)
+    cvc = vc.ChameleonVectorCommitment(ARITY + 1, _pp=pp, _td=td)
+    trees = {}
+    for name in ("alpha", "beta"):
+        tree = ChameleonTreeDO(
+            cvc, generate_key(seed=11), keyword=name, arity=ARITY
+        )
+        for index in range(3):
+            tree.insert(object_id=index + 1, object_hash=bytes(32))
+        trees[name] = tree
+    return FakeOwner(trees), pp
+
+
+def make_scheduler(owner, **kwargs):
+    fake, pp = owner
+    return WitnessScheduler(tree_aux_source(fake), pp, **kwargs)
+
+
+def reference_openings(owner, requests):
+    """Per-slot openings computed independently of the scheduler."""
+    fake, pp = owner
+    return {
+        (kw, pos, slot): vc.open_many(
+            pp, [slot], fake.trees[kw].aux_at(pos), strategy="per-slot"
+        )[slot]
+        for kw, pos, slot in requests
+    }
+
+
+class TestRequestDedup:
+    def test_duplicate_requests_share_one_future(self, owner):
+        scheduler = make_scheduler(owner)
+        first = scheduler.request("alpha", 0, 1)
+        second = scheduler.request("alpha", 0, 1)
+        assert first is second
+        assert scheduler.pending_count() == 1
+        scheduler.flush()
+
+    def test_distinct_requests_get_distinct_futures(self, owner):
+        scheduler = make_scheduler(owner)
+        futures = scheduler.request_many(
+            [("alpha", 0, 1), ("alpha", 0, 2), ("beta", 0, 1)]
+        )
+        assert len({id(f) for f in futures}) == 3
+        assert scheduler.pending_count() == 3
+        scheduler.flush()
+
+    def test_results_match_independent_openings(self, owner):
+        requests = [
+            ("alpha", 0, 1),
+            ("alpha", 0, 2),
+            ("alpha", 0, 3),
+            ("beta", 0, 2),
+        ]
+        scheduler = make_scheduler(owner)
+        futures = scheduler.request_many(requests)
+        computed = scheduler.flush()
+        assert computed == len(requests)
+        reference = reference_openings(owner, requests)
+        for key, future in zip(requests, futures):
+            assert future.result() == reference[key]
+
+    def test_flush_empties_queue_and_inflight(self, owner):
+        scheduler = make_scheduler(owner)
+        future = scheduler.request("alpha", 0, 1)
+        scheduler.flush()
+        assert scheduler.pending_count() == 0
+        assert future.done()
+        # After delivery the key is no longer in flight: a new request
+        # starts a fresh computation rather than joining the old future.
+        again = scheduler.request("alpha", 0, 1)
+        assert again is not future
+        scheduler.flush()
+        assert again.result() == future.result()
+
+    def test_open_convenience(self, owner):
+        scheduler = make_scheduler(owner)
+        proof = scheduler.open("alpha", 0, 1)
+        assert proof == reference_openings(owner, [("alpha", 0, 1)])[
+            ("alpha", 0, 1)
+        ]
+
+    def test_unknown_keyword_fails_flush(self, owner):
+        scheduler = make_scheduler(owner)
+        future = scheduler.request("missing", 0, 1)
+        with pytest.raises(ReproError):
+            scheduler.flush()
+        assert isinstance(future.exception(), ReproError)
+        # The failed key was evicted: the scheduler stays usable.
+        assert scheduler.pending_count() == 0
+        ok = scheduler.request("alpha", 0, 1)
+        scheduler.flush()
+        assert ok.result() == reference_openings(owner, [("alpha", 0, 1)])[
+            ("alpha", 0, 1)
+        ]
+
+
+class TestConcurrencyStress:
+    THREADS = 8
+
+    def test_dedup_under_concurrency_exact_counters(self, owner):
+        """8 threads, identical request sets: exact counter totals."""
+        fake, pp = owner
+        requests = [
+            (kw, 0, slot)
+            for kw in ("alpha", "beta")
+            for slot in range(1, ARITY + 2)
+        ]
+        with obs.collect() as col:
+            scheduler = make_scheduler(owner)
+            results: list[list] = [None] * self.THREADS
+            barrier = threading.Barrier(self.THREADS)
+
+            def worker(rank: int) -> None:
+                barrier.wait()
+                futures = scheduler.request_many(requests)
+                results[rank] = futures
+
+            threads = [
+                threading.Thread(target=worker, args=(rank,))
+                for rank in range(self.THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert scheduler.pending_count() == len(requests)
+            computed = scheduler.flush()
+            snap = col.metrics.snapshot()
+
+        distinct = len(requests)
+        total = distinct * self.THREADS
+        assert computed == distinct
+        assert snap["sp.batch.requests"] == total
+        assert snap["sp.batch.deduped"] == total - distinct
+        assert snap["sp.batch.openings"] == distinct
+        assert snap["sp.batch.commitments"] == 2  # one group per keyword
+        assert snap["sp.batch.flushes"] == 1
+        # vc layer: one open_many per commitment, all slots covered.
+        assert snap["vc.batch.requests"] == 2
+        assert snap["vc.batch.openings"] == distinct
+
+        reference = reference_openings(owner, requests)
+        for futures in results:
+            for key, future in zip(requests, futures):
+                assert future.result() == reference[key]
+
+    def test_concurrent_flushes_deliver_every_future(self, owner):
+        """Racing registration against flushing loses no future."""
+        scheduler = make_scheduler(owner)
+        requests = [
+            (kw, 0, slot)
+            for kw in ("alpha", "beta")
+            for slot in range(1, ARITY + 2)
+        ]
+        futures = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def register() -> None:
+            for _ in range(50):
+                got = scheduler.request_many(requests)
+                with lock:
+                    futures.extend(got)
+
+        def flusher() -> None:
+            while not stop.is_set():
+                scheduler.flush()
+
+        workers = [threading.Thread(target=register) for _ in range(4)]
+        drain = threading.Thread(target=flusher)
+        drain.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop.set()
+        drain.join()
+        scheduler.flush()
+        reference = reference_openings(owner, requests)
+        assert len(futures) == 4 * 50 * len(requests)
+        for key, future in zip(requests * (4 * 50), futures):
+            assert future.result(timeout=5) == reference[key]

@@ -1,0 +1,162 @@
+"""CacheWarmer: warmed proofs verify, tampering fails closed, signals."""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.core.objects import DataObject
+from repro.core.system import HybridStorageSystem
+from repro.errors import ReproError, VerificationError
+from repro.sp.warmer import ACCESS_METRIC_PREFIX, CacheWarmer
+
+
+def corpus():
+    return [
+        DataObject(1, ("alpha", "beta"), b"one"),
+        DataObject(2, ("alpha",), b"two"),
+        DataObject(3, ("beta", "gamma"), b"three"),
+    ]
+
+
+def make_system(**kwargs):
+    kwargs.setdefault("witness_warmer", True)
+    kwargs.setdefault("warm_hot_threshold", 0)
+    system = HybridStorageSystem(scheme="smi", seed=13, **kwargs)
+    for obj in corpus():
+        system.add_object(obj)
+    return system
+
+
+class TestWarming:
+    def test_warmed_proofs_land_in_cache_and_queries_hit(self):
+        system = make_system()
+        assert sorted(system.warmer.pending()) == ["alpha", "beta", "gamma"]
+        warmed = system.warm_pending()
+        assert warmed > 0
+        assert system.warmer.pending() == []
+        # Warming went through real verification: only misses so far.
+        assert system.verify_cache.misses >= warmed
+        assert system.verify_cache.hits == 0
+        result = system.query('"alpha" AND "beta"')
+        assert result.verified
+        assert system.verify_cache.hits > 0
+
+    def test_insert_redirties_only_touched_keywords(self):
+        system = make_system()
+        system.warm_pending()
+        system.add_object(DataObject(4, ("alpha",), b"four"))
+        assert system.warmer.pending() == ["alpha"]
+
+    def test_empty_keyword_clears_dirty(self):
+        system = make_system()
+        system.warmer.note_insert(["ghost"])
+        assert "ghost" in system.warmer.pending()
+        assert system.warmer.warm("ghost") == 0
+        assert "ghost" not in system.warmer.pending()
+
+    def test_warm_pending_requires_warmer(self):
+        system = HybridStorageSystem(scheme="smi", seed=13)
+        with pytest.raises(ReproError):
+            system.warm_pending()
+
+
+class TestFailClosed:
+    def test_tampered_entries_never_reach_the_cache(self):
+        system = make_system()
+        genuine = system._sp_view("alpha").all_proven()
+        tampered = [
+            dataclasses.replace(entry, object_hash=bytes(32))
+            for entry in genuine
+        ]
+        warmer = CacheWarmer(
+            prove=lambda kw: tampered,
+            proof_system=system.chain_proof_system,
+            hot_threshold=0,
+        )
+        warmer.note_insert(["alpha"])
+        with obs.collect() as col:
+            assert warmer.warm("alpha") == 0
+            snap = col.metrics.snapshot()
+        assert snap["sp.warm.failures"] == len(tampered)
+        assert snap.get("sp.warm.entries", 0) == 0
+        # The keyword stays dirty so the failure is re-observed.
+        assert "alpha" in warmer.pending()
+        # Nothing was cached: verifying a tampered entry still raises.
+        ps = system.chain_proof_system(frozenset(("alpha",)))
+        with pytest.raises(VerificationError):
+            ps.verify_entry("alpha", tampered[0])
+
+    def test_partial_tampering_caches_only_good_entries(self):
+        system = make_system()
+        genuine = system._sp_view("alpha").all_proven()
+        assert len(genuine) >= 2
+        mixed = [genuine[0]] + [
+            dataclasses.replace(entry, object_hash=bytes(32))
+            for entry in genuine[1:]
+        ]
+        warmer = CacheWarmer(
+            prove=lambda kw: mixed,
+            proof_system=system.chain_proof_system,
+            hot_threshold=0,
+        )
+        warmer.note_insert(["alpha"])
+        assert warmer.warm("alpha") == 1
+        assert "alpha" in warmer.pending()
+
+
+class TestSignals:
+    def test_hot_threshold_gates_pending(self):
+        system = make_system(warm_hot_threshold=2)
+        warmer = system.warmer
+        assert warmer.pending() == []
+        warmer.note_access(["alpha"])
+        assert warmer.pending() == []
+        warmer.note_access(["alpha"])
+        assert warmer.pending() == ["alpha"]
+
+    def test_queries_feed_the_access_signal(self):
+        system = make_system(warm_hot_threshold=2)
+        system.query('"alpha"')
+        system.query('"alpha"')
+        assert system.warmer.pending() == ["alpha"]
+
+    def test_sync_from_metrics_consumes_deltas(self):
+        warmer = CacheWarmer(
+            prove=lambda kw: [], proof_system=None, hot_threshold=2
+        )
+        with obs.collect():
+            obs.inc(ACCESS_METRIC_PREFIX + "alpha", 2)
+            assert warmer.sync_from_metrics() == 2
+            # Already-consumed counts are not absorbed twice.
+            assert warmer.sync_from_metrics() == 0
+            obs.inc(ACCESS_METRIC_PREFIX + "alpha")
+            assert warmer.sync_from_metrics() == 1
+        warmer.note_insert(["alpha"])
+        assert warmer.pending() == ["alpha"]
+
+    def test_sync_without_registry_is_a_noop(self):
+        warmer = CacheWarmer(
+            prove=lambda kw: [], proof_system=None, hot_threshold=0
+        )
+        assert warmer.sync_from_metrics() == 0
+
+
+class TestBackground:
+    def test_background_thread_warms_until_idle(self):
+        system = make_system()
+        assert system.warmer.pending()
+        system.warmer.start(interval_s=0.01)
+        try:
+            assert system.warmer.wait_idle(timeout_s=5.0)
+        finally:
+            system.warmer.stop()
+        assert system.verify_cache.misses > 0
+        assert system.query('"gamma"').verified
+
+    def test_start_twice_and_close_are_safe(self):
+        system = make_system()
+        system.warmer.start(interval_s=0.01)
+        system.warmer.start(interval_s=0.01)
+        system.close()
+        system.close()
