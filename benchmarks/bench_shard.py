@@ -1,0 +1,53 @@
+"""Sharded-SP benchmark and its acceptance gates.
+
+Runs the shard experiment (bulk-ingest scaling across shard counts with
+a process executor, concurrent conjunctive query throughput, and the
+byte-level transparency check), writes the rows to ``BENCH_shard.json``
+at the repo root, and asserts the acceptance criteria:
+
+* transparency is unconditional: answers, encoded VOs and gas at the
+  top shard count equal the single-shard system for every scheme;
+* every concurrently-served query verifies;
+* with >= 2 cores the 8-shard process-pool ingest beats the single-shard
+  pass by >= 1.5x (skipped on single-core runners, where no parallel
+  speedup is physically possible — the committed JSON records the
+  machine's ``cpu_count`` for exactly this reason).
+"""
+
+import json
+import pathlib
+
+from repro.bench.shard import experiment_shard
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+
+def test_sharded_sp(benchmark, size_small):
+    rows = benchmark.pedantic(
+        experiment_shard,
+        kwargs={"size": max(300, 5 * size_small), "identity_size": 60},
+        rounds=1,
+        iterations=1,
+    )
+    payload = {
+        "experiment": "shard",
+        "seed": 7,
+        "rows": {
+            "cpu_count": rows["cpu_count"],
+            "ingest": [row.to_json() for row in rows["ingest"]],
+            "query": [row.to_json() for row in rows["query"]],
+            "identity": [row.to_json() for row in rows["identity"]],
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for row in rows["identity"]:
+        assert row.transparent, row
+    for row in rows["query"]:
+        assert row.all_verified, row
+
+    by_shards = {row.shards: row for row in rows["ingest"]}
+    if rows["cpu_count"] >= 2 and 8 in by_shards:
+        speedup = by_shards[1].ingest_ms / by_shards[8].ingest_ms
+        benchmark.extra_info["ingest_speedup_8shard"] = round(speedup, 2)
+        assert speedup >= 1.5, rows["ingest"]

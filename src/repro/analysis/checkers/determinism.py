@@ -7,6 +7,13 @@ yields a different digest per run.  In the commitment/encoding modules
 this rule flags ``for``-loops, comprehensions and ``join`` arguments that
 iterate *directly* over a set expression or a ``.keys()`` call without an
 explicit ``sorted(...)``.
+
+The sharded SP adds a second hazard class: iterating a *shard map*
+(``engines``/``shards``-named dict) via ``.values()``/``.items()`` while
+assembling a VO or routing mirror updates makes the merge order depend
+on dict insertion order — which differs between a replayed journal and
+a live run.  In the shard-routing modules those iterations must go
+through ``sorted(...)`` or an explicit shard-index list.
 """
 
 from __future__ import annotations
@@ -37,6 +44,41 @@ def _unordered_reason(node: ast.AST) -> str | None:
     return None
 
 
+#: Receiver-name fragments marking a mapping as a shard/engine map.
+_SHARD_RECEIVERS = ("shard", "engine")
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    """The identifier a ``.values()``/``.items()`` call is made on."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _shard_map_reason(node: ast.AST) -> str | None:
+    """Why this expression iterates a shard map unordered, or ``None``.
+
+    Flags ``<recv>.values()`` / ``<recv>.items()`` where the receiver's
+    name mentions a shard or engine map: merge order would then follow
+    dict insertion order, which a journal replay need not reproduce.
+    """
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("values", "items")
+    ):
+        return None
+    name = _receiver_name(node.func.value)
+    if name is None:
+        return None
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _SHARD_RECEIVERS):
+        return f"{name}.{node.func.attr}() (a shard map, insertion-ordered)"
+    return None
+
+
 @register
 class DeterminismChecker(Checker):
     """Flags unordered iteration in commitment/encoding modules."""
@@ -57,7 +99,9 @@ class DeterminismChecker(Checker):
         "core/objects.py",
         "core/query/codec.py",
         "core/query/vo.py",
+        "core/sp_frontend.py",
         "ethereum/",
+        "sp/engine.py",
     )
 
     def check(self, src: ModuleSource) -> Iterator[Finding]:
@@ -85,5 +129,16 @@ class DeterminismChecker(Checker):
                         candidate,
                         f"iterating {reason} has no deterministic order; "
                         "wrap the iterable in sorted(...)",
+                        symbol=symbol,
+                    )
+                    continue
+                reason = _shard_map_reason(candidate)
+                if reason is not None:
+                    yield self.finding(
+                        src,
+                        candidate,
+                        f"iterating {reason} ties VO assembly/routing to "
+                        "dict insertion order; iterate sorted(...) or an "
+                        "explicit shard-index list",
                         symbol=symbol,
                     )

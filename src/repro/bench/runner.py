@@ -552,6 +552,13 @@ def experiment_witness(**kwargs):
     return _witness(**kwargs)
 
 
+def experiment_shard(**kwargs):
+    """Sharded-SP benchmark (lazy import avoids a module cycle)."""
+    from repro.bench.shard import experiment_shard as _shard
+
+    return _shard(**kwargs)
+
+
 EXPERIMENTS = {
     "fig6": experiment_fig6,
     "fig10": experiment_fig10,
@@ -563,6 +570,7 @@ EXPERIMENTS = {
     "disj": experiment_disjunctive,
     "fastpath": experiment_fastpath,
     "witness": experiment_witness,
+    "shard": experiment_shard,
 }
 
 

@@ -1,0 +1,294 @@
+"""Sharded-SP benchmark: scatter-gather ingest, queries, transparency.
+
+Three measurements over the :class:`~repro.core.sp_frontend.ShardedStorageProvider`:
+
+* **batched ingest** — :meth:`mirror_bulk` partitions a confirmed batch's
+  postings per shard and extends each shard's MB-trees in one executor
+  task; with a process pool and >= 2 cores the per-shard hashing runs on
+  real parallel cores (the ``ingest`` rows, CI-gated >= 1.5x at 8 shards
+  when the runner has multiple cores);
+* **concurrent queries** — a full system under a multi-threaded
+  conjunctive query load at each shard count (the ``query`` rows; the
+  read path is lock-shared, so shard count must not *cost* anything);
+* **transparency** — the invariant the whole design rests on: answers,
+  encoded VOs and total gas at 8 shards must equal the single-shard
+  system byte for byte (the ``identity`` row, CI-gated unconditionally).
+
+``cpu_count`` is recorded in the output so downstream gates can tell a
+genuine regression from a single-core runner where no parallel speedup
+is physically possible.  ``repro-bench --exp shard --json
+BENCH_shard.json`` records the rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.bench.runner import BENCH_CVC_BITS
+from repro.core.merkle_family import MerkleInvertedSP
+from repro.core.objects import ObjectMetadata
+from repro.core.sp_frontend import ShardedStorageProvider
+from repro.core.system import HybridStorageSystem
+from repro.datasets.synthetic import dblp_like
+from repro.datasets.workloads import ConjunctiveWorkload
+from repro.parallel import make_executor
+
+#: MB-tree fanout for the ingest rows (the system default).
+INGEST_FANOUT = 8
+
+
+@dataclass
+class ShardIngestRow:
+    """One ``mirror_bulk`` pass over a confirmed Merkle-family batch."""
+
+    shards: int
+    executor: str
+    corpus_size: int
+    keywords: int
+    ingest_ms: float
+    objects_per_s: float
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class ShardQueryRow:
+    """Multi-threaded conjunctive query load at one shard count."""
+
+    shards: int
+    threads: int
+    queries: int
+    total_ms: float
+    queries_per_s: float
+    all_verified: bool
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class ShardIdentityRow:
+    """Byte-level transparency check: 1 shard versus ``shards`` shards."""
+
+    scheme: str
+    shards: int
+    corpus_size: int
+    queries: int
+    answers_identical: bool
+    vo_identical: bool
+    gas_identical: bool
+
+    @property
+    def transparent(self) -> bool:
+        return (
+            self.answers_identical and self.vo_identical and self.gas_identical
+        )
+
+    def to_json(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["transparent"] = self.transparent
+        return data
+
+
+def measure_shard_ingest(
+    shards: int, size: int, seed: int, executor_kind: str = "process"
+) -> ShardIngestRow:
+    """Time one bulk mirror of ``size`` objects into ``shards`` shards.
+
+    Drives the SP front-end directly — the chain work above it is
+    identical at every shard count, so this isolates exactly the
+    parallelisable portion (per-shard MB-tree hashing) that the shard
+    scatter distributes across executor workers.
+    """
+    metadatas = [
+        ObjectMetadata.of(obj)
+        for obj in dblp_like(size, seed=seed).objects()
+    ]
+    keywords = {kw for m in metadatas for kw in m.keywords}
+    executor = make_executor(
+        executor_kind, workers=min(shards, os.cpu_count() or 1)
+    )
+    sp = ShardedStorageProvider(
+        index_factory=lambda: MerkleInvertedSP(fanout=INGEST_FANOUT),
+        executor=executor,
+        scheme_value="mi",
+        join_order="size",
+        join_plan="cyclic",
+        shards=shards,
+        seed=seed,
+        fanout=INGEST_FANOUT,
+    )
+    t0 = time.perf_counter()
+    sp.mirror_bulk(metadatas)
+    elapsed = time.perf_counter() - t0
+    sp.close()
+    executor.close()
+    return ShardIngestRow(
+        shards=shards,
+        executor=executor_kind,
+        corpus_size=size,
+        keywords=len(keywords),
+        ingest_ms=1e3 * elapsed,
+        objects_per_s=size / elapsed if elapsed else 0.0,
+    )
+
+
+def measure_shard_queries(
+    shards: int,
+    size: int,
+    seed: int,
+    threads: int = 4,
+    queries_per_thread: int = 8,
+    num_keywords: int = 2,
+) -> ShardQueryRow:
+    """Concurrent conjunctive query throughput at one shard count."""
+    dataset = dblp_like(size, seed=seed)
+    system = HybridStorageSystem(scheme="mi", seed=seed, shards=shards)
+    for obj in dataset.objects():
+        system.add_object(obj)
+    workload = ConjunctiveWorkload(
+        dataset=dataset, num_keywords=num_keywords, seed=seed + 1
+    )
+    queries = list(workload.queries(threads * queries_per_thread))
+    verified: list[bool] = []
+    verified_lock = threading.Lock()
+
+    def worker(chunk) -> None:
+        outcomes = [system.query(q).verified for q in chunk]
+        with verified_lock:
+            verified.extend(outcomes)
+
+    workers = [
+        threading.Thread(
+            target=worker,
+            args=(queries[i::threads],),
+        )
+        for i in range(threads)
+    ]
+    t0 = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    system.close()
+    return ShardQueryRow(
+        shards=shards,
+        threads=threads,
+        queries=len(queries),
+        total_ms=1e3 * elapsed,
+        queries_per_s=len(queries) / elapsed if elapsed else 0.0,
+        all_verified=all(verified) and len(verified) == len(queries),
+    )
+
+
+def measure_transparency(
+    scheme: str, shards: int, size: int, seed: int, num_queries: int = 6
+) -> ShardIdentityRow:
+    """Byte-compare a sharded system against the single-shard baseline."""
+    dataset = dblp_like(size, seed=seed)
+    # The generator's RNG advances per call: materialise the stream once
+    # so both systems ingest the identical object sequence.
+    objects = list(dataset.objects())
+    systems = []
+    for count in (1, shards):
+        system = HybridStorageSystem(
+            scheme=scheme,
+            seed=seed,
+            shards=count,
+            cvc_modulus_bits=BENCH_CVC_BITS,
+        )
+        for obj in objects:
+            system.add_object(obj)
+        systems.append(system)
+    base, sharded = systems
+    workload = ConjunctiveWorkload(dataset=dataset, num_keywords=2, seed=seed)
+    answers_identical = True
+    vo_identical = True
+    for query in workload.queries(num_queries):
+        ra, rb = base.query(query), sharded.query(query)
+        answers_identical &= ra.result_ids == rb.result_ids
+        vo_identical &= (
+            ra.vo_sp_bytes == rb.vo_sp_bytes
+            and ra.vo_chain_bytes == rb.vo_chain_bytes
+        )
+    gas_identical = (
+        base.average_gas_per_object() == sharded.average_gas_per_object()
+    )
+    base.close()
+    sharded.close()
+    return ShardIdentityRow(
+        scheme=scheme,
+        shards=shards,
+        corpus_size=size,
+        queries=num_queries,
+        answers_identical=answers_identical,
+        vo_identical=vo_identical,
+        gas_identical=gas_identical,
+    )
+
+
+def experiment_shard(
+    size: int = 600,
+    shard_counts: tuple[int, ...] = (1, 4, 8),
+    seed: int = 7,
+    identity_size: int = 60,
+    schemes: tuple[str, ...] = ("mi", "smi", "ci", "ci*"),
+) -> dict:
+    """Sharded-SP benchmark: ingest/query scaling plus transparency."""
+    ingest = [
+        measure_shard_ingest(shards, size, seed) for shards in shard_counts
+    ]
+    query = [
+        measure_shard_queries(shards, identity_size, seed)
+        for shards in shard_counts
+    ]
+    identity = [
+        measure_transparency(scheme, max(shard_counts), identity_size, seed)
+        for scheme in schemes
+    ]
+    cpu_count = os.cpu_count() or 1
+
+    print(
+        f"\nSharded SP — bulk ingest via mirror_bulk "
+        f"(DBLP-like, n={size}, process pool, {cpu_count} cores)"
+    )
+    print(f"{'shards':>7}{'ingest (ms)':>14}{'objects/s':>12}")
+    for row in ingest:
+        print(
+            f"{row.shards:>7}{row.ingest_ms:>14.1f}{row.objects_per_s:>12.0f}"
+        )
+    base_ms = ingest[0].ingest_ms
+    for row in ingest[1:]:
+        speedup = base_ms / row.ingest_ms if row.ingest_ms else 0.0
+        print(f"  {row.shards}-shard speedup over 1 shard: {speedup:.2f}x")
+
+    print(
+        f"\nConcurrent queries ({query[0].threads} threads, "
+        f"{query[0].queries} queries, n={identity_size})"
+    )
+    print(f"{'shards':>7}{'total (ms)':>13}{'queries/s':>12}{'verified':>10}")
+    for row in query:
+        print(
+            f"{row.shards:>7}{row.total_ms:>13.1f}"
+            f"{row.queries_per_s:>12.1f}{str(row.all_verified):>10}"
+        )
+
+    print(f"\nTransparency at {max(shard_counts)} shards vs 1 shard")
+    print(f"{'scheme':<8}{'answers':>9}{'VO':>6}{'gas':>6}")
+    for row in identity:
+        print(
+            f"{row.scheme:<8}{str(row.answers_identical):>9}"
+            f"{str(row.vo_identical):>6}{str(row.gas_identical):>6}"
+        )
+    return {
+        "cpu_count": cpu_count,
+        "ingest": ingest,
+        "query": query,
+        "identity": identity,
+    }

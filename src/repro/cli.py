@@ -50,6 +50,19 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument("--fanout", type=int, default=4)
     init.add_argument("--arity", type=int, default=2)
     init.add_argument("--bloom-capacity", type=int, default=30)
+    init.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="keyword partitions served by independent shard engines",
+    )
+    init.add_argument(
+        "--engine",
+        default="memory",
+        choices=["memory", "disk"],
+        help="shard engine kind (disk journals live under the system "
+        "directory and are rebuilt on load)",
+    )
 
     add = sub.add_parser("add", help="notarise one or more objects")
     add.add_argument("directory")
@@ -103,9 +116,19 @@ def cmd_init(args) -> int:
         fanout=args.fanout,
         arity=args.arity,
         bloom_capacity=args.bloom_capacity,
+        shards=args.shards,
+        engine=args.engine,
+        engine_dir=(
+            Path(args.directory) / "shard-journals"
+            if args.engine == "disk"
+            else None
+        ),
     )
     path = save_system(system, args.directory, seed=args.seed)
-    print(f"initialised {args.scheme} system at {path}")
+    print(
+        f"initialised {args.scheme} system at {path} "
+        f"({args.shards} shard(s), {args.engine} engine)"
+    )
     return 0
 
 

@@ -10,6 +10,15 @@ the deployment itself implies (the chain and the DO's stream are the
 durable ground truth; SP state is always reconstructible), and it can
 never deserialise inconsistent cryptographic state.
 
+Manifest v2 captures the *complete* constructor configuration.  The v1
+schema recorded only a subset (omitting ``cvc_modulus_bits`` from the
+config map plus ``gas_limit``, ``track_state``, ``verify_cache_size``
+and the witness knobs entirely), so a system saved with non-default
+values silently restored with defaults — a non-default modulus even
+changes key derivation, making every restored digest mismatch.  v1
+manifests remain readable; their missing fields load as the defaults
+they were (incorrectly but unavoidably) restored with before.
+
 Layout::
 
     <dir>/manifest.json    configuration and seed
@@ -27,10 +36,33 @@ from repro.core.system import HybridStorageSystem
 from repro.errors import ReproError
 
 #: Manifest schema version.
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
-#: System constructor arguments captured in the manifest.
+#: System constructor arguments captured in a v2 manifest — the full
+#: configuration surface (everything except ``seed``, stored top-level,
+#: and runtime-only knobs like ``executor`` or ``engine_dir``).
 _CONFIG_FIELDS = (
+    "fanout",
+    "arity",
+    "bloom_capacity",
+    "filter_bits",
+    "cvc_modulus_bits",
+    "gas_limit",
+    "mine_every",
+    "join_order",
+    "join_plan",
+    "track_state",
+    "verify_cache_size",
+    "witness_batching",
+    "witness_warmer",
+    "warm_hot_threshold",
+    "shards",
+    "engine",
+)
+
+#: The v1 subset (plus a top-level ``cvc_modulus_bits``); kept for the
+#: backward-compatible reader.
+_V1_CONFIG_FIELDS = (
     "fanout",
     "arity",
     "bloom_capacity",
@@ -72,8 +104,6 @@ def save_system(
         "version": MANIFEST_VERSION,
         "scheme": system.scheme.value,
         "seed": seed,
-        "cvc_modulus_bits": getattr(system, "_cvc", None)
-        and system._cvc.pp.modulus.bit_length(),
         "config": {
             field: getattr(system, field) for field in _CONFIG_FIELDS
         },
@@ -81,29 +111,55 @@ def save_system(
     }
     (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
     with (path / "objects.jsonl").open("w") as log:
-        for object_id in system.store.all_ids():
-            record = _object_to_record(system.store.get(object_id))
+        for object_id in system.all_object_ids():
+            record = _object_to_record(system.get_object(object_id))
             log.write(json.dumps(record) + "\n")
     return path
 
 
-def load_system(directory: str | Path) -> HybridStorageSystem:
-    """Rebuild a persisted system by replaying its object stream."""
+def _kwargs_from_manifest(manifest: dict) -> dict:
+    """Constructor kwargs for either manifest schema version."""
+    version = manifest.get("version")
+    if version == 1:
+        kwargs = {
+            field: manifest["config"][field]
+            for field in _V1_CONFIG_FIELDS
+            if field in manifest.get("config", {})
+        }
+        if manifest.get("cvc_modulus_bits"):
+            # v1 stored the modulus' bit_length, which may be one short
+            # of the nominal size; round up to the byte the keygen was
+            # called with.
+            bits = manifest["cvc_modulus_bits"]
+            kwargs["cvc_modulus_bits"] = (bits + 7) // 8 * 8
+        return kwargs
+    if version == MANIFEST_VERSION:
+        return dict(manifest["config"])
+    raise ReproError(f"unsupported manifest version {version!r}")
+
+
+def load_system(
+    directory: str | Path, engine_dir: str | Path | None = None
+) -> HybridStorageSystem:
+    """Rebuild a persisted system by replaying its object stream.
+
+    The object log is the durable ground truth; a system saved with
+    ``engine="disk"`` restores with in-memory engines unless a fresh
+    ``engine_dir`` is supplied for the rebuilt shard journals (pointing
+    it at journals from another run would double-apply their records
+    during replay).
+    """
     path = Path(directory)
     manifest_path = path / "manifest.json"
     if not manifest_path.exists():
         raise ReproError(f"no manifest at {manifest_path}")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("version") != MANIFEST_VERSION:
-        raise ReproError(
-            f"unsupported manifest version {manifest.get('version')!r}"
-        )
-    kwargs = dict(manifest["config"])
-    if manifest.get("cvc_modulus_bits"):
-        # bit_length of the modulus may be one short of the nominal
-        # size; round up to the byte the keygen was called with.
-        bits = manifest["cvc_modulus_bits"]
-        kwargs["cvc_modulus_bits"] = (bits + 7) // 8 * 8
+    kwargs = _kwargs_from_manifest(manifest)
+    if kwargs.get("engine") == "disk":
+        if engine_dir is None:
+            kwargs["engine"] = "memory"
+        else:
+            kwargs["engine_dir"] = engine_dir
     system = HybridStorageSystem(
         scheme=manifest["scheme"], seed=manifest["seed"], **kwargs
     )

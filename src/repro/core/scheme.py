@@ -1,0 +1,34 @@
+"""The ADS scheme selector shared across the system layers.
+
+Lives below :mod:`repro.core.owner` and :mod:`repro.core.system` so the
+owner pipeline, the SP front-end wiring and the facade can all dispatch
+on the scheme without importing each other.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ReproError
+
+
+class Scheme(Enum):
+    """The four ADS schemes evaluated in the paper."""
+
+    MERKLE_INV = "mi"
+    SUPPRESSED = "smi"
+    CHAMELEON = "ci"
+    CHAMELEON_STAR = "ci*"
+
+    @classmethod
+    def parse(cls, value: "Scheme | str") -> "Scheme":
+        """Parse from the external representation."""
+        if isinstance(value, Scheme):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError as exc:
+            names = ", ".join(s.value for s in cls)
+            raise ReproError(
+                f"unknown scheme {value!r}; expected one of: {names}"
+            ) from exc

@@ -1,0 +1,336 @@
+"""SP front-end: scatter-gather query serving over keyword shards.
+
+The :class:`ShardedStorageProvider` is the storage provider the rest of
+the system talks to.  It owns ``N`` :class:`~repro.sp.engine.IndexShardEngine`
+instances — each holding the ADS mirrors and object payloads of one
+keyword partition — and routes every operation through a deterministic
+seeded :class:`~repro.sp.engine.ShardRouter`:
+
+* **ingestion** — confirmed index mutations go to the owning shard of
+  their keyword; raw objects are homed on the shard of their first
+  keyword and located through an ID -> shard map;
+* **query serving** — each conjunct's views are *scattered* to their
+  owning shards, joined (serially or through the configured
+  :mod:`repro.parallel` executor), and the per-conjunct VOs *gathered*
+  in conjunct order.
+
+Sharding is invisible above this layer: a keyword's tree receives
+exactly the insert sequence it would receive in a single-shard system,
+so views — and therefore per-conjunct VOs, verified answers and the
+on-chain digests — are byte-identical for any shard count.  The merge
+order is the query's conjunct order (executors preserve input order),
+never a shard-map iteration order, which repro-lint's determinism rule
+now enforces for this module.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.core.mbtree import MBTree
+from repro.core.objects import DataObject, ObjectMetadata
+from repro.core.query.join import conjunctive_join
+from repro.core.query.parser import KeywordQuery
+from repro.core.query.vo import ConjunctiveVO, QueryAnswer, QueryVO
+from repro.crypto.bloom import DEFAULT_CAPACITY, DEFAULT_FILTER_BITS
+from repro.errors import DatasetError
+from repro.parallel import Executor
+from repro.sp.engine import ShardRouter, make_engine
+
+
+def _evaluate_conjunct(args):
+    """Executor task: one conjunct's join (module-level, picklable)."""
+    views, order, plan = args
+    return conjunctive_join(views, order=order, plan=plan)
+
+
+def _build_shard_trees(args):
+    """Executor task: extend one shard's MB-trees with a batch of postings.
+
+    ``groups`` is ``[(keyword, tree_or_none, [(id, hash), ...]), ...]``
+    in sorted keyword order; trees are plain dataclasses, so they travel
+    to process-pool workers and back with their state intact.  Inserts
+    are applied in stream order per keyword — the same sequence a
+    single-shard system applies — so the returned trees are identical
+    to serially built ones.
+    """
+    fanout, groups = args
+    built = []
+    for keyword, tree, entries in groups:
+        if tree is None:
+            tree = MBTree(fanout=fanout)
+        for object_id, object_hash in entries:
+            tree.insert(object_id, object_hash)
+        built.append((keyword, tree))
+    return built
+
+
+class RoutedTrees:
+    """Read-only keyword -> tree mapping spanning every shard.
+
+    The SMI update path builds pre-insertion spines from the SP's
+    current trees via ``trees.get(keyword)``; this adapter routes each
+    lookup to the owning shard so that code stays shard-agnostic.
+    """
+
+    def __init__(self, frontend: "ShardedStorageProvider") -> None:
+        self._frontend = frontend
+
+    def get(self, keyword: str):
+        """The keyword's tree, or ``None`` if never inserted."""
+        return self._frontend.tree(keyword)
+
+    def __contains__(self, keyword: str) -> bool:
+        return self.get(keyword) is not None
+
+    def __getitem__(self, keyword: str):
+        tree = self.get(keyword)
+        if tree is None:
+            raise KeyError(keyword)
+        return tree
+
+
+class ShardedStorageProvider:
+    """The SP: N shard engines behind deterministic keyword routing.
+
+    ``index_factory`` builds one empty per-shard index mirror of the
+    active scheme; ``executor`` is shared with the system facade (the
+    scatter-gather paths funnel through it, so a process pool
+    parallelises real per-shard work).  ``shards=1`` degenerates to the
+    pre-sharding monolith: one engine owns everything and every code
+    path reduces to the unsharded one.
+    """
+
+    def __init__(
+        self,
+        *,
+        index_factory: Callable[[], object],
+        executor: Executor,
+        scheme_value: str,
+        join_order: str,
+        join_plan: str,
+        shards: int = 1,
+        engine: str = "memory",
+        engine_dir: str | Path | None = None,
+        seed: int | None = None,
+        fanout: int | None = None,
+        star: bool = False,
+        filter_bits: int = DEFAULT_FILTER_BITS,
+        bloom_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.router = ShardRouter(shards, seed=seed)
+        self.engine_kind = engine
+        self.executor = executor
+        self.scheme_value = scheme_value
+        self.join_order = join_order
+        self.join_plan = join_plan
+        self.fanout = fanout
+        self.engines = [
+            make_engine(
+                engine,
+                shard_id,
+                index_factory,
+                directory=engine_dir,
+                star=star,
+                filter_bits=filter_bits,
+                bloom_capacity=bloom_capacity,
+            )
+            for shard_id in range(shards)
+        ]
+        # Rebuild the object location map after a disk-engine replay.
+        self._locations: dict[int, int] = {}
+        for shard_id, eng in enumerate(self.engines):
+            for object_id in eng.all_object_ids():
+                self._locations[object_id] = shard_id
+
+    @property
+    def shards(self) -> int:
+        """Number of shard engines."""
+        return len(self.engines)
+
+    def engine_for(self, keyword: str):
+        """The engine owning one keyword's partition."""
+        return self.engines[self.router.route(keyword)]
+
+    # -- ingestion (called only after on-chain receipts confirm) ----------------
+
+    def home_shard(self, keywords: tuple[str, ...]) -> int:
+        """The shard an object's payload is homed on."""
+        return self.router.route(keywords[0]) if keywords else 0
+
+    def put_object(self, obj: DataObject) -> None:
+        """Home one confirmed raw object on its shard."""
+        shard = self.home_shard(obj.keywords)
+        self.engines[shard].put_object(obj)
+        self._locations[obj.object_id] = shard
+
+    def has_object(self, object_id: int) -> bool:
+        """Whether the object is stored on any shard."""
+        return object_id in self._locations
+
+    def get_object(self, object_id: int) -> DataObject:
+        """Fetch one raw object from its home shard."""
+        shard = self._locations.get(object_id)
+        if shard is None:
+            raise DatasetError(f"no object with ID {object_id}")
+        return self.engines[shard].get_object(object_id)
+
+    def object_count(self) -> int:
+        """Total objects across every shard."""
+        return len(self._locations)
+
+    def all_object_ids(self) -> list[int]:
+        """Every stored object ID across shards, ascending."""
+        return sorted(self._locations)
+
+    def insert_entries(self, metadata: ObjectMetadata) -> None:
+        """Mirror one confirmed object into its keywords' trees."""
+        with obs.span("sp.index.insert", keywords=len(metadata.keywords)):
+            for keyword in metadata.keywords:
+                self.engine_for(keyword).insert_entry(
+                    keyword, metadata.object_id, metadata.object_hash
+                )
+
+    def mirror_bulk(self, metadatas: list[ObjectMetadata]) -> None:
+        """Mirror a confirmed batch, building each shard's trees in one task.
+
+        The Merkle-family bulk path: postings are partitioned by owning
+        shard and each shard's trees are extended in a single executor
+        task — with a process pool this is genuine multi-core ingestion.
+        Per keyword the insert sequence equals the per-object path's, so
+        the resulting trees (and every later VO) are byte-identical.
+        """
+        pending: dict[int, dict[str, list]] = {}
+        for metadata in metadatas:
+            for keyword in metadata.keywords:
+                shard = self.router.route(keyword)
+                pending.setdefault(shard, {}).setdefault(keyword, []).append(
+                    (metadata.object_id, metadata.object_hash)
+                )
+        shard_ids = sorted(pending)
+        tasks = []
+        for shard in shard_ids:
+            groups = [
+                (keyword, self.engines[shard].tree(keyword), entries)
+                for keyword, entries in sorted(pending[shard].items())
+            ]
+            tasks.append((self.fanout, groups))
+        with obs.span(
+            "sp.shard.scatter",
+            shards=len(tasks),
+            executor=self.executor.kind,
+        ):
+            built = self.executor.map(_build_shard_trees, tasks, chunksize=1)
+        with obs.span("sp.shard.gather", shards=len(tasks)):
+            for shard, shard_trees in zip(shard_ids, built):
+                engine = self.engines[shard]
+                for keyword, tree in shard_trees:
+                    engine.adopt_tree(keyword, tree, pending[shard][keyword])
+
+    def register_keyword(self, keyword: str, commitment: int) -> None:
+        """Register a first-seen keyword on its owning shard."""
+        self.engine_for(keyword).register_keyword(keyword, commitment)
+
+    def apply_insertion(self, keyword: str, proof) -> None:
+        """Apply one DO insertion proof on the owning shard."""
+        self.engine_for(keyword).apply_insertion(keyword, proof)
+
+    def bloom_add(self, keyword: str, object_id: int) -> None:
+        """Mirror one ID into the owning shard's Bloom chain (CI*)."""
+        self.engine_for(keyword).bloom_add(keyword, object_id)
+
+    # -- query serving -----------------------------------------------------------
+
+    def view(self, keyword: str):
+        """The join engine's IndexView, routed to the owning shard."""
+        return self.engine_for(keyword).view(keyword)
+
+    def tree(self, keyword: str):
+        """The keyword's raw tree from its owning shard (or ``None``)."""
+        return self.engine_for(keyword).tree(keyword)
+
+    @property
+    def trees(self):
+        """Routed keyword -> tree mapping (SMI spine construction)."""
+        return RoutedTrees(self)
+
+    def _scatter(self, query: KeywordQuery) -> list[list]:
+        """Collect each conjunct's views from their owning shards."""
+        if self.shards > 1:
+            with obs.span(
+                "sp.shard.scatter",
+                shards=self.shards,
+                keywords=len(query.all_keywords()),
+            ):
+                return [
+                    [self.view(kw) for kw in sorted(conj)]
+                    for conj in query.conjunctions
+                ]
+        return [
+            [self.view(kw) for kw in sorted(conj)]
+            for conj in query.conjunctions
+        ]
+
+    def process_query(self, query: KeywordQuery) -> QueryAnswer:
+        """Evaluate the query and build ``VO_sp``.
+
+        Conjuncts are independent joins; with a parallel executor they
+        are evaluated concurrently (the index views are read-only).
+        Per-conjunct VOs are gathered in conjunct order, so the encoded
+        VO never depends on shard layout or executor scheduling.
+        """
+        with obs.span(
+            "query.sp",
+            scheme=self.scheme_value,
+            conjunctions=len(query.conjunctions),
+        ) as sp_span:
+            conjunct_vos: list[ConjunctiveVO] = []
+            result_ids: set[int] = set()
+            per_conjunct_views = self._scatter(query)
+            if (
+                self.executor.kind != "serial"
+                and len(query.conjunctions) > 1
+            ):
+                tasks = [
+                    (views, self.join_order, self.join_plan)
+                    for views in per_conjunct_views
+                ]
+                with obs.span(
+                    "query.sp.join_parallel",
+                    conjunctions=len(tasks),
+                    executor=self.executor.kind,
+                ):
+                    outcomes = self.executor.map(_evaluate_conjunct, tasks)
+                if self.shards > 1:
+                    with obs.span(
+                        "sp.shard.gather", conjunctions=len(outcomes)
+                    ):
+                        for ids, vo in outcomes:
+                            conjunct_vos.append(vo)
+                            result_ids |= set(ids)
+                else:
+                    for ids, vo in outcomes:
+                        conjunct_vos.append(vo)
+                        result_ids |= set(ids)
+            else:
+                for conj, views in zip(query.conjunctions, per_conjunct_views):
+                    with obs.span("query.sp.join", keywords=len(conj)):
+                        ids, vo = conjunctive_join(
+                            views, order=self.join_order, plan=self.join_plan
+                        )
+                    conjunct_vos.append(vo)
+                    result_ids |= set(ids)
+            objects = {oid: self.get_object(oid) for oid in result_ids}
+            sp_span.set(results=len(result_ids))
+        return QueryAnswer(
+            result_ids=sorted(result_ids),
+            objects=objects,
+            vo=QueryVO(conjuncts=tuple(conjunct_vos)),
+        )
+
+    def close(self) -> None:
+        """Release every engine's resources (disk journals)."""
+        for engine in self.engines:
+            engine.close()

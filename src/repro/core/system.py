@@ -2,14 +2,23 @@
 
 Wires the four parties together for any of the ADS schemes:
 
-* the **data owner** streams objects: raw data to the SP, meta-data and
-  ADS updates to the blockchain;
+* the **data owner** (:class:`~repro.core.owner.DataOwnerPipeline`)
+  streams objects: raw data to the SP, meta-data and ADS updates to the
+  blockchain;
 * the **blockchain** runs the scheme's smart contract under the gas
   model of Table I;
-* the **SP** stores raw objects, mirrors the complete ADS, and answers
-  keyword queries with verification objects;
+* the **SP** (:class:`~repro.core.sp_frontend.ShardedStorageProvider`)
+  homes raw objects and the complete ADS across ``shards`` keyword
+  partitions, and answers keyword queries with verification objects;
 * the **client** queries the SP and verifies results against the
   authenticated digests read from the chain.
+
+The facade owns only the wiring: gas accounting, the mining cadence,
+the readers-writer lock serialising ingestion against query serving,
+and the verification cache / warmer plumbing.  Sharding is configured
+here (``shards=N``, ``engine="memory"|"disk"``) and is invisible to the
+client and the contract — per-keyword state is byte-identical for any
+shard count.
 
 Typical use::
 
@@ -25,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from enum import Enum
+from pathlib import Path
 
 from repro import obs
 from repro.core import merkle_inv, suppressed
@@ -38,51 +47,30 @@ from repro.core.chameleon_index import (
 from repro.core.chameleon_star import ChameleonStarContract
 from repro.core.mbtree import DEFAULT_FANOUT
 from repro.core.merkle_family import MerkleInvertedSP, MerkleProofSystem
-from repro.core.objects import DataObject, ObjectMetadata, ObjectStore
+from repro.core.objects import DataObject, ObjectMetadata
+from repro.core.owner import ADS_CONTRACT, DataOwnerPipeline
 from repro.core.proofcache import DEFAULT_CACHE_SIZE, VerificationCache
 from repro.core.query.codec import VOCodec
-from repro.core.query.join import conjunctive_join
 from repro.core.query.parser import KeywordQuery
 from repro.core.query.verify import verify_query
-from repro.core.query.vo import ConjunctiveVO, QueryAnswer, QueryVO
+from repro.core.query.vo import QueryAnswer
+from repro.core.scheme import Scheme
+from repro.core.sp_frontend import ShardedStorageProvider
 from repro.crypto import vc
 from repro.crypto.bloom import DEFAULT_CAPACITY, DEFAULT_FILTER_BITS, BloomFilterChain
 from repro.crypto.prf import generate_key
 from repro.errors import ChainError, DatasetError, ReproError
 from repro.ethereum.chain import Blockchain, Receipt
 from repro.ethereum.gas import BLOCK_GAS_LIMIT, GasMeter
-from repro.parallel import Executor, make_executor
+from repro.parallel import Executor, ReadWriteLock, make_executor
 
-#: Contract registration name on the simulated chain.
-ADS_CONTRACT = "ads"
-
-
-def _evaluate_conjunct(args):
-    """Executor task: one conjunct's join (module-level, picklable)."""
-    views, order, plan = args
-    return conjunctive_join(views, order=order, plan=plan)
-
-
-class Scheme(Enum):
-    """The four ADS schemes evaluated in the paper."""
-
-    MERKLE_INV = "mi"
-    SUPPRESSED = "smi"
-    CHAMELEON = "ci"
-    CHAMELEON_STAR = "ci*"
-
-    @classmethod
-    def parse(cls, value: "Scheme | str") -> "Scheme":
-        """Parse from the external representation."""
-        if isinstance(value, Scheme):
-            return value
-        try:
-            return cls(value.lower())
-        except ValueError as exc:
-            names = ", ".join(s.value for s in cls)
-            raise ReproError(
-                f"unknown scheme {value!r}; expected one of: {names}"
-            ) from exc
+__all__ = [
+    "ADS_CONTRACT",
+    "HybridStorageSystem",
+    "InsertReport",
+    "QueryResult",
+    "Scheme",
+]
 
 
 @dataclass
@@ -132,20 +120,28 @@ class HybridStorageSystem:
     capacity ``bloom_capacity`` (b, default 30) and the CVC modulus size.
     ``seed`` makes all key material deterministic for reproducible runs.
 
+    Sharding knobs: ``shards`` splits the SP into that many keyword
+    partitions behind deterministic seeded routing; ``engine`` picks the
+    per-shard storage engine (``memory`` default, or ``disk`` for an
+    append-only JSONL segment log under ``engine_dir``).  Shard layout
+    never changes answers, VO bytes or gas — only capacity.
+
     Fast-path knobs: ``executor`` picks the execution policy for
-    per-conjunct SP evaluation and client-side verification (``serial``
-    default; ``thread``/``process`` opt in, see :mod:`repro.parallel`);
-    ``verify_cache_size`` bounds the shared LRU of successfully verified
-    proof tuples reused across conjuncts and queries (0 disables it).
+    per-conjunct SP evaluation, bulk shard mirroring and client-side
+    verification (``serial`` default; ``thread``/``process`` opt in, see
+    :mod:`repro.parallel`); ``verify_cache_size`` bounds the shared LRU
+    of successfully verified proof tuples reused across conjuncts and
+    queries (0 disables it).
 
     Batch-witness knobs: ``witness_batching`` routes batched ingestion
     through the DO's staged insert + per-commitment divide-and-conquer
     openings (byte-identical witnesses, fewer multiplications);
-    ``witness_warmer`` attaches a :class:`~repro.sp.warmer.CacheWarmer`
-    that pre-verifies hot keywords' proofs into the verification cache
-    on insert and on a trailing access signal (``warm_hot_threshold``
-    accesses; 0 warms every dirty keyword).  Call :meth:`warm_pending`
-    inline or ``system.warmer.start()`` for the background thread.
+    ``witness_warmer`` attaches per-shard
+    :class:`~repro.sp.warmer.CacheWarmer` instances that pre-verify hot
+    keywords' proofs into the verification cache on insert and on a
+    trailing access signal (``warm_hot_threshold`` accesses; 0 warms
+    every dirty keyword).  Call :meth:`warm_pending` inline or
+    ``system.warmer.start()`` for the background thread.
     """
 
     def __init__(
@@ -162,12 +158,15 @@ class HybridStorageSystem:
         join_order: str = "size",
         join_plan: str = "cyclic",
         track_state: bool = False,
-        executor: "str | Executor" = "serial",
+        executor: str | Executor = "serial",
         executor_workers: int | None = None,
         verify_cache_size: int = DEFAULT_CACHE_SIZE,
         witness_batching: bool = True,
         witness_warmer: bool = False,
         warm_hot_threshold: int = 0,
+        shards: int = 1,
+        engine: str = "memory",
+        engine_dir: str | Path | None = None,
     ) -> None:
         self.scheme = Scheme.parse(scheme)
         self.fanout = fanout
@@ -176,18 +175,26 @@ class HybridStorageSystem:
         self.arity = arity
         self.bloom_capacity = bloom_capacity
         self.filter_bits = filter_bits
+        self.cvc_modulus_bits = cvc_modulus_bits
+        self.gas_limit = gas_limit
+        self.track_state = track_state
+        self.verify_cache_size = verify_cache_size
+        self.witness_batching = witness_batching
+        self.witness_warmer = witness_warmer
+        self.warm_hot_threshold = warm_hot_threshold
+        self.shards = shards
+        self.engine = engine
         self.chain = Blockchain(gas_limit=gas_limit, track_state=track_state)
-        self.store = ObjectStore()
         self.mine_every = max(1, mine_every)
         self._inserts_since_mine = 0
         self._maintenance = GasMeter()
         self._object_count = 0
+        self._rwlock = ReadWriteLock()
         self.executor = make_executor(executor, workers=executor_workers)
         if verify_cache_size > 0:
             prefix = (
                 "vc.verify"
-                if Scheme.parse(scheme)
-                in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR)
+                if self.scheme in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR)
                 else "merkle.verify"
             )
             self.verify_cache: VerificationCache | None = VerificationCache(
@@ -196,17 +203,20 @@ class HybridStorageSystem:
         else:
             self.verify_cache = None
 
+        do: ChameleonDataOwner | None = None
         if self.scheme in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR):
             pp, td = vc.keygen(
                 arity + 1, modulus_bits=cvc_modulus_bits, seed=seed
             )
             self._cvc = vc.ChameleonVectorCommitment(arity + 1, _pp=pp, _td=td)
             self.value_bytes = (pp.modulus.bit_length() + 7) // 8
-            self._do = ChameleonDataOwner(
+            do = ChameleonDataOwner(
                 self._cvc, generate_key(seed=seed), arity=arity
             )
-            self.sp_index = ChameleonSP(pp=pp, arity=arity)
-            self._sp_blooms: dict[str, BloomFilterChain] = {}
+
+            def index_factory() -> ChameleonSP:
+                return ChameleonSP(pp=pp, arity=arity)
+
             if self.scheme is Scheme.CHAMELEON_STAR:
                 contract = ChameleonStarContract(
                     value_bytes=self.value_bytes,
@@ -217,7 +227,10 @@ class HybridStorageSystem:
                 contract = ChameleonContract(value_bytes=self.value_bytes)
         else:
             self.value_bytes = 32
-            self.sp_index = MerkleInvertedSP(fanout=fanout)
+
+            def index_factory() -> MerkleInvertedSP:
+                return MerkleInvertedSP(fanout=fanout)
+
             if self.scheme is Scheme.MERKLE_INV:
                 contract = merkle_inv.MerkleInvContract(fanout=fanout)
             else:
@@ -225,22 +238,103 @@ class HybridStorageSystem:
         self.contract = contract
         self.chain.deploy(ADS_CONTRACT, contract)
         self._codec = VOCodec(value_bytes=self.value_bytes)
-        self.witness_batching = witness_batching
+        self._sp = ShardedStorageProvider(
+            index_factory=index_factory,
+            executor=self.executor,
+            scheme_value=self.scheme.value,
+            join_order=join_order,
+            join_plan=join_plan,
+            shards=shards,
+            engine=engine,
+            engine_dir=engine_dir,
+            seed=seed,
+            fanout=fanout,
+            star=self.scheme is Scheme.CHAMELEON_STAR,
+            filter_bits=filter_bits,
+            bloom_capacity=bloom_capacity,
+        )
+        self._owner = DataOwnerPipeline(
+            scheme=self.scheme,
+            chain=self.chain,
+            sp=self._sp,
+            value_bytes=self.value_bytes,
+            do=do,
+            witness_batching=witness_batching,
+        )
+        self._object_count = self._sp.object_count()  # disk-engine replay
         self.warmer = None
         if witness_warmer:
             # Imported lazily: repro.sp pulls in this module's consumers.
-            from repro.sp.warmer import CacheWarmer
+            from repro.sp.warmer import CacheWarmer, ShardedCacheWarmer
 
-            self.warmer = CacheWarmer(
-                prove=lambda kw: self._sp_view(kw).all_proven(),
-                proof_system=self.chain_proof_system,
-                hot_threshold=warm_hot_threshold,
-            )
+            for shard_engine in self._sp.engines:
+                shard_engine.warmer = CacheWarmer(
+                    prove=self._locked_prove,
+                    proof_system=self._locked_proof_system,
+                    hot_threshold=warm_hot_threshold,
+                )
+            if shards == 1:
+                self.warmer = self._sp.engines[0].warmer
+            else:
+                self.warmer = ShardedCacheWarmer(
+                    [eng.warmer for eng in self._sp.engines],
+                    self._sp.router,
+                )
+
+    # -- compatibility surface over the layered internals --------------------------
+
+    @property
+    def _do(self) -> ChameleonDataOwner | None:
+        return self._owner.do
+
+    @property
+    def store(self):
+        """The first shard's object store (the whole store at shards=1)."""
+        return self._sp.engines[0].store
+
+    @store.setter
+    def store(self, value) -> None:
+        self._sp.engines[0].store = value
+
+    @property
+    def sp_index(self):
+        """The first shard's index mirror (the whole index at shards=1)."""
+        return self._sp.engines[0].index
+
+    @sp_index.setter
+    def sp_index(self, value) -> None:
+        self._sp.engines[0].index = value
+
+    @property
+    def _sp_blooms(self):
+        return self._sp.engines[0].blooms
+
+    @_sp_blooms.setter
+    def _sp_blooms(self, value) -> None:
+        self._sp.engines[0].blooms = value
+
+    def _locked_prove(self, keyword: str):
+        """Warmer hook: a keyword's proven entries, under the read lock."""
+        with self._rwlock.read():
+            return self._sp_view(keyword).all_proven()
+
+    def _locked_proof_system(self, keywords: frozenset[str]):
+        """Warmer hook: the proof system, built under the read lock."""
+        with self._rwlock.read():
+            return self.chain_proof_system(keywords)
 
     # -- ingestion ------------------------------------------------------------------
 
     def __len__(self) -> int:
         return self._object_count
+
+    def all_object_ids(self) -> list[int]:
+        """Every stored object ID across shards, ascending."""
+        return self._sp.all_object_ids()
+
+    def get_object(self, object_id: int) -> DataObject:
+        """Fetch one stored object from its owning shard."""
+        return self._sp.get_object(object_id)
 
     def add_object(self, obj: DataObject) -> InsertReport:
         """Run the full DO pipeline for one new object.
@@ -250,22 +344,24 @@ class HybridStorageSystem:
         state and the SP index exactly as they were.
         """
         t0 = time.perf_counter()
-        with obs.span(
+        with self._rwlock.write(), obs.span(
             "insert", scheme=self.scheme.value, object_id=obj.object_id
         ) as ins_span:
-            if obj.object_id in self.store:
+            if obj.object_id in self.store or self._sp.has_object(
+                obj.object_id
+            ):
                 raise DatasetError(
                     f"object {obj.object_id} already stored; "
                     "objects are immutable"
                 )
             metadata = ObjectMetadata.of(obj)
-            receipts = self._insert_for_scheme(metadata)
+            receipts = self._owner.insert(metadata)
             for receipt in receipts:
                 if not receipt.status:
                     raise ChainError(
                         f"insertion transaction failed: {receipt.error}"
                     )
-            self.store.put(obj)
+            self._sp.put_object(obj)
             for receipt in receipts:
                 self._maintenance.merge(receipt.gas)
             self._object_count += 1
@@ -292,8 +388,11 @@ class HybridStorageSystem:
 
         Amortises the 21,000-gas ``C_tx`` base cost across the batch.
         Supported by the Chameleon family (whose per-object on-chain
-        work is a handful of word writes); the Merkle family falls back
-        to per-object transactions and returns a merged report.
+        work is a handful of word writes).  MI pays per-object
+        transactions but mirrors the SP trees in one bulk scatter pass
+        (multi-core with a process executor); SMI falls back to
+        per-object pipelines (its update spines must interleave with the
+        insertions) and returns a merged report.
         """
         objects = list(objects)
         if not objects:
@@ -304,186 +403,76 @@ class HybridStorageSystem:
             return self._add_objects_batched(objects)
 
     def _add_objects_batched(self, objects: list[DataObject]) -> InsertReport:
-        if self.scheme not in (Scheme.CHAMELEON, Scheme.CHAMELEON_STAR):
+        if self.scheme is Scheme.SUPPRESSED:
             reports = self.add_objects(objects)
-            merged = InsertReport(
+            return InsertReport(
                 object_id=objects[-1].object_id,
                 receipts=[r for report in reports for r in report.receipts],
             )
-            return merged
-        # Stage every mutation: the store is untouched and the DO's
-        # chameleon state snapshotted until the batched transaction's
-        # receipt confirms, so a failed receipt leaves the system able
-        # to answer queries (and retry the batch) consistently.
         metadatas = [ObjectMetadata.of(obj) for obj in objects]
+        with self._rwlock.write():
+            for metadata in metadatas:
+                if self._sp.has_object(metadata.object_id):
+                    raise DatasetError(
+                        f"object {metadata.object_id} already stored; "
+                        "objects are immutable"
+                    )
+            if self.scheme is Scheme.MERKLE_INV:
+                return self._add_merkle_batched(objects, metadatas)
+            # Chameleon family: stage every mutation — the store is
+            # untouched and the DO's state snapshotted until the batched
+            # transaction's receipt confirms, so a failed receipt leaves
+            # the system able to answer queries (and retry the batch)
+            # consistently.
+            receipt, touched = self._owner.insert_chameleon_batched(metadatas)
+            for obj in objects:
+                self._sp.put_object(obj)
+            self._maintenance.merge(receipt.gas)
+            self._object_count += len(objects)
+            self.chain.mine_block()
+            if self.warmer is not None:
+                self.warmer.note_insert(touched)
+            return InsertReport(
+                object_id=objects[-1].object_id, receipts=[receipt]
+            )
+
+    def _add_merkle_batched(
+        self, objects: list[DataObject], metadatas: list[ObjectMetadata]
+    ) -> InsertReport:
+        """MI bulk path: per-object transactions, one scatter mirror pass."""
+        receipts: list[Receipt] = []
+        failure: Receipt | None = None
         for metadata in metadatas:
-            if metadata.object_id in self.store:
-                raise DatasetError(
-                    f"object {metadata.object_id} already stored; "
-                    "objects are immutable"
+            receipt = self._owner.insert_merkle_tx(metadata)
+            if not receipt.status:
+                failure = receipt
+                break
+            receipts.append(receipt)
+        confirmed = len(receipts)
+        if confirmed:
+            self._sp.mirror_bulk(metadatas[:confirmed])
+            for obj in objects[:confirmed]:
+                self._sp.put_object(obj)
+            for receipt in receipts:
+                self._maintenance.merge(receipt.gas)
+            self._object_count += confirmed
+            self.chain.mine_block()
+            if self.warmer is not None:
+                self.warmer.note_insert(
+                    {kw for m in metadatas[:confirmed] for kw in m.keywords}
                 )
-        touched = {kw for m in metadatas for kw in m.keywords}
-        do_snapshot = self._do.snapshot(touched)
-        batch = []
-        payload = b""
-        sp_work = []
-        try:
-            if self.witness_batching:
-                do_results = self._do.insert_many(metadatas)
-            else:
-                do_results = [self._do.insert(m) for m in metadatas]
-            for metadata, (proofs, counts, new_keywords) in zip(
-                metadatas, do_results
-            ):
-                new_kw_list = sorted(new_keywords.items())
-                batch.append(
-                    (
-                        metadata.object_id,
-                        metadata.object_hash,
-                        counts,
-                        new_kw_list,
-                    )
-                )
-                payload += metadata.payload_bytes()
-                payload += b"".join(
-                    kw.encode() + c.to_bytes(self.value_bytes, "big")
-                    for kw, c in new_kw_list
-                )
-                payload += b"".join(
-                    u.keyword.encode() + u.count.to_bytes(8, "big")
-                    for u in counts
-                )
-                sp_work.append((metadata, proofs, new_kw_list))
-            receipt = self.chain.send_transaction(
-                "do", ADS_CONTRACT, "insert_objects", batch, payload=payload
+        if failure is not None:
+            raise ChainError(
+                f"insertion transaction failed: {failure.error}"
             )
-        except BaseException:
-            self._do.restore(do_snapshot)
-            raise
-        if not receipt.status:
-            self._do.restore(do_snapshot)
-            raise ChainError(f"batched insertion failed: {receipt.error}")
-        for obj in objects:
-            self.store.put(obj)
-        for metadata, proofs, new_kw_list in sp_work:
-            for keyword, commitment in new_kw_list:
-                self.sp_index.register_keyword(keyword, commitment)
-            for keyword, proof in proofs.items():
-                self.sp_index.apply_insertion(keyword, proof)
-            if self.scheme is Scheme.CHAMELEON_STAR:
-                for keyword in metadata.keywords:
-                    chain = self._sp_blooms.setdefault(
-                        keyword,
-                        BloomFilterChain(
-                            filter_bits=self.filter_bits,
-                            capacity=self.bloom_capacity,
-                        ),
-                    )
-                    chain.add(metadata.object_id)
-        self._maintenance.merge(receipt.gas)
-        self._object_count += len(objects)
-        self.chain.mine_block()
-        if self.warmer is not None:
-            self.warmer.note_insert(touched)
         return InsertReport(
-            object_id=objects[-1].object_id, receipts=[receipt]
+            object_id=objects[-1].object_id, receipts=receipts
         )
-
-    def _insert_for_scheme(self, metadata: ObjectMetadata) -> list[Receipt]:
-        if self.scheme is Scheme.MERKLE_INV:
-            receipt = self.chain.send_transaction(
-                "do",
-                ADS_CONTRACT,
-                "register_and_insert",
-                metadata.object_id,
-                metadata.object_hash,
-                metadata.keywords,
-                payload=metadata.payload_bytes(),
-            )
-            if receipt.status:
-                self.sp_index.insert(metadata)
-            return [receipt]
-
-        if self.scheme is Scheme.SUPPRESSED:
-            register = self.chain.send_transaction(
-                "do",
-                ADS_CONTRACT,
-                "register_object",
-                metadata.object_id,
-                metadata.object_hash,
-                metadata.keywords,
-                payload=metadata.payload_bytes(),
-            )
-            updates = suppressed.build_updates(
-                self.sp_index.trees, metadata.object_id, metadata.keywords
-            )
-            update_tx = self.chain.send_transaction(
-                "sp",
-                ADS_CONTRACT,
-                "insert",
-                metadata.object_id,
-                metadata.object_hash,
-                updates,
-                payload=suppressed.updates_payload(updates),
-            )
-            if update_tx.status:
-                self.sp_index.insert(metadata)
-            return [register, update_tx]
-
-        # Chameleon family.  The DO's off-chain state mutates while
-        # building the transaction, so snapshot it and roll back when
-        # the receipt fails — otherwise the DO and the chain diverge.
-        do_snapshot = self._do.snapshot(metadata.keywords)
-        try:
-            proofs, counts, new_keywords = self._do.insert(metadata)
-            new_kw_list = sorted(new_keywords.items())
-            payload = metadata.payload_bytes()
-            payload += b"".join(
-                kw.encode() + c.to_bytes(self.value_bytes, "big")
-                for kw, c in new_kw_list
-            )
-            payload += b"".join(
-                u.keyword.encode() + u.count.to_bytes(8, "big") for u in counts
-            )
-            receipt = self.chain.send_transaction(
-                "do",
-                ADS_CONTRACT,
-                "insert_object",
-                metadata.object_id,
-                metadata.object_hash,
-                counts,
-                new_kw_list,
-                payload=payload,
-            )
-        except BaseException:
-            self._do.restore(do_snapshot)
-            raise
-        if not receipt.status:
-            self._do.restore(do_snapshot)
-        else:
-            for keyword, commitment in new_kw_list:
-                self.sp_index.register_keyword(keyword, commitment)
-            for keyword, proof in proofs.items():
-                self.sp_index.apply_insertion(keyword, proof)
-            if self.scheme is Scheme.CHAMELEON_STAR:
-                for keyword in metadata.keywords:
-                    chain = self._sp_blooms.setdefault(
-                        keyword,
-                        BloomFilterChain(
-                            filter_bits=self.filter_bits,
-                            capacity=self.bloom_capacity,
-                        ),
-                    )
-                    chain.add(metadata.object_id)
-        return [receipt]
 
     # -- query processing --------------------------------------------------------
 
     def _sp_view(self, keyword: str):
-        view = self.sp_index.view(keyword)
-        if self.scheme is Scheme.CHAMELEON_STAR:
-            view.bloom = self._sp_blooms.get(keyword)
-        return view
+        return self._sp.view(keyword)
 
     def process_query(self, query: KeywordQuery) -> QueryAnswer:
         """SP side: evaluate the query and build ``VO_sp``.
@@ -491,50 +480,8 @@ class HybridStorageSystem:
         Conjuncts are independent joins; with a parallel executor they
         are evaluated concurrently (the index views are read-only).
         """
-        with obs.span(
-            "query.sp",
-            scheme=self.scheme.value,
-            conjunctions=len(query.conjunctions),
-        ) as sp_span:
-            conjunct_vos: list[ConjunctiveVO] = []
-            result_ids: set[int] = set()
-            if (
-                self.executor.kind != "serial"
-                and len(query.conjunctions) > 1
-            ):
-                tasks = [
-                    (
-                        [self._sp_view(kw) for kw in sorted(conj)],
-                        self.join_order,
-                        self.join_plan,
-                    )
-                    for conj in query.conjunctions
-                ]
-                with obs.span(
-                    "query.sp.join_parallel",
-                    conjunctions=len(tasks),
-                    executor=self.executor.kind,
-                ):
-                    outcomes = self.executor.map(_evaluate_conjunct, tasks)
-                for ids, vo in outcomes:
-                    conjunct_vos.append(vo)
-                    result_ids |= set(ids)
-            else:
-                for conj in query.conjunctions:
-                    views = [self._sp_view(kw) for kw in sorted(conj)]
-                    with obs.span("query.sp.join", keywords=len(conj)):
-                        ids, vo = conjunctive_join(
-                            views, order=self.join_order, plan=self.join_plan
-                        )
-                    conjunct_vos.append(vo)
-                    result_ids |= set(ids)
-            objects = {oid: self.store.get(oid) for oid in result_ids}
-            sp_span.set(results=len(result_ids))
-        return QueryAnswer(
-            result_ids=sorted(result_ids),
-            objects=objects,
-            vo=QueryVO(conjuncts=tuple(conjunct_vos)),
-        )
+        with self._rwlock.read():
+            return self._sp.process_query(query)
 
     def chain_proof_system(self, keywords: frozenset[str]):
         """Client side: read ``VO_chain`` and build the proof system."""
@@ -571,7 +518,9 @@ class HybridStorageSystem:
 
     def query(self, query: KeywordQuery | str) -> QueryResult:
         """Full round trip: SP processing plus client verification."""
-        with obs.span("query", scheme=self.scheme.value) as root_span:
+        with self._rwlock.read(), obs.span(
+            "query", scheme=self.scheme.value
+        ) as root_span:
             if isinstance(query, str):
                 tp = time.perf_counter()
                 with obs.span("query.parse"):
@@ -581,7 +530,7 @@ class HybridStorageSystem:
             if self.warmer is not None:
                 self.warmer.note_access(query.all_keywords())
             t0 = time.perf_counter()
-            answer = self.process_query(query)
+            answer = self._sp.process_query(query)
             sp_seconds = time.perf_counter() - t0
             tc = time.perf_counter()
             with obs.span(
@@ -663,10 +612,11 @@ class HybridStorageSystem:
         return 0
 
     def close(self) -> None:
-        """Release the executor's worker pool (no-op for ``serial``)."""
+        """Release the executor pool, warmers and shard engines."""
         if self.warmer is not None:
             self.warmer.stop()
         self.executor.close()
+        self._sp.close()
 
     # -- reporting ------------------------------------------------------------------
 

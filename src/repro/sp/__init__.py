@@ -7,11 +7,24 @@ deployment code can depend on a single "SP" namespace:
 
 * :class:`~repro.core.merkle_family.MerkleInvertedSP` — MI/SMI mirror;
 * :class:`~repro.core.chameleon_index.ChameleonSP` — CI/CI* mirror.
+
+Sharding (:mod:`repro.sp.engine`) partitions the keyword space across
+pluggable :class:`IndexShardEngine` instances behind a deterministic
+:class:`ShardRouter`; the scatter-gather front-end that drives them is
+:class:`repro.core.sp_frontend.ShardedStorageProvider`.
 """
 
 from repro.core.chameleon_index import ChameleonSP, ChameleonView
 from repro.core.merkle_family import MBTreeView, MerkleInvertedSP
 from repro.core.objects import ObjectStore
+from repro.sp.engine import (
+    ENGINE_KINDS,
+    DiskShardEngine,
+    IndexShardEngine,
+    MemoryShardEngine,
+    ShardRouter,
+    make_engine,
+)
 from repro.sp.protocol import (
     QueryRequest,
     QueryResponse,
@@ -20,20 +33,27 @@ from repro.sp.protocol import (
     StorageProviderServer,
 )
 from repro.sp.scheduler import WitnessScheduler, tree_aux_source
-from repro.sp.warmer import CacheWarmer
+from repro.sp.warmer import CacheWarmer, ShardedCacheWarmer
 
 __all__ = [
     "CacheWarmer",
     "ChameleonSP",
     "ChameleonView",
+    "DiskShardEngine",
+    "ENGINE_KINDS",
+    "IndexShardEngine",
     "MBTreeView",
+    "MemoryShardEngine",
     "MerkleInvertedSP",
     "ObjectStore",
+    "ShardRouter",
+    "ShardedCacheWarmer",
     "QueryRequest",
     "QueryResponse",
     "RemoteClient",
     "RemoteQueryResult",
     "StorageProviderServer",
     "WitnessScheduler",
+    "make_engine",
     "tree_aux_source",
 ]

@@ -1,0 +1,374 @@
+"""Pluggable index-shard engines: one keyword partition of the SP.
+
+The SP's state — per-keyword ADS mirrors, raw object payloads, Bloom
+filter chains — is naturally partitioned by keyword: every proof is
+verified against a *single* keyword's on-chain digest, so two keywords
+never share cryptographic state.  An :class:`IndexShardEngine` owns one
+such partition: the ADS instances of its keywords, the objects homed on
+it, and (when attached by the system facade) the cache warmer serving
+its keywords.  The witness scheduler stays with the data owner — CVC
+openings need the trapdoor-side aux state, which never leaves the DO —
+so shards receive ready-made insertion proofs like any SP does.
+
+Two implementations:
+
+* :class:`MemoryShardEngine` — plain in-process state (the default);
+* :class:`DiskShardEngine` — the same state fronted by an append-only
+  JSONL segment log (``shard-NNN.jsonl``).  Every confirmed mutation is
+  journaled after it is applied; reopening the engine replays the log
+  through the identical code paths, reusing the event-sourced recovery
+  model of :mod:`repro.core.persistence`.
+
+Routing is a pure function: :class:`ShardRouter` hashes each keyword
+with a seeded, domain-separated tag, so the keyword -> shard map is
+deterministic across processes and runs (no ``PYTHONHASHSEED``
+dependence) and every replica of the deployment routes identically.
+
+Telemetry: ``sp.shard.route.hits`` / ``sp.shard.route.misses`` counters
+on the routing cache and one ``sp.shard.<i>.objects`` counter per shard.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.core.chameleon import InsertionProof
+from repro.core.objects import DataObject, ObjectStore
+from repro.crypto.bloom import (
+    DEFAULT_CAPACITY,
+    DEFAULT_FILTER_BITS,
+    BloomFilterChain,
+)
+from repro.crypto.hashing import tagged_hash
+from repro.errors import ParameterError, ReproError
+
+#: Engine kinds accepted by :func:`make_engine`.
+ENGINE_KINDS = ("memory", "disk")
+
+
+class ShardRouter:
+    """Deterministic seeded keyword -> shard routing.
+
+    The shard of a keyword is derived from a domain-separated hash of
+    the keyword under the system seed, so the mapping is stable across
+    processes, replicas and restarts — a prerequisite for the shard
+    journals to stay consistent with the routing.  Resolved routes are
+    memoised per keyword (``sp.shard.route.hits`` / ``.misses``).
+    """
+
+    def __init__(self, shards: int, seed: int | None = None) -> None:
+        if shards < 1:
+            raise ParameterError("shards must be at least 1")
+        self.shards = shards
+        self._salt = (seed if seed is not None else 0).to_bytes(
+            8, "big", signed=True
+        )
+        self._cache: dict[str, int] = {}
+
+    def route(self, keyword: str) -> int:
+        """The shard index owning ``keyword``."""
+        cached = self._cache.get(keyword)
+        if cached is not None:
+            obs.inc("sp.shard.route.hits")
+            return cached
+        obs.inc("sp.shard.route.misses")
+        digest = tagged_hash("shard-route", self._salt, keyword.encode("utf-8"))
+        shard = int.from_bytes(digest[:8], "big") % self.shards
+        self._cache[keyword] = shard
+        return shard
+
+
+def _object_to_record(obj: DataObject) -> dict:
+    return {
+        "id": obj.object_id,
+        "keywords": list(obj.keywords),
+        "content": base64.b64encode(obj.content).decode("ascii"),
+    }
+
+
+def _record_to_object(record: dict) -> DataObject:
+    return DataObject(
+        object_id=record["id"],
+        keywords=tuple(record["keywords"]),
+        content=base64.b64decode(record["content"]),
+    )
+
+
+def _proof_to_record(proof: InsertionProof) -> dict:
+    # Group elements are arbitrary-precision ints; hex keeps the journal
+    # line compact and round-trips exactly.
+    return {
+        "position": proof.position,
+        "object_id": proof.object_id,
+        "object_hash": proof.object_hash.hex(),
+        "commitment": format(proof.commitment, "x"),
+        "slot1_proof": format(proof.slot1_proof, "x"),
+        "parent_link_proof": format(proof.parent_link_proof, "x"),
+        "parent_position": proof.parent_position,
+        "child_index": proof.child_index,
+    }
+
+
+def _record_to_proof(record: dict) -> InsertionProof:
+    return InsertionProof(
+        position=record["position"],
+        object_id=record["object_id"],
+        object_hash=bytes.fromhex(record["object_hash"]),
+        commitment=int(record["commitment"], 16),
+        slot1_proof=int(record["slot1_proof"], 16),
+        parent_link_proof=int(record["parent_link_proof"], 16),
+        parent_position=record["parent_position"],
+        child_index=record["child_index"],
+    )
+
+
+class IndexShardEngine:
+    """One keyword partition's slice of the SP (in-memory base).
+
+    ``index_factory`` builds the scheme's empty per-partition index
+    mirror (:class:`~repro.core.merkle_family.MerkleInvertedSP` or
+    :class:`~repro.core.chameleon_index.ChameleonSP`); ``star`` attaches
+    the partition's Bloom filter chains to its views (CI* only).
+
+    Mutators are only called for *confirmed* insertions — the system
+    applies SP-side state after the on-chain receipt succeeds — so an
+    engine never needs rollback, and the disk subclass can journal each
+    mutation unconditionally.
+    """
+
+    kind = "memory"
+
+    def __init__(
+        self,
+        shard_id: int,
+        index_factory: Callable[[], object],
+        *,
+        star: bool = False,
+        filter_bits: int = DEFAULT_FILTER_BITS,
+        bloom_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.shard_id = shard_id
+        self.index = index_factory()
+        self.store = ObjectStore()
+        self.blooms: dict[str, BloomFilterChain] = {}
+        self.star = star
+        self.filter_bits = filter_bits
+        self.bloom_capacity = bloom_capacity
+        self.warmer = None  # attached by the facade when warming is on
+        self._objects_metric = f"sp.shard.{shard_id}.objects"
+
+    # -- mutators (confirmed insertions only) -----------------------------------
+
+    def insert_entry(
+        self, keyword: str, object_id: int, object_hash: bytes
+    ) -> None:
+        """Mirror one confirmed posting into the keyword's MB-tree."""
+        self.index.tree_for(keyword).insert(object_id, object_hash)
+        self._journal(
+            {
+                "op": "entry",
+                "kw": keyword,
+                "id": object_id,
+                "hash": object_hash.hex(),
+            }
+        )
+
+    def register_keyword(self, keyword: str, commitment: int) -> None:
+        """Register a first-seen keyword's root commitment (Chameleon)."""
+        self.index.register_keyword(keyword, commitment)
+        self._journal(
+            {"op": "register", "kw": keyword, "c": format(commitment, "x")}
+        )
+
+    def apply_insertion(self, keyword: str, proof: InsertionProof) -> None:
+        """Ingest one DO insertion proof (Chameleon)."""
+        self.index.apply_insertion(keyword, proof)
+        self._journal(
+            {"op": "apply", "kw": keyword, "proof": _proof_to_record(proof)}
+        )
+
+    def bloom_add(self, keyword: str, object_id: int) -> None:
+        """Mirror one ID into the keyword's Bloom filter chain (CI*)."""
+        chain = self.blooms.get(keyword)
+        if chain is None:
+            chain = self.blooms[keyword] = BloomFilterChain(
+                filter_bits=self.filter_bits, capacity=self.bloom_capacity
+            )
+        chain.add(object_id)
+        self._journal({"op": "bloom", "kw": keyword, "id": object_id})
+
+    def adopt_tree(self, keyword: str, tree, entries) -> None:
+        """Install a bulk-built MB-tree over the keyword's current one.
+
+        ``tree`` must extend this engine's current tree with exactly
+        ``entries`` (stream order) — the bulk-mirror path builds it in
+        an executor task; the journal records the individual postings so
+        a replay rebuilds the identical tree without the bulk task.
+        """
+        self.index.trees[keyword] = tree
+        for object_id, object_hash in entries:
+            self._journal(
+                {
+                    "op": "entry",
+                    "kw": keyword,
+                    "id": object_id,
+                    "hash": object_hash.hex(),
+                }
+            )
+
+    def put_object(self, obj: DataObject) -> None:
+        """Store one raw object homed on this shard."""
+        self.store.put(obj)
+        obs.inc(self._objects_metric)
+        self._journal({"op": "object", **_object_to_record(obj)})
+
+    # -- reads ------------------------------------------------------------------
+
+    def view(self, keyword: str):
+        """The join engine's IndexView for one of this shard's keywords."""
+        view = self.index.view(keyword)
+        if self.star:
+            view.bloom = self.blooms.get(keyword)
+        return view
+
+    def tree(self, keyword: str):
+        """The keyword's raw index tree, or ``None`` if never inserted."""
+        return self.index.trees.get(keyword)
+
+    def get_object(self, object_id: int) -> DataObject:
+        """Fetch one raw object homed on this shard."""
+        return self.store.get(object_id)
+
+    def has_object(self, object_id: int) -> bool:
+        """Whether the object is homed on this shard."""
+        return object_id in self.store
+
+    def object_count(self) -> int:
+        """Number of objects homed on this shard."""
+        return len(self.store)
+
+    def all_object_ids(self) -> list[int]:
+        """IDs homed on this shard, ascending."""
+        return self.store.all_ids()
+
+    # -- durability hooks --------------------------------------------------------
+
+    def _journal(self, record: dict) -> None:
+        """Durability hook; the in-memory engine keeps nothing."""
+
+    def close(self) -> None:
+        """Release any resources (no-op in memory)."""
+
+
+class MemoryShardEngine(IndexShardEngine):
+    """The default engine: plain in-process state, no durability."""
+
+    kind = "memory"
+
+
+class DiskShardEngine(IndexShardEngine):
+    """An engine fronted by an append-only JSONL segment log.
+
+    Every confirmed mutation appends one self-describing record to
+    ``<directory>/shard-NNN.jsonl`` after it is applied in memory.
+    Opening an engine over an existing log replays it through the same
+    public mutators (journaling is disabled during replay because the
+    log handle opens only afterwards), rebuilding byte-identical tree
+    state — the recovery model of :mod:`repro.core.persistence`, scoped
+    to one shard.
+    """
+
+    kind = "disk"
+
+    def __init__(
+        self,
+        shard_id: int,
+        index_factory: Callable[[], object],
+        directory: str | Path,
+        **kwargs,
+    ) -> None:
+        super().__init__(shard_id, index_factory, **kwargs)
+        self.path = Path(directory) / f"shard-{shard_id:03d}.jsonl"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._log = None
+        if self.path.exists():
+            self._replay()
+        self._log = self.path.open("a")
+
+    def _replay(self) -> None:
+        with self.path.open() as log:
+            for line in log:
+                line = line.strip()
+                if line:
+                    self._apply_record(json.loads(line))
+
+    def _apply_record(self, record: dict) -> None:
+        op = record.get("op")
+        if op == "entry":
+            self.insert_entry(
+                record["kw"], record["id"], bytes.fromhex(record["hash"])
+            )
+        elif op == "register":
+            self.register_keyword(record["kw"], int(record["c"], 16))
+        elif op == "apply":
+            self.apply_insertion(record["kw"], _record_to_proof(record["proof"]))
+        elif op == "bloom":
+            self.bloom_add(record["kw"], record["id"])
+        elif op == "object":
+            self.put_object(_record_to_object(record))
+        else:
+            raise ReproError(
+                f"unknown journal op {op!r} in {self.path.name}"
+            )
+
+    def _journal(self, record: dict) -> None:
+        if self._log is not None:
+            self._log.write(json.dumps(record) + "\n")
+            self._log.flush()
+
+    def close(self) -> None:
+        """Close the segment log; the engine stays readable in memory."""
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+
+def make_engine(
+    kind: str,
+    shard_id: int,
+    index_factory: Callable[[], object],
+    *,
+    directory: str | Path | None = None,
+    star: bool = False,
+    filter_bits: int = DEFAULT_FILTER_BITS,
+    bloom_capacity: int = DEFAULT_CAPACITY,
+) -> IndexShardEngine:
+    """Build one shard engine of the given kind."""
+    if kind == "memory":
+        return MemoryShardEngine(
+            shard_id,
+            index_factory,
+            star=star,
+            filter_bits=filter_bits,
+            bloom_capacity=bloom_capacity,
+        )
+    if kind == "disk":
+        if directory is None:
+            raise ParameterError(
+                "engine='disk' requires an engine directory"
+            )
+        return DiskShardEngine(
+            shard_id,
+            index_factory,
+            directory,
+            star=star,
+            filter_bits=filter_bits,
+            bloom_capacity=bloom_capacity,
+        )
+    raise ParameterError(
+        f"unknown engine {kind!r}; expected one of: " + ", ".join(ENGINE_KINDS)
+    )

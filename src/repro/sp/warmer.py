@@ -213,3 +213,83 @@ class CacheWarmer:
                 return True
             time.sleep(0.01)
         return not self.pending()
+
+
+class ShardedCacheWarmer:
+    """Routes warming signals to the per-shard :class:`CacheWarmer`\\ s.
+
+    Each shard engine owns the warmer for its keyword partition; this
+    facade presents them as one warmer to the system: signals are
+    routed to the owning shard, aggregate views iterate the warmers in
+    shard-index order (deterministic), and the background thread hooks
+    fan out.  A keyword only ever becomes dirty on its owning shard, so
+    the per-shard pending sets are disjoint by construction.
+    """
+
+    def __init__(self, warmers, router) -> None:
+        self._warmers = list(warmers)
+        self._router = router
+
+    def _warmer_for(self, keyword: str) -> CacheWarmer:
+        return self._warmers[self._router.route(keyword)]
+
+    @property
+    def hot_threshold(self) -> int:
+        """The shared trailing-access bar (identical across shards)."""
+        return self._warmers[0].hot_threshold
+
+    def note_insert(self, keywords) -> None:
+        """Mark keywords dirty on their owning shards."""
+        for keyword in keywords:
+            self._warmer_for(keyword).note_insert((keyword,))
+
+    def note_access(self, keywords) -> None:
+        """Record one access per keyword on its owning shard."""
+        for keyword in keywords:
+            self._warmer_for(keyword).note_access((keyword,))
+
+    def sync_from_metrics(self) -> int:
+        """Absorb the registry access signal on every shard warmer.
+
+        Every warmer consumes the full counter set; accesses to
+        keywords a shard does not own are harmless, because those
+        keywords never become dirty there.
+        """
+        return sum(warmer.sync_from_metrics() for warmer in self._warmers)
+
+    def pending(self) -> list[str]:
+        """Pending keywords across shards, in shard-index order."""
+        out: list[str] = []
+        for warmer in self._warmers:
+            out.extend(warmer.pending())
+        return out
+
+    def warm(self, keyword: str) -> int:
+        """Warm one keyword on its owning shard."""
+        return self._warmer_for(keyword).warm(keyword)
+
+    def run_pending(self, limit: int | None = None) -> int:
+        """Warm up to ``limit`` pending keywords inline; returns entries."""
+        total = 0
+        for keyword in self.pending()[: limit if limit is not None else None]:
+            total += self.warm(keyword)
+        return total
+
+    def start(self, interval_s: float = 0.05) -> None:
+        """Start every shard warmer's background thread."""
+        for warmer in self._warmers:
+            warmer.start(interval_s)
+
+    def stop(self) -> None:
+        """Stop every shard warmer's background thread."""
+        for warmer in self._warmers:
+            warmer.stop()
+
+    def wait_idle(self, timeout_s: float = 2.0) -> bool:
+        """Block until no shard has pending work."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if not self.pending():
+                return True
+            time.sleep(0.01)
+        return not self.pending()

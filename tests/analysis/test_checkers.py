@@ -137,6 +137,46 @@ class TestDeterminism:
     def test_sorted_wrapping_is_clean(self):
         assert lint_source(DETERMINISM_GOOD, module="core/objects.py") == []
 
+
+# -- determinism: shard maps --------------------------------------------------
+
+SHARD_MAP_BAD = """\
+def gather(self):
+    parts = []
+    for engine in self.engines.values():
+        parts.append(engine.view())
+    rows = [view for _, view in self.shard_views.items()]
+    return parts + rows
+"""
+
+SHARD_MAP_GOOD = """\
+def gather(self):
+    parts = []
+    for shard_id in sorted(self.engines):
+        parts.append(self.engines[shard_id].view())
+    rows = [view for _, view in sorted(self.shard_views.items())]
+    return parts + rows
+"""
+
+
+class TestDeterminismShardMaps:
+    def test_flags_values_and_items_on_shard_maps(self):
+        findings = lint_source(SHARD_MAP_BAD, module="core/sp_frontend.py")
+        assert rules(findings) == ["determinism"] * 2
+        assert lines(findings) == [3, 5]
+
+    def test_engine_module_is_in_scope(self):
+        src = "order = [e for e in engines.values()]\n"
+        findings = lint_source(src, module="sp/engine.py")
+        assert rules(findings) == ["determinism"]
+
+    def test_non_shard_receivers_are_not_flagged(self):
+        src = "order = [v for v in counters.values()]\n"
+        assert lint_source(src, module="core/sp_frontend.py") == []
+
+    def test_sorted_shard_iteration_is_clean(self):
+        assert lint_source(SHARD_MAP_GOOD, module="core/sp_frontend.py") == []
+
     def test_out_of_scope_module_is_ignored(self):
         assert lint_source(DETERMINISM_BAD, module="sp/provider.py") == []
 

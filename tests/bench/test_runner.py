@@ -80,6 +80,7 @@ class TestExperimentSmoke:
             "disj",
             "fastpath",
             "witness",
+            "shard",
         }
         assert set(ABLATIONS) == {
             "abl-fanout",

@@ -1,0 +1,145 @@
+"""Tests for the pluggable index-shard engines and the router."""
+
+import pytest
+
+from repro.core.merkle_family import MerkleInvertedSP
+from repro.errors import ParameterError, ReproError
+from repro.sp.engine import (
+    DiskShardEngine,
+    MemoryShardEngine,
+    ShardRouter,
+    make_engine,
+)
+
+
+def merkle_factory():
+    return MerkleInvertedSP(fanout=4)
+
+
+class TestShardRouter:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ParameterError):
+            ShardRouter(0)
+
+    def test_deterministic_across_instances(self):
+        a = ShardRouter(8, seed=11)
+        b = ShardRouter(8, seed=11)
+        keywords = [f"kw{i}" for i in range(200)]
+        assert [a.route(kw) for kw in keywords] == [
+            b.route(kw) for kw in keywords
+        ]
+
+    def test_seed_changes_routing(self):
+        a = ShardRouter(8, seed=1)
+        b = ShardRouter(8, seed=2)
+        keywords = [f"kw{i}" for i in range(200)]
+        assert [a.route(kw) for kw in keywords] != [
+            b.route(kw) for kw in keywords
+        ]
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = ShardRouter(1, seed=5)
+        assert {router.route(f"kw{i}") for i in range(50)} == {0}
+
+    def test_distribution_covers_all_shards(self):
+        router = ShardRouter(8, seed=7)
+        counts = [0] * 8
+        for i in range(400):
+            counts[router.route(f"kw{i}")] += 1
+        assert all(count > 0 for count in counts)
+        # No pathological skew: every shard holds a sane share.
+        assert max(counts) < 4 * min(counts)
+
+    def test_memoised_route_is_stable(self):
+        router = ShardRouter(8, seed=7)
+        assert router.route("alpha") == router.route("alpha")
+
+
+class TestMakeEngine:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            make_engine("papyrus", 0, merkle_factory)
+
+    def test_disk_requires_directory(self):
+        with pytest.raises(ParameterError):
+            make_engine("disk", 0, merkle_factory)
+
+    def test_kinds(self, tmp_path):
+        assert isinstance(
+            make_engine("memory", 0, merkle_factory), MemoryShardEngine
+        )
+        disk = make_engine("disk", 0, merkle_factory, directory=tmp_path)
+        assert isinstance(disk, DiskShardEngine)
+        disk.close()
+
+
+class TestDiskEngineReplay:
+    def fill(self, engine):
+        entries = [
+            ("alpha", 1, b"h1"),
+            ("beta", 2, b"h2"),
+            ("alpha", 3, b"h3"),
+            ("gamma", 4, b"h4"),
+            ("alpha", 5, b"h5"),
+        ]
+        for keyword, object_id, payload in entries:
+            engine.insert_entry(keyword, object_id, payload.ljust(32, b"\0"))
+
+    def test_round_trip_rebuilds_identical_trees(self, tmp_path):
+        engine = DiskShardEngine(3, merkle_factory, tmp_path)
+        self.fill(engine)
+        roots = {
+            kw: engine.tree(kw).root_hash
+            for kw in ("alpha", "beta", "gamma")
+        }
+        engine.close()
+        assert (tmp_path / "shard-003.jsonl").exists()
+
+        reopened = DiskShardEngine(3, merkle_factory, tmp_path)
+        for keyword, root in roots.items():
+            assert reopened.tree(keyword).root_hash == root
+        reopened.close()
+
+    def test_replay_does_not_duplicate_journal(self, tmp_path):
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        self.fill(engine)
+        engine.close()
+        lines = (tmp_path / "shard-000.jsonl").read_text().splitlines()
+
+        reopened = DiskShardEngine(0, merkle_factory, tmp_path)
+        reopened.close()
+        assert (
+            tmp_path / "shard-000.jsonl"
+        ).read_text().splitlines() == lines
+
+    def test_mutations_after_reopen_append(self, tmp_path):
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        self.fill(engine)
+        engine.close()
+
+        reopened = DiskShardEngine(0, merkle_factory, tmp_path)
+        reopened.insert_entry("alpha", 9, b"h9".ljust(32, b"\0"))
+        root = reopened.tree("alpha").root_hash
+        reopened.close()
+
+        third = DiskShardEngine(0, merkle_factory, tmp_path)
+        assert third.tree("alpha").root_hash == root
+        third.close()
+
+    def test_object_round_trip(self, tmp_path):
+        from repro.core.objects import DataObject
+
+        engine = DiskShardEngine(1, merkle_factory, tmp_path)
+        engine.put_object(DataObject(7, ("alpha",), b"payload"))
+        engine.close()
+
+        reopened = DiskShardEngine(1, merkle_factory, tmp_path)
+        assert reopened.all_object_ids() == [7]
+        assert reopened.get_object(7).content == b"payload"
+        reopened.close()
+
+    def test_unknown_journal_op_rejected(self, tmp_path):
+        path = tmp_path / "shard-000.jsonl"
+        path.write_text('{"op": "explode"}\n')
+        with pytest.raises(ReproError):
+            DiskShardEngine(0, merkle_factory, tmp_path)
