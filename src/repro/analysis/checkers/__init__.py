@@ -11,6 +11,7 @@ from repro.analysis.checkers.gas_integrality import GasIntegralityChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.timing import TimingSafeCompareChecker
 from repro.analysis.checkers.verification import VerificationDisciplineChecker
+from repro.analysis.checkers.wallclock import WallClockChecker
 
 __all__ = [
     "CryptoHygieneChecker",
@@ -19,4 +20,5 @@ __all__ = [
     "LockDisciplineChecker",
     "TimingSafeCompareChecker",
     "VerificationDisciplineChecker",
+    "WallClockChecker",
 ]

@@ -1,0 +1,104 @@
+"""wallclock: durations must come from the monotonic clock.
+
+``time.time()`` follows the system wall clock, which NTP slews and
+steps — a benchmark or span timed with it can report negative or
+wildly wrong durations.  Every elapsed-time measurement must use
+``time.perf_counter()`` (monotonic, highest available resolution);
+``time.time()`` is reserved for *timestamps* (block headers, trend
+records) where the epoch is the point.
+
+Two patterns mark a wall-clock reading as a duration measurement:
+
+* it is a direct operand of a subtraction (``time.time() - started``
+  or the anchor-pairing inverse), or
+* it is assigned to a stopwatch-named variable (``start``/``started``,
+  ``t0``/``t1``, ``begin``, ``elapsed``...), the idiom that precedes
+  the subtraction.
+
+Epoch uses — ``timestamp=time.time()`` keyword arguments, dict values,
+trend-record fields — match neither pattern and stay clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Checker,
+    ModuleSource,
+    enclosing_symbol,
+    register,
+    walk_with_stack,
+)
+
+#: Variable names that read as stopwatch anchors or results.
+_TIMER_NAME_RE = re.compile(
+    r"^(t\d*|start|started|begin|begun|end|ended|stop|stopped"
+    r"|elapsed|duration|wall)(_\w+)?$",
+    re.IGNORECASE,
+)
+
+
+def _is_wall_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``time.time()`` (or bare ``time()``) call."""
+    if not isinstance(node, ast.Call) or node.args or node.keywords:
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+    return isinstance(func, ast.Name) and func.id == "time"
+
+
+@register
+class WallClockChecker(Checker):
+    """Flags ``time.time()`` used to measure elapsed time."""
+
+    rule = "wallclock"
+    description = (
+        "durations must be measured with time.perf_counter(); "
+        "time.time() is for epoch timestamps only"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(src.tree):
+            symbol = enclosing_symbol(ancestors)
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                for operand in (node.left, node.right):
+                    if _is_wall_call(operand):
+                        yield self.finding(
+                            src,
+                            operand,
+                            "time.time() in a subtraction measures a "
+                            "duration on the wall clock; use "
+                            "time.perf_counter()",
+                            symbol=symbol,
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None or not _is_wall_call(value):
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and _TIMER_NAME_RE.match(
+                        target.id
+                    ):
+                        yield self.finding(
+                            src,
+                            value,
+                            f"time.time() assigned to stopwatch variable "
+                            f"{target.id!r}; use time.perf_counter() for "
+                            "elapsed-time measurement",
+                            symbol=symbol,
+                        )
+                        break

@@ -576,10 +576,11 @@ EXPERIMENTS = {
 
 def run_all(fast: bool = True) -> None:
     """Run every experiment back to back (the full paper sweep)."""
-    started = time.time()
+    started = time.perf_counter()
     for name, fn in EXPERIMENTS.items():
         fn()
-    print(f"\nAll experiments finished in {time.time() - started:.1f}s")
+    elapsed = time.perf_counter() - started
+    print(f"\nAll experiments finished in {elapsed:.1f}s")
 
 
 # ---------------------------------------------------------------------------

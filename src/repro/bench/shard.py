@@ -23,7 +23,7 @@ BENCH_shard.json`` records the rows.
 from __future__ import annotations
 
 import dataclasses
-import os
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -35,7 +35,7 @@ from repro.core.sp_frontend import ShardedStorageProvider
 from repro.core.system import HybridStorageSystem
 from repro.datasets.synthetic import dblp_like
 from repro.datasets.workloads import ConjunctiveWorkload
-from repro.parallel import make_executor
+from repro.parallel import available_cpus, make_executor
 
 #: MB-tree fanout for the ingest rows (the system default).
 INGEST_FANOUT = 8
@@ -110,9 +110,14 @@ def measure_shard_ingest(
         for obj in dblp_like(size, seed=seed).objects()
     ]
     keywords = {kw for m in metadatas for kw in m.keywords}
-    executor = make_executor(
-        executor_kind, workers=min(shards, os.cpu_count() or 1)
-    )
+    cores = available_cpus()
+    if shards > cores:
+        print(
+            f"warning: {shards} shards on {cores} available core(s) — "
+            "ingest scaling is bounded by cores, not shards",
+            file=sys.stderr,
+        )
+    executor = make_executor(executor_kind, workers=min(shards, cores))
     sp = ShardedStorageProvider(
         index_factory=lambda: MerkleInvertedSP(fanout=INGEST_FANOUT),
         executor=executor,
@@ -252,11 +257,11 @@ def experiment_shard(
         measure_transparency(scheme, max(shard_counts), identity_size, seed)
         for scheme in schemes
     ]
-    cpu_count = os.cpu_count() or 1
+    cpu_count = available_cpus()
 
     print(
         f"\nSharded SP — bulk ingest via mirror_bulk "
-        f"(DBLP-like, n={size}, process pool, {cpu_count} cores)"
+        f"(DBLP-like, n={size}, process pool, {cpu_count} available cores)"
     )
     print(f"{'shards':>7}{'ingest (ms)':>14}{'objects/s':>12}")
     for row in ingest:

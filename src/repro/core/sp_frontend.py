@@ -43,7 +43,8 @@ from repro.sp.engine import ShardRouter, make_engine
 def _evaluate_conjunct(args):
     """Executor task: one conjunct's join (module-level, picklable)."""
     views, order, plan = args
-    return conjunctive_join(views, order=order, plan=plan)
+    with obs.span("query.sp.join", keywords=len(views)):
+        return conjunctive_join(views, order=order, plan=plan)
 
 
 def _build_shard_trees(args):
@@ -58,12 +59,17 @@ def _build_shard_trees(args):
     """
     fanout, groups = args
     built = []
-    for keyword, tree, entries in groups:
-        if tree is None:
-            tree = MBTree(fanout=fanout)
-        for object_id, object_hash in entries:
-            tree.insert(object_id, object_hash)
-        built.append((keyword, tree))
+    with obs.span(
+        "sp.shard.build",
+        keywords=len(groups),
+        entries=sum(len(entries) for _, _, entries in groups),
+    ):
+        for keyword, tree, entries in groups:
+            if tree is None:
+                tree = MBTree(fanout=fanout)
+            for object_id, object_hash in entries:
+                tree.insert(object_id, object_hash)
+            built.append((keyword, tree))
     return built
 
 
@@ -222,7 +228,12 @@ class ShardedStorageProvider:
             shards=len(tasks),
             executor=self.executor.kind,
         ):
-            built = self.executor.map(_build_shard_trees, tasks, chunksize=1)
+            built = self.executor.map(
+                _build_shard_trees,
+                tasks,
+                chunksize=1,
+                labels=[{"shard": shard} for shard in shard_ids],
+            )
         with obs.span("sp.shard.gather", shards=len(tasks)):
             for shard, shard_trees in zip(shard_ids, built):
                 engine = self.engines[shard]
@@ -302,7 +313,13 @@ class ShardedStorageProvider:
                     conjunctions=len(tasks),
                     executor=self.executor.kind,
                 ):
-                    outcomes = self.executor.map(_evaluate_conjunct, tasks)
+                    outcomes = self.executor.map(
+                        _evaluate_conjunct,
+                        tasks,
+                        labels=[
+                            {"conjunct": i} for i in range(len(tasks))
+                        ],
+                    )
                 if self.shards > 1:
                     with obs.span(
                         "sp.shard.gather", conjunctions=len(outcomes)

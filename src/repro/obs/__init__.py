@@ -24,7 +24,14 @@ Typical use::
 See ``repro obs`` for the CLI equivalent.
 """
 
+from repro.obs.critpath import (
+    CritPathReport,
+    analyze,
+    build_forest,
+    critical_path,
+)
 from repro.obs.exporters import (
+    read_jsonl,
     render_summary,
     render_tree,
     span_to_dict,
@@ -41,6 +48,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.trace import (
     NULL_SPAN,
     Collector,
@@ -56,10 +64,13 @@ from repro.obs.trace import (
     span,
     uninstall,
 )
+from repro.obs.xproc import adopt as adopt_snapshot
+from repro.obs.xproc import capture as capture_snapshot
 
 __all__ = [
     "Collector",
     "Counter",
+    "CritPathReport",
     "DEFAULT_BUCKETS",
     "GAS_BUCKETS",
     "Gauge",
@@ -67,14 +78,21 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "SIZE_BUCKETS_BYTES",
+    "SamplingProfiler",
     "Span",
     "TIME_BUCKETS_S",
+    "adopt_snapshot",
+    "analyze",
+    "build_forest",
+    "capture_snapshot",
     "collect",
+    "critical_path",
     "current",
     "inc",
     "install",
     "metrics",
     "observe",
+    "read_jsonl",
     "record_gas",
     "render_summary",
     "render_tree",

@@ -26,6 +26,7 @@ def span_to_dict(span: Span) -> dict:
         "parent_id": span.parent_id,
         "thread": span.thread,
         "start_s": span.start_s,
+        "end_s": span.end_s,
         "duration_ms": 1e3 * span.duration_s,
         "attributes": span.attributes,
     }
@@ -42,6 +43,21 @@ def write_jsonl(spans: Iterable[Span], path: str) -> None:
         dump = spans_to_jsonl(spans)
         if dump:
             handle.write(dump + "\n")
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a JSONL trace dump back into span dicts.
+
+    The inverse of :func:`write_jsonl`, for offline analysis
+    (``repro obs critpath``); blank lines are skipped.
+    """
+    spans: list[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
 
 
 def _format_attrs(attributes: dict) -> str:

@@ -243,6 +243,63 @@ class MetricsRegistry:
         for name, hist in other._histograms.items():
             self.histogram(name, buckets=hist.bounds).merge_from(hist)
 
+    # -- cross-process state transfer -----------------------------------------
+
+    def dump_state(self) -> dict:
+        """Full accumulation state as picklable/JSON-able plain data.
+
+        Instruments hold locks and cannot cross a process boundary;
+        this dump can.  Unlike :meth:`snapshot` (a reporting view), the
+        dump preserves exact histogram internals so a receiving
+        registry can fold it in losslessly via :meth:`merge_state`.
+        """
+        state: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, counter in self._counters.items():
+            state["counters"][name] = counter.value
+        for name, gauge in self._gauges.items():
+            state["gauges"][name] = gauge.value
+        for name, hist in self._histograms.items():
+            with hist._lock:
+                state["histograms"][name] = {
+                    "bounds": list(hist.bounds),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                }
+        return state
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters and histogram contents add; gauges last-write-win —
+        the same semantics as :meth:`merge`, across a pickle boundary.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in state.get("histograms", {}).items():
+            bounds = tuple(payload["bounds"])
+            hist = self.histogram(name, buckets=bounds)
+            if hist.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds differ, cannot merge"
+                )
+            with hist._lock:
+                for i, n in enumerate(payload["counts"]):
+                    hist.counts[i] += n
+                hist.count += payload["count"]
+                hist.sum += payload["sum"]
+                for bound in (payload["min"], payload["max"]):
+                    if bound is None:
+                        continue
+                    if hist.min is None or bound < hist.min:
+                        hist.min = bound
+                    if hist.max is None or bound > hist.max:
+                        hist.max = bound
+
     def reset(self) -> None:
         """Zero every instrument, keeping registrations and bucket layouts."""
         for counter in self._counters.values():

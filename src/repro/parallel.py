@@ -24,18 +24,43 @@ from __future__ import annotations
 
 import contextlib
 import functools
+import os
 import threading
 import traceback
 from concurrent import futures
-from typing import Callable, Iterable, Iterator, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.errors import ParameterError
+from repro.obs import trace as obs_trace
+from repro.obs import xproc
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Executor kinds accepted by :func:`make_executor`.
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def available_cpus() -> int:
+    """CPU cores actually available to this process (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity
+    mask a CI runner or container grants us — benchmarks keying scaling
+    expectations on it silently compare against cores they never had.
+    Prefers ``os.process_cpu_count`` (3.13+), then the scheduler
+    affinity mask, then the plain count.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        count = getter()
+        if count:
+            return count
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 class RemoteTraceback(Exception):
@@ -68,6 +93,78 @@ def _guarded_call(fn: Callable[[T], R], item: T) -> tuple[bool, object]:
         return False, (exc, traceback.format_exc())
 
 
+#: Span name wrapping every executor task when telemetry is collected.
+TASK_SPAN = "parallel.task"
+
+
+def _snapshot_call(
+    fn: Callable[[T], R], packed: tuple[int, dict, T]
+) -> tuple[bool, object, dict]:
+    """Process-pool task wrapper: run under a private collector.
+
+    The worker's spans and metrics cannot reach the parent's collector
+    (separate process), so the task runs under a fresh local one; the
+    full telemetry snapshot travels back with the result and the parent
+    adopts it (:func:`repro.obs.xproc.adopt`).  Module-level so process
+    pools can pickle it.
+    """
+    index, label, item = packed
+    collector = obs_trace.Collector()
+    with obs_trace.collect(collector):
+        try:
+            with collector.span(
+                TASK_SPAN, task=index, worker=os.getpid(), **label
+            ):
+                result: object = fn(item)
+            ok = True
+        except BaseException as exc:  # noqa: B036 - re-raised in the parent
+            ok, result = False, (exc, traceback.format_exc())
+    return ok, result, xproc.capture(collector)
+
+
+def _traced_thread_call(
+    fn: Callable[[T], R],
+    collector: "obs_trace.Collector",
+    parent_id: int | None,
+    packed: tuple[int, dict, T],
+) -> tuple[bool, object]:
+    """Thread-pool task wrapper: span directly into the shared collector.
+
+    Worker threads share the parent's collector (one process), but
+    their span stacks start empty — the task span would surface as an
+    orphan root.  ``forced_parent`` grafts it under the span that
+    dispatched the map call, and everything ``fn`` records nests
+    beneath it naturally.
+    """
+    index, label, item = packed
+    span = collector.span(
+        TASK_SPAN, task=index, worker=threading.get_ident(), **label
+    )
+    span.forced_parent = parent_id
+    try:
+        with span:
+            return True, fn(item)
+    except BaseException as exc:  # noqa: B036 - re-raised in the parent
+        return False, (exc, traceback.format_exc())
+
+
+def _pack_tasks(
+    items: Iterable[T], labels: "Sequence[dict] | None"
+) -> list[tuple[int, dict, T]]:
+    """Zip items with indices and per-task label dicts."""
+    packed = [(i, {}, item) for i, item in enumerate(items)]
+    if labels is not None:
+        if len(labels) != len(packed):
+            raise ParameterError(
+                f"labels length {len(labels)} != items length {len(packed)}"
+            )
+        packed = [
+            (i, dict(label), item)
+            for (i, _, item), label in zip(packed, labels)
+        ]
+    return packed
+
+
 class SerialExecutor:
     """The default policy: run everything inline, in order."""
 
@@ -78,8 +175,14 @@ class SerialExecutor:
         fn: Callable[[T], R],
         items: Iterable[T],
         chunksize: int | None = None,
+        labels: "Sequence[dict] | None" = None,
     ) -> list[R]:
-        """Apply ``fn`` to every item, inline (``chunksize`` is moot)."""
+        """Apply ``fn`` to every item, inline.
+
+        ``chunksize`` is moot and ``labels`` unused: inline calls
+        already nest their spans under the caller's, so no task
+        wrapper is needed (or recorded).
+        """
         return [fn(item) for item in items]
 
     def close(self) -> None:
@@ -118,19 +221,57 @@ class PoolExecutor:
         fn: Callable[[T], R],
         items: Iterable[T],
         chunksize: int | None = None,
+        labels: "Sequence[dict] | None" = None,
     ) -> list[R]:
         """Apply ``fn`` across the pool; ordered, first error propagates.
 
         The first failing item's exception (in input order) is re-raised
         in the parent with the worker's traceback chained as its cause.
         ``chunksize`` overrides the executor default for this call.
+
+        When a telemetry collector is installed, every task runs inside
+        a ``parallel.task`` span carrying its index, worker identity and
+        the caller's per-task ``labels`` dict (shard IDs, conjunct
+        numbers...).  Thread tasks record straight into the shared
+        collector; process tasks record into a worker-local collector
+        whose snapshot is shipped back and adopted, so traces stay
+        complete under either pool kind.  With no collector installed
+        the path is byte-identical to the untraced one.
         """
         size = self.chunksize if chunksize is None else chunksize
         if size < 1:
             raise ParameterError("chunksize must be at least 1")
-        guarded = functools.partial(_guarded_call, fn)
+        collector = obs_trace.current()
         results: list[R] = []
-        for ok, payload in self._pool.map(guarded, items, chunksize=size):
+        if collector is None:
+            guarded = functools.partial(_guarded_call, fn)
+            for ok, payload in self._pool.map(guarded, items, chunksize=size):
+                if not ok:
+                    exc, formatted = payload  # type: ignore[misc]
+                    raise exc from RemoteTraceback(formatted)
+                results.append(payload)  # type: ignore[arg-type]
+            return results
+        packed = _pack_tasks(items, labels)
+        stack = collector._stack()
+        parent_id = stack[-1].span_id if stack else None
+        if self.kind == "process":
+            snap_call = functools.partial(_snapshot_call, fn)
+            outcomes = self._pool.map(snap_call, packed, chunksize=size)
+            for (index, label, _), (ok, payload, snapshot) in zip(
+                packed, outcomes
+            ):
+                # Adopt before raising: the failing task's spans (error
+                # attribute included) belong in the trace either way.
+                xproc.adopt(collector, snapshot, parent_id=parent_id)
+                if not ok:
+                    exc, formatted = payload  # type: ignore[misc]
+                    raise exc from RemoteTraceback(formatted)
+                results.append(payload)  # type: ignore[arg-type]
+            return results
+        traced = functools.partial(
+            _traced_thread_call, fn, collector, parent_id
+        )
+        for ok, payload in self._pool.map(traced, packed, chunksize=size):
             if not ok:
                 exc, formatted = payload  # type: ignore[misc]
                 raise exc from RemoteTraceback(formatted)

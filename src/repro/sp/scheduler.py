@@ -51,7 +51,8 @@ def _open_batch(args: tuple[vc.CVCPublicParams, vc.CVCAux, list[int], str]):
     plain dataclasses and travel with the task.
     """
     pp, aux, slots, strategy = args
-    return vc.open_many(pp, slots, aux, strategy=strategy)
+    with obs.span("sp.batch.open", slots=len(slots)):
+        return vc.open_many(pp, slots, aux, strategy=strategy)
 
 
 @dataclass
@@ -159,7 +160,18 @@ class WitnessScheduler:
                     )
                     for group in groups
                 ]
-                results = self._executor.map(_open_batch, tasks)
+                results = self._executor.map(
+                    _open_batch,
+                    tasks,
+                    labels=[
+                        {
+                            "keyword": group.keyword,
+                            "position": group.position,
+                            "slots": len(group.slots),
+                        }
+                        for group in groups
+                    ],
+                )
             except BaseException as exc:
                 self._fail(groups, exc)
                 raise

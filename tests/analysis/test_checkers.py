@@ -352,3 +352,57 @@ class TestLockDiscipline:
         findings = lint_source(MODULE_LOCK_BAD, module="crypto/numbers.py")
         assert rules(findings) == ["lock-discipline"]
         assert findings[0].line == 13
+
+
+# -- wallclock ----------------------------------------------------------------
+
+WALLCLOCK_BAD = """\
+import time
+
+
+def bench():
+    started = time.time()
+    run()
+    return time.time() - started
+"""
+
+WALLCLOCK_GOOD = """\
+import time
+
+
+def bench():
+    started = time.perf_counter()
+    run()
+    elapsed = time.perf_counter() - started
+    record(timestamp=time.time(), elapsed=elapsed)
+    return {"at": time.time(), "elapsed": elapsed}
+"""
+
+
+class TestWallClock:
+    def test_flags_stopwatch_assignment_and_subtraction(self):
+        findings = lint_source(WALLCLOCK_BAD, module="bench/runner.py")
+        assert rules(findings) == ["wallclock", "wallclock"]
+        assert lines(findings) == [5, 7]
+
+    def test_epoch_timestamp_uses_are_clean(self):
+        assert lint_source(WALLCLOCK_GOOD, module="bench/runner.py") == []
+
+    def test_bare_time_import_is_flagged(self):
+        src = (
+            "from time import time\n"
+            "def go():\n"
+            "    t0 = time()\n"
+        )
+        findings = lint_source(src, module="bench/shard.py")
+        assert rules(findings) == ["wallclock"]
+        assert findings[0].symbol == "go"
+
+    def test_non_stopwatch_name_is_clean(self):
+        src = (
+            "import time\n"
+            "def stamp():\n"
+            "    created_at = time.time()\n"
+            "    return created_at\n"
+        )
+        assert lint_source(src, module="ethereum/chain.py") == []

@@ -88,3 +88,68 @@ class TestAddAndQuery:
 
     def test_query_missing_directory(self, tmp_path, capsys):
         assert main(["query", str(tmp_path / "nope"), "a"]) == 1
+
+
+class TestObsSubcommands:
+    def _add_one(self, registry):
+        assert (
+            main(
+                [
+                    "add",
+                    registry,
+                    "--id",
+                    "1",
+                    "--keywords",
+                    "alpha,beta",
+                    "--content",
+                    "hello",
+                ]
+            )
+            == 0
+        )
+
+    def test_bare_obs_form_still_traces(self, registry, capsys):
+        self._add_one(registry)
+        capsys.readouterr()
+        assert main(["obs", registry, "alpha"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "metrics:" in out
+
+    def test_explicit_trace_subcommand(self, registry, capsys, tmp_path):
+        self._add_one(registry)
+        capsys.readouterr()
+        trace = tmp_path / "t.jsonl"
+        assert (
+            main(["obs", "trace", registry, "alpha", "--trace-out", str(trace)])
+            == 0
+        )
+        assert trace.exists()
+        assert "spans to" in capsys.readouterr().out
+
+    def test_critpath_over_dumped_trace(self, registry, capsys, tmp_path):
+        self._add_one(registry)
+        trace = tmp_path / "t.jsonl"
+        assert (
+            main(["obs", "trace", registry, "alpha", "--trace-out", str(trace)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "critpath", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "per-phase self-time" in out
+        assert "efficiency" in out
+
+    def test_critpath_json_output(self, registry, capsys, tmp_path):
+        self._add_one(registry)
+        trace = tmp_path / "t.jsonl"
+        assert (
+            main(["obs", "trace", registry, "alpha", "--trace-out", str(trace)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "critpath", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["critical_path"]
+        assert payload["phases"]

@@ -310,3 +310,112 @@ class TestReadWriteLock:
             lock.release_read()
         with pytest.raises(ParameterError):
             lock.release_write()
+
+
+# -- executor telemetry -------------------------------------------------------
+
+
+def _traced_square(x):
+    from repro import obs
+
+    with obs.span("work.square", x=x):
+        obs.inc("work.calls")
+        obs.observe("work.input", float(x))
+        return x * x
+
+
+class TestExecutorTelemetry:
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_labeled_task_spans_reach_the_parent_trace(self, kind):
+        from repro import obs
+        from repro.parallel import TASK_SPAN
+
+        executor = PoolExecutor(kind, workers=2)
+        try:
+            with obs.collect() as col:
+                with obs.span("dispatch") as root:
+                    results = executor.map(
+                        _traced_square,
+                        [1, 2, 3],
+                        labels=[{"shard": i} for i in range(3)],
+                    )
+        finally:
+            executor.close()
+        assert results == [1, 4, 9]
+        tasks = sorted(
+            (s for s in col.spans if s.name == TASK_SPAN),
+            key=lambda s: s.attributes["task"],
+        )
+        assert [t.attributes["shard"] for t in tasks] == [0, 1, 2]
+        assert all(t.parent_id == root.span_id for t in tasks)
+        inner = [s for s in col.spans if s.name == "work.square"]
+        assert len(inner) == 3
+        task_ids = {t.span_id for t in tasks}
+        assert all(s.parent_id in task_ids for s in inner)
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_metric_totals_exact_after_worker_merge(self, kind):
+        from repro import obs
+
+        executor = PoolExecutor(kind, workers=2)
+        try:
+            with obs.collect() as col:
+                executor.map(_traced_square, list(range(1, 9)))
+        finally:
+            executor.close()
+        snap = col.metrics.snapshot()
+        assert snap["work.calls"] == 8
+        assert snap["work.input"]["count"] == 8
+        assert snap["work.input"]["sum"] == pytest.approx(36.0)
+        assert snap["work.input"]["min"] == pytest.approx(1.0)
+        assert snap["work.input"]["max"] == pytest.approx(8.0)
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_failing_task_still_records_a_complete_span(self, kind):
+        from repro import obs
+        from repro.parallel import TASK_SPAN
+
+        executor = PoolExecutor(kind, workers=2)
+        try:
+            with obs.collect() as col:
+                with pytest.raises(ValueError) as excinfo:
+                    executor.map(_boom_on_even, [1, 2, 3])
+        finally:
+            executor.close()
+        assert isinstance(excinfo.value.__cause__, RemoteTraceback)
+        tasks = [s for s in col.spans if s.name == TASK_SPAN]
+        assert tasks, "the failing task's span must still be recorded"
+        assert all(t.end_s is not None for t in tasks)
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_no_collector_means_no_task_spans(self, kind):
+        from repro import obs
+
+        executor = PoolExecutor(kind, workers=2)
+        try:
+            results = executor.map(_square, [1, 2, 3])
+        finally:
+            executor.close()
+        assert results == [1, 4, 9]
+        assert obs.current() is None
+
+    def test_labels_length_mismatch_raises(self):
+        from repro import obs
+
+        executor = PoolExecutor("thread", workers=1)
+        try:
+            with obs.collect():
+                with pytest.raises(ParameterError):
+                    executor.map(_square, [1, 2], labels=[{"shard": 0}])
+        finally:
+            executor.close()
+
+    def test_serial_executor_ignores_labels(self):
+        from repro import obs
+
+        with obs.collect() as col:
+            results = SerialExecutor().map(
+                _traced_square, [2, 3], labels=[{"shard": 0}, {"shard": 1}]
+            )
+        assert results == [4, 9]
+        assert [s.name for s in col.spans] == ["work.square", "work.square"]

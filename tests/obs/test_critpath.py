@@ -1,0 +1,179 @@
+"""Critical-path analysis: forests, self-time, efficiency, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.critpath import (
+    analyze,
+    build_forest,
+    critical_path,
+    fanout_stats,
+    phase_stats,
+)
+
+
+def _span(name, span_id, parent_id, start, end, thread="MainThread", **attrs):
+    """A span dict exactly as ``read_jsonl`` would yield it."""
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "thread": thread,
+        "start_s": start,
+        "end_s": end,
+        "duration_ms": 1e3 * (end - start),
+        "attributes": attrs,
+    }
+
+
+def _scatter_trace():
+    """A root dispatching three overlapping workers on separate lanes.
+
+    root [0, 10]
+      prep   [0, 2]                          (same lane as root)
+      worker [2, 8] / [2, 6] / [2, 9]       (three lanes, overlapping)
+    """
+    return [
+        _span("root", 1, None, 0.0, 10.0),
+        _span("prep", 2, 1, 0.0, 2.0),
+        _span("worker", 3, 1, 2.0, 8.0, thread="w1", shard=0),
+        _span("worker", 4, 1, 2.0, 6.0, thread="w2", shard=1),
+        _span("worker", 5, 1, 2.0, 9.0, thread="w3", shard=2),
+    ]
+
+
+class TestForest:
+    def test_children_attach_to_parents(self):
+        roots = build_forest(_scatter_trace())
+        assert len(roots) == 1
+        assert sorted(c.name for c in roots[0].children) == [
+            "prep",
+            "worker",
+            "worker",
+            "worker",
+        ]
+
+    def test_orphans_are_promoted_to_roots(self):
+        spans = [
+            _span("a", 1, 99, 0.0, 1.0),  # parent never recorded
+            _span("b", 2, None, 1.0, 2.0),
+        ]
+        roots = build_forest(spans)
+        assert sorted(r.name for r in roots) == ["a", "b"]
+
+    def test_live_span_objects_are_accepted(self):
+        collector = obs.Collector()
+        with obs.collect(collector):
+            with collector.span("outer"):
+                with collector.span("inner"):
+                    pass
+        roots = build_forest(collector.spans)
+        assert roots[0].name == "outer"
+        assert roots[0].children[0].name == "inner"
+
+
+class TestCriticalPath:
+    def test_descends_into_latest_ending_child(self):
+        roots = build_forest(_scatter_trace())
+        path = critical_path(roots[0])
+        assert [n.name for n in path] == ["root", "worker"]
+        assert path[-1].attributes["shard"] == 2  # the [2, 9] worker
+
+    def test_single_span_path(self):
+        roots = build_forest([_span("only", 1, None, 0.0, 1.0)])
+        assert [n.name for n in critical_path(roots[0])] == ["only"]
+
+
+class TestSelfTime:
+    def test_self_excludes_union_of_child_intervals(self):
+        roots = build_forest(_scatter_trace())
+        root = roots[0]
+        # Children cover [0, 2] + [2, 9] = 9s of the root's 10s.
+        assert root.self_seconds() == pytest.approx(1.0)
+
+    def test_overlapping_children_are_not_double_counted(self):
+        spans = [
+            _span("p", 1, None, 0.0, 10.0),
+            _span("c1", 2, 1, 1.0, 5.0),
+            _span("c2", 3, 1, 3.0, 7.0),  # overlaps c1 on [3, 5]
+        ]
+        root = build_forest(spans)[0]
+        assert root.self_seconds() == pytest.approx(10.0 - 6.0)
+
+    def test_phase_stats_aggregate_by_name(self):
+        phases = {p.name: p for p in phase_stats(build_forest(_scatter_trace()))}
+        assert phases["worker"].count == 3
+        assert phases["worker"].total_s == pytest.approx(6.0 + 4.0 + 7.0)
+        assert phases["worker"].self_s == pytest.approx(17.0)
+        assert phases["root"].self_s == pytest.approx(1.0)
+
+
+class TestEfficiency:
+    def test_fanout_stats_report_overlapping_sections(self):
+        fans = fanout_stats(build_forest(_scatter_trace()))
+        assert len(fans) == 1
+        fan = fans[0]
+        assert fan.name == "root"
+        assert fan.children == 4
+        assert fan.lanes == 4  # main + three worker lanes
+        assert fan.wall_s == pytest.approx(9.0)
+        assert fan.busy_s == pytest.approx(2.0 + 6.0 + 4.0 + 7.0)
+
+    def test_report_efficiency_uses_worker_override(self):
+        report = analyze(_scatter_trace(), workers=4)
+        assert report.wall_s == pytest.approx(10.0)
+        assert report.busy_s == pytest.approx(1.0 + 2.0 + 6.0 + 4.0 + 7.0)
+        assert report.workers == 4
+        assert report.efficiency == pytest.approx(20.0 / (10.0 * 4))
+
+    def test_perfectly_serial_trace_is_fully_efficient(self):
+        spans = [
+            _span("a", 1, None, 0.0, 4.0),
+            _span("b", 2, 1, 1.0, 3.0),
+        ]
+        report = analyze(spans)
+        assert report.lanes == 1
+        assert report.efficiency == pytest.approx(1.0)
+
+
+class TestAnalyzeAndRender:
+    def test_root_filter_selects_named_root(self):
+        spans = _scatter_trace() + [_span("other", 9, None, 0.0, 50.0)]
+        report = analyze(spans, root="root")
+        assert report.path[0].name == "root"
+
+    def test_render_mentions_phases_and_efficiency(self):
+        text = analyze(_scatter_trace(), workers=4).render()
+        assert "critical path" in text
+        assert "per-phase self-time" in text
+        assert "efficiency" in text
+        assert "worker" in text
+
+    def test_to_dict_is_json_clean(self):
+        import json
+
+        payload = analyze(_scatter_trace()).to_dict()
+        json.dumps(payload)
+        assert payload["lanes"] == 4
+        assert [p["name"] for p in payload["phases"]]
+
+    def test_empty_trace_yields_empty_report(self):
+        report = analyze([])
+        assert report.path == []
+        assert report.wall_s == 0.0
+        assert "no spans" in report.render() or report.render()
+
+
+class TestJsonlRoundTrip:
+    def test_analyze_over_written_trace(self, tmp_path):
+        collector = obs.Collector()
+        with obs.collect(collector):
+            with collector.span("outer"):
+                with collector.span("inner"):
+                    pass
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(collector.spans, str(path))
+        report = analyze(obs.read_jsonl(str(path)))
+        assert [n.name for n in report.path] == ["outer", "inner"]

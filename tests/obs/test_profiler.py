@@ -1,0 +1,98 @@
+"""Sampling profiler: span attribution, lifecycle, reporting."""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.obs.profiler import NO_SPAN, SamplingProfiler
+
+
+def _spin(seconds: float) -> int:
+    """Busy-loop so the sampler has frames to catch."""
+    deadline = time.perf_counter() + seconds
+    acc = 0
+    while time.perf_counter() < deadline:
+        acc += 1
+    return acc
+
+
+class TestSampling:
+    def test_samples_attribute_to_the_open_span(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with obs.collect():
+            with profiler:
+                with obs.span("hot.loop"):
+                    _spin(0.15)
+        assert profiler.total_samples > 0
+        by_span = profiler.by_span()
+        assert by_span.get("hot.loop", 0) > 0
+        # The busy loop dominates this window.
+        assert by_span["hot.loop"] >= max(by_span.values()) // 2
+
+    def test_no_collector_buckets_as_no_span(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            _spin(0.1)
+        assert profiler.total_samples > 0
+        assert set(profiler.by_span()) == {NO_SPAN}
+
+    def test_innermost_span_wins(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with obs.collect():
+            with profiler, obs.span("outer"):
+                with obs.span("inner"):
+                    _spin(0.15)
+        by_span = profiler.by_span()
+        assert by_span.get("inner", 0) > by_span.get("outer", 0)
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_restart_accumulates(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler.start()
+        profiler.start()  # no-op while running
+        _spin(0.05)
+        profiler.stop()
+        profiler.stop()  # no-op when stopped
+        first = profiler.total_samples
+        assert first > 0
+        profiler.start()
+        _spin(0.05)
+        profiler.stop()
+        assert profiler.total_samples > first
+
+    def test_rejects_non_positive_interval(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0.0)
+
+
+class TestReporting:
+    def _profiled(self) -> SamplingProfiler:
+        profiler = SamplingProfiler(interval_s=0.001)
+        with obs.collect():
+            with profiler, obs.span("workload"):
+                _spin(0.1)
+        return profiler
+
+    def test_to_dict_shape(self):
+        report = self._profiled().to_dict(top=3)
+        assert report["total_samples"] > 0
+        assert report["interval_s"] == 0.001
+        spans = report["spans"]
+        assert spans and spans[0]["samples"] >= spans[-1]["samples"]
+        for entry in spans:
+            assert len(entry["functions"]) <= 3
+            for item in entry["functions"]:
+                assert item["samples"] > 0
+
+    def test_render_lists_spans_and_functions(self):
+        text = self._profiled().render()
+        assert "profile:" in text
+        assert "workload" in text
+        assert "%" in text
+
+    def test_render_without_samples(self):
+        assert "no samples" in SamplingProfiler().render()

@@ -1,0 +1,115 @@
+"""Cross-process telemetry snapshots: capture, adoption, metric merges."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import xproc
+
+
+def _worker_collector(span_names=("task", "task.inner")):
+    """A collector holding a small parent/child trace plus metrics."""
+    collector = obs.Collector()
+    with obs.collect(collector):
+        with collector.span(span_names[0], worker="w"):
+            with collector.span(span_names[1]):
+                obs.inc("work.items", 3)
+                obs.observe("work.seconds", 0.25)
+    return collector
+
+
+class TestCapture:
+    def test_snapshot_is_plain_data(self):
+        snap = xproc.capture(_worker_collector())
+        assert snap["pid"] == os.getpid()
+        assert len(snap["spans"]) == 2
+        assert snap["metrics"]["counters"]["work.items"] == 3
+        assert snap["perf_anchor"] > 0
+        import json
+
+        json.dumps(snap)  # picklable and JSON-clean: no live objects
+
+    def test_capture_preserves_exit_order(self):
+        snap = xproc.capture(_worker_collector())
+        # Spans are recorded on exit: the child precedes its parent.
+        assert snap["spans"][0]["name"] == "task.inner"
+        assert snap["spans"][1]["name"] == "task"
+
+
+class TestAdopt:
+    def test_same_process_adoption_remaps_ids_and_parents(self):
+        snap = xproc.capture(_worker_collector())
+        parent = obs.Collector()
+        with obs.collect(parent):
+            with parent.span("dispatch") as root:
+                xproc.adopt(parent, snap, parent_id=root.span_id)
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["task"].parent_id == by_name["dispatch"].span_id
+        assert by_name["task.inner"].parent_id == by_name["task"].span_id
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_same_process_spans_carry_no_pid_attribute(self):
+        snap = xproc.capture(_worker_collector())
+        parent = obs.Collector()
+        xproc.adopt(parent, snap)
+        assert all("pid" not in s.attributes for s in parent.spans)
+
+    def test_cross_process_spans_are_stamped_and_rebased(self):
+        import copy
+
+        collector = _worker_collector()
+        snap = xproc.capture(collector)
+        original = {
+            s["name"]: s for s in copy.deepcopy(snap["spans"])
+        }
+        snap["pid"] = os.getpid() + 1  # pretend another process sent it
+        # Fake a worker whose perf_counter epoch is 1000s behind ours.
+        snap["perf_anchor"] -= 1000.0
+        for state in snap["spans"]:
+            state["start_s"] -= 1000.0
+            state["end_s"] -= 1000.0
+        parent = obs.Collector()
+        adopted = xproc.adopt(parent, snap)
+        by_name = {s.name: s for s in adopted}
+        for name, span in by_name.items():
+            assert span.attributes["pid"] == snap["pid"]
+            assert span.duration_s == pytest.approx(
+                original[name]["end_s"] - original[name]["start_s"]
+            )
+            # Rebased back onto our timeline, not 1000s in the past.
+            assert abs(span.start_s - original[name]["start_s"]) < 5.0
+
+    def test_extra_attributes_only_on_roots(self):
+        snap = xproc.capture(_worker_collector())
+        parent = obs.Collector()
+        xproc.adopt(parent, snap, extra_attributes={"shard": 2})
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["task"].attributes["shard"] == 2
+        assert "shard" not in by_name["task.inner"].attributes
+
+    def test_metric_totals_exact_after_merging_n_snapshots(self):
+        snaps = [xproc.capture(_worker_collector()) for _ in range(5)]
+        parent = obs.Collector()
+        for snap in snaps:
+            xproc.adopt(parent, snap)
+        snap = parent.metrics.snapshot()
+        assert snap["work.items"] == 15
+        assert snap["work.seconds"]["count"] == 5
+        assert snap["work.seconds"]["sum"] == pytest.approx(1.25)
+        assert snap["work.seconds"]["min"] == pytest.approx(0.25)
+        assert snap["work.seconds"]["max"] == pytest.approx(0.25)
+
+    def test_adoption_is_additive_across_calls(self):
+        parent = obs.Collector()
+        xproc.adopt(parent, xproc.capture(_worker_collector(("a", "a.in"))))
+        xproc.adopt(parent, xproc.capture(_worker_collector(("b", "b.in"))))
+        assert sorted(s.name for s in parent.spans) == [
+            "a",
+            "a.in",
+            "b",
+            "b.in",
+        ]
