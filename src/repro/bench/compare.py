@@ -38,6 +38,7 @@ from repro.errors import ReproError
 CONFIG_KEYS = frozenset(
     {
         "arity",
+        "batches",
         "corpus_size",
         "fanout",
         "queries",

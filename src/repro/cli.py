@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard engine kind (disk journals live under the system "
         "directory and are rebuilt on load)",
     )
+    init.add_argument(
+        "--pool",
+        default="stateless",
+        choices=["stateless", "affine"],
+        help="shard execution mode: 'affine' keeps each shard's engine "
+        "resident in a long-lived worker process and ships only posting "
+        "deltas per batch (stateless executors remain the fallback)",
+    )
 
     add = sub.add_parser("add", help="notarise one or more objects")
     add.add_argument("directory")
@@ -180,6 +188,7 @@ def cmd_init(args) -> int:
         bloom_capacity=args.bloom_capacity,
         shards=args.shards,
         engine=args.engine,
+        pool=args.pool,
         engine_dir=(
             Path(args.directory) / "shard-journals"
             if args.engine == "disk"

@@ -219,6 +219,11 @@ class DataOwnerPipeline:
             raise ChainError(f"batched insertion failed: {receipt.error}")
         for metadata, proofs, new_kw_list in sp_work:
             self._mirror_chameleon(metadata, proofs, new_kw_list)
+        # Affine SPs buffer mirror deltas; ship the whole batch before
+        # the receipt is reported confirmed upstream.
+        flush = getattr(self.sp, "flush_mutations", None)
+        if flush is not None:
+            flush()
         return receipt, touched
 
     def _mirror_chameleon(

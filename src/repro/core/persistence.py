@@ -58,6 +58,7 @@ _CONFIG_FIELDS = (
     "warm_hot_threshold",
     "shards",
     "engine",
+    "pool",
 )
 
 #: The v1 subset (plus a top-level ``cvc_modulus_bits``); kept for the

@@ -26,7 +26,7 @@ now enforces for this module.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro import obs
 from repro.core.mbtree import MBTree
@@ -35,9 +35,44 @@ from repro.core.query.join import conjunctive_join
 from repro.core.query.parser import KeywordQuery
 from repro.core.query.vo import ConjunctiveVO, QueryAnswer, QueryVO
 from repro.crypto.bloom import DEFAULT_CAPACITY, DEFAULT_FILTER_BITS
-from repro.errors import DatasetError
+from repro.errors import DatasetError, ParameterError
 from repro.parallel import Executor
+from repro.sp.affine import (
+    POOL_KINDS,
+    AffineEngineProxy,
+    AffineWorkerPool,
+    EngineSpec,
+)
 from repro.sp.engine import ShardRouter, make_engine
+
+#: Max postings per affine ingest request: bounds any single pipe write
+#: so a huge batch streams as several chunked dispatches per shard.
+INGEST_CHUNK_ENTRIES = 4096
+
+
+def _chunk_groups(
+    groups: list[tuple[str, list]], limit: int
+) -> Iterator[list[tuple[str, list]]]:
+    """Split ``(keyword, entries)`` groups into ≤ ``limit``-posting chunks.
+
+    A single keyword's entries may span chunks: the pipe is FIFO and the
+    worker applies requests sequentially, so per-keyword insert order —
+    the shard-transparency invariant — is preserved.
+    """
+    chunk: list[tuple[str, list]] = []
+    count = 0
+    for keyword, entries in groups:
+        start = 0
+        while start < len(entries):
+            take = min(len(entries) - start, limit - count)
+            chunk.append((keyword, entries[start : start + take]))
+            count += take
+            start += take
+            if count >= limit:
+                yield chunk
+                chunk, count = [], 0
+    if chunk:
+        yield chunk
 
 
 def _evaluate_conjunct(args):
@@ -125,6 +160,8 @@ class ShardedStorageProvider:
         star: bool = False,
         filter_bits: int = DEFAULT_FILTER_BITS,
         bloom_capacity: int = DEFAULT_CAPACITY,
+        pool: str = "stateless",
+        index_spec: tuple | None = None,
     ) -> None:
         self.router = ShardRouter(shards, seed=seed)
         self.engine_kind = engine
@@ -133,6 +170,45 @@ class ShardedStorageProvider:
         self.join_order = join_order
         self.join_plan = join_plan
         self.fanout = fanout
+        if pool not in POOL_KINDS:
+            raise ParameterError(
+                f"unknown pool {pool!r}; expected one of: "
+                + ", ".join(POOL_KINDS)
+            )
+        self.pool_kind = pool
+        self.pool: AffineWorkerPool | None = None
+        self._locations: dict[int, int] = {}
+        if pool == "affine":
+            if index_spec is None:
+                raise ParameterError(
+                    "pool='affine' requires a picklable index_spec"
+                )
+            self.pool = AffineWorkerPool(
+                [
+                    EngineSpec(
+                        shard_id=shard_id,
+                        engine=engine,
+                        index_spec=index_spec,
+                        directory=(
+                            None if engine_dir is None else str(engine_dir)
+                        ),
+                        star=star,
+                        filter_bits=filter_bits,
+                        bloom_capacity=bloom_capacity,
+                    )
+                    for shard_id in range(shards)
+                ]
+            )
+            self.engines = [
+                AffineEngineProxy(self.pool, shard_id)
+                for shard_id in range(shards)
+            ]
+            # The workers replayed any disk journals before their
+            # handshake; their reported IDs rebuild the location map.
+            for shard_id, info in enumerate(self.pool.ready_info):
+                for object_id in info["object_ids"]:
+                    self._locations[object_id] = shard_id
+            return
         self.engines = [
             make_engine(
                 engine,
@@ -146,7 +222,6 @@ class ShardedStorageProvider:
             for shard_id in range(shards)
         ]
         # Rebuild the object location map after a disk-engine replay.
-        self._locations: dict[int, int] = {}
         for shard_id, eng in enumerate(self.engines):
             for object_id in eng.all_object_ids():
                 self._locations[object_id] = shard_id
@@ -183,6 +258,48 @@ class ShardedStorageProvider:
             raise DatasetError(f"no object with ID {object_id}")
         return self.engines[shard].get_object(object_id)
 
+    def get_objects(self, object_ids) -> dict[int, DataObject]:
+        """Fetch many raw objects, batched per home shard.
+
+        With an affine pool this is one request per involved shard
+        instead of one per object; in-process engines just loop.
+        """
+        by_shard: dict[int, list[int]] = {}
+        for object_id in object_ids:
+            shard = self._locations.get(object_id)
+            if shard is None:
+                raise DatasetError(f"no object with ID {object_id}")
+            by_shard.setdefault(shard, []).append(object_id)
+        if self.pool is not None:
+            self.flush_mutations()
+            calls = [
+                (shard, "get_objects", ids)
+                for shard, ids in sorted(by_shard.items())
+            ]
+            fetched = self.pool.dispatch(calls)
+            return {
+                obj.object_id: obj
+                for objects in fetched
+                for obj in objects
+            }
+        return {
+            object_id: self.engines[shard].get_object(object_id)
+            for shard, ids in sorted(by_shard.items())
+            for object_id in ids
+        }
+
+    def flush_mutations(self) -> int:
+        """Ship any buffered affine delta records; returns the count.
+
+        A no-op in stateless mode (in-process engines apply mutations
+        immediately).  The facade calls this at the end of every ingest
+        section, so queries issued outside the write lock never race a
+        buffered delta.
+        """
+        if self.pool is None:
+            return 0
+        return sum(engine.flush() for engine in self.engines)
+
     def object_count(self) -> int:
         """Total objects across every shard."""
         return len(self._locations)
@@ -216,6 +333,21 @@ class ShardedStorageProvider:
                     (metadata.object_id, metadata.object_hash)
                 )
         shard_ids = sorted(pending)
+        if self.pool is not None:
+            # Affine path: the trees stay resident in the shard workers;
+            # only the posting deltas travel, chunked so one huge batch
+            # becomes several bounded pipe writes per shard.
+            self.flush_mutations()
+            calls = []
+            for shard in shard_ids:
+                groups = sorted(pending[shard].items())
+                for chunk in _chunk_groups(groups, INGEST_CHUNK_ENTRIES):
+                    calls.append((shard, "bulk", chunk))
+            with obs.span(
+                "sp.shard.scatter", shards=len(shard_ids), executor="affine"
+            ):
+                self.pool.dispatch(calls, ingest=True)
+            return
         tasks = []
         for shard in shard_ids:
             groups = [
@@ -284,13 +416,86 @@ class ShardedStorageProvider:
             for conj in query.conjunctions
         ]
 
+    def _affine_conjuncts(
+        self, query: KeywordQuery
+    ) -> list[tuple[list[int], ConjunctiveVO]]:
+        """Evaluate every conjunct through the resident workers.
+
+        A conjunct whose keywords all route to one shard is joined
+        *inside* that worker (only IDs and the VO come back); conjuncts
+        spanning shards fall back to exporting the needed views — one
+        batched request per shard — and joining here.  Outcomes are
+        assembled in conjunct order, so the VO encoding is independent
+        of shard layout and dispatch interleaving.
+        """
+        self.flush_mutations()
+        conjuncts = [sorted(conj) for conj in query.conjunctions]
+        local: dict[int, list[int]] = {}  # shard -> conjunct indices
+        cross: list[int] = []
+        for index, keywords in enumerate(conjuncts):
+            owners = {self.router.route(keyword) for keyword in keywords}
+            if len(owners) == 1:
+                local.setdefault(owners.pop(), []).append(index)
+            else:
+                cross.append(index)
+        calls: list[tuple[int, str, object]] = []
+        call_meta: list[tuple[str, object]] = []
+        for shard in sorted(local):
+            indices = local[shard]
+            calls.append(
+                (
+                    shard,
+                    "join",
+                    (
+                        [conjuncts[i] for i in indices],
+                        self.join_order,
+                        self.join_plan,
+                    ),
+                )
+            )
+            call_meta.append(("join", indices))
+        needed: dict[int, set[str]] = {}  # shard -> keywords to export
+        for index in cross:
+            for keyword in conjuncts[index]:
+                needed.setdefault(self.router.route(keyword), set()).add(
+                    keyword
+                )
+        for shard in sorted(needed):
+            calls.append((shard, "views", sorted(needed[shard])))
+            call_meta.append(("views", shard))
+        with obs.span(
+            "sp.shard.scatter",
+            shards=len({shard for shard, _, _ in calls}),
+            keywords=len(query.all_keywords()),
+            executor="affine",
+        ):
+            replies = self.pool.dispatch(calls)
+        outcomes: list = [None] * len(conjuncts)
+        exported: dict[str, object] = {}
+        with obs.span("sp.shard.gather", conjunctions=len(conjuncts)):
+            for (kind, meta), reply in zip(call_meta, replies):
+                if kind == "join":
+                    for index, outcome in zip(meta, reply):
+                        outcomes[index] = outcome
+                else:
+                    exported.update(reply)
+            for index in cross:
+                views = [exported[keyword] for keyword in conjuncts[index]]
+                with obs.span("query.sp.join", keywords=len(views)):
+                    outcomes[index] = conjunctive_join(
+                        views, order=self.join_order, plan=self.join_plan
+                    )
+        return outcomes
+
     def process_query(self, query: KeywordQuery) -> QueryAnswer:
         """Evaluate the query and build ``VO_sp``.
 
         Conjuncts are independent joins; with a parallel executor they
-        are evaluated concurrently (the index views are read-only).
-        Per-conjunct VOs are gathered in conjunct order, so the encoded
-        VO never depends on shard layout or executor scheduling.
+        are evaluated concurrently (the index views are read-only), and
+        with an affine pool each conjunct is joined inside the worker
+        already holding its shard's views.  Per-conjunct VOs are
+        gathered in conjunct order, so the encoded VO never depends on
+        shard layout or executor scheduling.
         """
         with obs.span(
             "query.sp",
@@ -299,6 +504,17 @@ class ShardedStorageProvider:
         ) as sp_span:
             conjunct_vos: list[ConjunctiveVO] = []
             result_ids: set[int] = set()
+            if self.pool is not None:
+                for ids, vo in self._affine_conjuncts(query):
+                    conjunct_vos.append(vo)
+                    result_ids |= set(ids)
+                objects = self.get_objects(sorted(result_ids))
+                sp_span.set(results=len(result_ids))
+                return QueryAnswer(
+                    result_ids=sorted(result_ids),
+                    objects=objects,
+                    vo=QueryVO(conjuncts=tuple(conjunct_vos)),
+                )
             per_conjunct_views = self._scatter(query)
             if (
                 self.executor.kind != "serial"
@@ -348,6 +564,20 @@ class ShardedStorageProvider:
         )
 
     def close(self) -> None:
-        """Release every engine's resources (disk journals)."""
+        """Release engines, workers and warmers (idempotent).
+
+        Warmers stop *first* — their background threads read through
+        this provider, so they must be joined before the engines (or the
+        affine workers) go away; a wedged warmer thread is bounded by
+        the join timeout and never leaks into the next test case.
+        """
+        for engine in self.engines:
+            warmer = getattr(engine, "warmer", None)
+            if warmer is not None:
+                warmer.stop()
+        if self.pool is not None:
+            self.flush_mutations()
+            self.pool.close()
+            return
         for engine in self.engines:
             engine.close()

@@ -123,8 +123,12 @@ class HybridStorageSystem:
     Sharding knobs: ``shards`` splits the SP into that many keyword
     partitions behind deterministic seeded routing; ``engine`` picks the
     per-shard storage engine (``memory`` default, or ``disk`` for an
-    append-only JSONL segment log under ``engine_dir``).  Shard layout
-    never changes answers, VO bytes or gas — only capacity.
+    append-only JSONL segment log under ``engine_dir``); ``pool`` picks
+    the dispatch mode (``stateless`` default funnels scatter tasks
+    through the shared executor; ``affine`` keeps each shard's engine
+    resident in a long-lived worker process and ships only posting
+    deltas per batch).  Shard layout and pool mode never change
+    answers, VO bytes or gas — only capacity and throughput.
 
     Fast-path knobs: ``executor`` picks the execution policy for
     per-conjunct SP evaluation, bulk shard mirroring and client-side
@@ -167,6 +171,7 @@ class HybridStorageSystem:
         shards: int = 1,
         engine: str = "memory",
         engine_dir: str | Path | None = None,
+        pool: str = "stateless",
     ) -> None:
         self.scheme = Scheme.parse(scheme)
         self.fanout = fanout
@@ -184,6 +189,7 @@ class HybridStorageSystem:
         self.warm_hot_threshold = warm_hot_threshold
         self.shards = shards
         self.engine = engine
+        self.pool = pool
         self.chain = Blockchain(gas_limit=gas_limit, track_state=track_state)
         self.mine_every = max(1, mine_every)
         self._inserts_since_mine = 0
@@ -217,6 +223,9 @@ class HybridStorageSystem:
             def index_factory() -> ChameleonSP:
                 return ChameleonSP(pp=pp, arity=arity)
 
+            # Plain-data twin of the factory closure for affine workers.
+            index_spec = ("chameleon", {"pp": pp, "arity": arity})
+
             if self.scheme is Scheme.CHAMELEON_STAR:
                 contract = ChameleonStarContract(
                     value_bytes=self.value_bytes,
@@ -230,6 +239,8 @@ class HybridStorageSystem:
 
             def index_factory() -> MerkleInvertedSP:
                 return MerkleInvertedSP(fanout=fanout)
+
+            index_spec = ("merkle", {"fanout": fanout})
 
             if self.scheme is Scheme.MERKLE_INV:
                 contract = merkle_inv.MerkleInvContract(fanout=fanout)
@@ -252,6 +263,8 @@ class HybridStorageSystem:
             star=self.scheme is Scheme.CHAMELEON_STAR,
             filter_bits=filter_bits,
             bloom_capacity=bloom_capacity,
+            pool=pool,
+            index_spec=index_spec,
         )
         self._owner = DataOwnerPipeline(
             scheme=self.scheme,
@@ -347,9 +360,10 @@ class HybridStorageSystem:
         with self._rwlock.write(), obs.span(
             "insert", scheme=self.scheme.value, object_id=obj.object_id
         ) as ins_span:
-            if obj.object_id in self.store or self._sp.has_object(
-                obj.object_id
-            ):
+            # The SP's location map is authoritative across all shards
+            # (and the only option in affine mode, where the stores live
+            # in the resident workers).
+            if self._sp.has_object(obj.object_id):
                 raise DatasetError(
                     f"object {obj.object_id} already stored; "
                     "objects are immutable"
@@ -362,6 +376,7 @@ class HybridStorageSystem:
                         f"insertion transaction failed: {receipt.error}"
                     )
             self._sp.put_object(obj)
+            self._sp.flush_mutations()
             for receipt in receipts:
                 self._maintenance.merge(receipt.gas)
             self._object_count += 1
@@ -427,6 +442,7 @@ class HybridStorageSystem:
             receipt, touched = self._owner.insert_chameleon_batched(metadatas)
             for obj in objects:
                 self._sp.put_object(obj)
+            self._sp.flush_mutations()
             self._maintenance.merge(receipt.gas)
             self._object_count += len(objects)
             self.chain.mine_block()
@@ -453,6 +469,7 @@ class HybridStorageSystem:
             self._sp.mirror_bulk(metadatas[:confirmed])
             for obj in objects[:confirmed]:
                 self._sp.put_object(obj)
+            self._sp.flush_mutations()
             for receipt in receipts:
                 self._maintenance.merge(receipt.gas)
             self._object_count += confirmed

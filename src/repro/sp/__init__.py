@@ -17,6 +17,13 @@ pluggable :class:`IndexShardEngine` instances behind a deterministic
 from repro.core.chameleon_index import ChameleonSP, ChameleonView
 from repro.core.merkle_family import MBTreeView, MerkleInvertedSP
 from repro.core.objects import ObjectStore
+from repro.sp.affine import (
+    POOL_KINDS,
+    AffineEngineProxy,
+    AffineWorkerPool,
+    EngineSpec,
+    guarded_dumps,
+)
 from repro.sp.engine import (
     ENGINE_KINDS,
     DiskShardEngine,
@@ -36,7 +43,12 @@ from repro.sp.scheduler import WitnessScheduler, tree_aux_source
 from repro.sp.warmer import CacheWarmer, ShardedCacheWarmer
 
 __all__ = [
+    "AffineEngineProxy",
+    "AffineWorkerPool",
     "CacheWarmer",
+    "EngineSpec",
+    "POOL_KINDS",
+    "guarded_dumps",
     "ChameleonSP",
     "ChameleonView",
     "DiskShardEngine",

@@ -1,0 +1,565 @@
+"""Shard-affine persistent workers: resident engines, delta-only wire.
+
+The stateless process-pool scatter path ships every task's *inputs* —
+including each keyword's current MB-tree — to whichever worker the pool
+picks, and ships the extended trees back.  Per-batch IPC therefore grows
+with total index size, and 4-shard ingest lands below single-shard
+(``BENCH_shard.json``): the workers spend their time pickling state they
+could simply have kept.
+
+This module keeps it.  Each shard's engine lives *resident* inside one
+long-lived worker process, spawned once and keyed by shard id:
+
+* **ingest** ships only the batch's posting deltas to the owning worker,
+  in the exact journal-record format the engines already replay — the
+  wire format *is* the recovery format, so a delta batch applies through
+  the same code path as a crash replay and journals as one append;
+* **queries** route each conjunct's join to the worker already holding
+  the shard's views; only view/VO material crosses the channel, and
+  replies are gathered in request order so VOs stay byte-identical to
+  the serial build at any shard count;
+* **telemetry** recorded inside a worker travels back as an
+  :mod:`repro.obs.xproc` snapshot on the same reply and is adopted under
+  the dispatching span, so ``repro obs critpath`` still sees one
+  connected trace.
+
+A guarded pickler enforces the contract mechanically: any attempt to
+serialise resident shard state (trees, index mirrors, engines) into a
+*request* raises :class:`~repro.errors.ParameterError` instead of
+silently re-introducing the O(index) payloads this module exists to
+remove.  Replies may carry trees — exporting a view is the point.
+
+The pool is transport only; policy (partitioning, batching, fallback to
+the stateless executors) stays in
+:class:`~repro.core.sp_frontend.ShardedStorageProvider`.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import os
+import pickle
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import ParameterError, ReproError
+from repro.obs import trace as obs_trace
+from repro.obs import xproc
+from repro.parallel import RemoteTraceback
+from repro.sp.engine import IndexShardEngine, make_engine
+
+#: Pool modes accepted by the SP front-end / system facade.
+POOL_KINDS = ("stateless", "affine")
+
+#: Span wrapping every request handled inside a resident worker.
+RPC_SPAN = "sp.affine.rpc"
+
+#: Journal-format records buffered per proxy before an automatic flush.
+DEFAULT_CHUNK_RECORDS = 4096
+
+
+def build_index_factory(index_spec: tuple):
+    """Rebuild a per-shard index factory from its picklable spec.
+
+    The system facade's index factories are closures over live config
+    (unpicklable under ``spawn``); workers instead receive a
+    ``(kind, params)`` spec of plain data and rebuild the closure here.
+    """
+    kind, params = index_spec
+    if kind == "merkle":
+        from repro.core.merkle_family import MerkleInvertedSP
+
+        fanout = params["fanout"]
+        return lambda: MerkleInvertedSP(fanout=fanout)
+    if kind == "chameleon":
+        from repro.core.chameleon_index import ChameleonSP
+
+        pp, arity = params["pp"], params["arity"]
+        return lambda: ChameleonSP(pp=pp, arity=arity)
+    raise ParameterError(f"unknown index spec kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to build its resident shard engine.
+
+    Plain data only (``index_spec`` instead of a factory closure), so a
+    spec crosses the process boundary under any start method.
+    """
+
+    shard_id: int
+    engine: str
+    index_spec: tuple
+    directory: str | None = None
+    star: bool = False
+    filter_bits: int = 0
+    bloom_capacity: int = 0
+
+    def build(self) -> IndexShardEngine:
+        """Construct the engine (replaying its journal if on disk)."""
+        return make_engine(
+            self.engine,
+            self.shard_id,
+            build_index_factory(self.index_spec),
+            directory=self.directory,
+            star=self.star,
+            filter_bits=self.filter_bits,
+            bloom_capacity=self.bloom_capacity,
+        )
+
+
+# -- request guarding ------------------------------------------------------------
+
+_FORBIDDEN_TABLE: dict | None = None
+
+
+def _resident_state_types() -> tuple:
+    """The types that constitute resident shard state (lazy import)."""
+    from repro.core.chameleon import ChameleonTreeSP
+    from repro.core.chameleon_index import ChameleonSP
+    from repro.core.mbtree import MBTree
+    from repro.core.merkle_family import MerkleInvertedSP
+
+    return (
+        MBTree,
+        ChameleonTreeSP,
+        MerkleInvertedSP,
+        ChameleonSP,
+        IndexShardEngine,
+    )
+
+
+def _reject_resident_state(obj):
+    raise ParameterError(
+        f"affine request must not carry resident shard state "
+        f"({type(obj).__name__}); ship deltas, not trees"
+    )
+
+
+def _guard_table() -> dict:
+    global _FORBIDDEN_TABLE
+    if _FORBIDDEN_TABLE is None:
+        table = {}
+        for cls in _resident_state_types():
+            for sub in [cls] + cls.__subclasses__():
+                table[sub] = _reject_resident_state
+        _FORBIDDEN_TABLE = table
+    return _FORBIDDEN_TABLE
+
+
+def guarded_dumps(obj) -> bytes:
+    """Pickle a request payload, rejecting resident shard state.
+
+    The dispatch-table guard costs nothing for allowed types (builtin
+    containers and scalars never consult it) and fails fast the moment a
+    tree, index mirror or engine would cross the channel toward a
+    worker — the structural invariant of the affine path.
+    """
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    pickler.dispatch_table = _guard_table()
+    pickler.dump(obj)
+    return buffer.getvalue()
+
+
+# -- worker side -----------------------------------------------------------------
+
+
+def _handle(engine: IndexShardEngine, op: str, payload):
+    """Execute one request against the resident engine."""
+    if op == "apply":
+        return engine.apply_records(payload)
+    if op == "bulk":
+        return engine.apply_bulk(payload)
+    if op == "join":
+        from repro.core.query.join import conjunctive_join
+
+        conjuncts, order, plan = payload
+        outcomes = []
+        for keywords in conjuncts:
+            views = [engine.view(keyword) for keyword in keywords]
+            with obs.span("query.sp.join", keywords=len(views)):
+                outcomes.append(
+                    conjunctive_join(views, order=order, plan=plan)
+                )
+        return outcomes
+    if op == "views":
+        return {keyword: engine.view(keyword) for keyword in payload}
+    if op == "tree":
+        return engine.tree(payload)
+    if op == "get_objects":
+        return [engine.get_object(object_id) for object_id in payload]
+    if op == "object_ids":
+        return engine.all_object_ids()
+    if op == "ping":
+        return payload
+    if op == "close":
+        return True
+    raise ParameterError(f"unknown affine op {op!r}")
+
+
+def _worker_main(conn, spec: EngineSpec) -> None:
+    """Resident worker loop: build the engine once, serve until close.
+
+    Runs in the child process.  The fork start method copies the
+    parent's installed telemetry collector, which must not absorb the
+    worker's spans — uninstall first; traced requests run under a fresh
+    local collector whose snapshot rides back on the reply.
+    """
+    obs_trace.uninstall()
+    try:
+        engine = spec.build()
+    except BaseException as exc:  # noqa: B036 - reported to the parent
+        conn.send_bytes(
+            pickle.dumps((False, (exc, traceback.format_exc()), None))
+        )
+        conn.close()
+        return
+    conn.send_bytes(
+        pickle.dumps(
+            (
+                True,
+                {"pid": os.getpid(), "object_ids": engine.all_object_ids()},
+                None,
+            )
+        )
+    )
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # parent died or closed: release the journal and exit
+        op, payload, traced = pickle.loads(raw)
+        snapshot = None
+        if traced:
+            collector = obs_trace.Collector()
+            with obs_trace.collect(collector):
+                try:
+                    with collector.span(
+                        RPC_SPAN,
+                        op=op,
+                        shard=spec.shard_id,
+                        worker=os.getpid(),
+                    ):
+                        result = _handle(engine, op, payload)
+                    ok = True
+                except BaseException as exc:  # noqa: B036 - re-raised upstream
+                    ok, result = False, (exc, traceback.format_exc())
+            snapshot = xproc.capture(collector)
+        else:
+            try:
+                ok, result = True, _handle(engine, op, payload)
+            except BaseException as exc:  # noqa: B036 - re-raised upstream
+                ok, result = False, (exc, traceback.format_exc())
+        try:
+            conn.send_bytes(pickle.dumps((ok, result, snapshot)))
+        except (BrokenPipeError, OSError):
+            break
+        if op == "close" and ok:
+            break
+    engine.close()
+    conn.close()
+
+
+# -- parent side -----------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.Process
+    conn: object
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class AffineWorkerPool:
+    """One long-lived process per shard, request/reply over pipes.
+
+    Workers are spawned once at construction (handshake carries each
+    shard's replayed object IDs, so disk recovery happens *in* the
+    worker); every later interaction is :meth:`dispatch`.  Byte counters
+    (``request_bytes`` / ``ingest_bytes`` / ``reply_bytes``) accumulate
+    on the pool itself so benchmarks can read scatter payloads without a
+    telemetry collector installed.
+    """
+
+    kind = "affine"
+
+    def __init__(self, specs: list[EngineSpec]) -> None:
+        if not specs:
+            raise ParameterError("affine pool needs at least one shard spec")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        self._workers: list[_Worker] = []
+        self._closed = False
+        self._counter_lock = threading.Lock()
+        self.request_bytes = 0
+        self.ingest_bytes = 0
+        self.reply_bytes = 0
+        self.ready_info: list[dict] = []
+        for spec in specs:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, spec),
+                daemon=True,
+                name=f"affine-shard-{spec.shard_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(process=process, conn=parent_conn))
+        # Collect handshakes after every spawn so workers boot (and
+        # replay their journals) concurrently.
+        for spec, worker in zip(specs, self._workers):
+            ok, info, _ = pickle.loads(worker.conn.recv_bytes())
+            if not ok:
+                exc, formatted = info
+                self.close()
+                raise exc from RemoteTraceback(formatted)
+            self.ready_info.append(info)
+
+    @property
+    def shards(self) -> int:
+        """Number of resident workers (= shards)."""
+        return len(self._workers)
+
+    def dispatch(
+        self, calls: list[tuple[int, str, object]], ingest: bool = False
+    ) -> list:
+        """Run ``(shard, op, payload)`` calls; results in call order.
+
+        Per-worker locks are taken in ascending shard order (two
+        concurrent dispatches can never deadlock), all requests are sent
+        before any reply is read, and replies are read back in call
+        order — each pipe is FIFO, so multi-call shards resolve
+        deterministically.  A worker-side exception is re-raised here
+        with the worker's traceback chained; its telemetry snapshot is
+        adopted first, so failing spans still reach the trace.
+        """
+        if self._closed:
+            raise ReproError("affine pool is closed")
+        if not calls:
+            return []
+        collector = obs_trace.current()
+        traced = collector is not None
+        parent_id = None
+        if traced:
+            stack = collector._stack()
+            parent_id = stack[-1].span_id if stack else None
+        shard_order = sorted({shard for shard, _, _ in calls})
+        held = []
+        try:
+            for shard in shard_order:
+                self._workers[shard].lock.acquire()
+                held.append(shard)
+            sent = 0
+            for shard, op, payload in calls:
+                buffer = guarded_dumps((op, payload, traced))
+                sent += len(buffer)
+                self._workers[shard].conn.send_bytes(buffer)
+            received = 0
+            results = []
+            for shard, op, payload in calls:
+                raw = self._workers[shard].conn.recv_bytes()
+                received += len(raw)
+                ok, result, snapshot = pickle.loads(raw)
+                if snapshot is not None and traced:
+                    xproc.adopt(
+                        collector,
+                        snapshot,
+                        parent_id=parent_id,
+                        extra_attributes={"shard": shard},
+                    )
+                if not ok:
+                    exc, formatted = result
+                    raise exc from RemoteTraceback(formatted)
+                results.append(result)
+        finally:
+            for shard in reversed(held):
+                self._workers[shard].lock.release()
+        with self._counter_lock:
+            self.request_bytes += sent
+            self.reply_bytes += received
+            if ingest:
+                self.ingest_bytes += sent
+        obs.inc("sp.affine.rpcs", len(calls))
+        obs.inc("sp.affine.request.bytes", sent)
+        obs.inc("sp.affine.reply.bytes", received)
+        if ingest:
+            obs.inc("sp.affine.scatter.bytes", sent)
+        return results
+
+    def request(self, shard: int, op: str, payload=None):
+        """One call to one worker; returns its result."""
+        return self.dispatch([(shard, op, payload)])[0]
+
+    def reset_counters(self) -> None:
+        """Zero the byte counters (benchmark phase boundaries)."""
+        with self._counter_lock:
+            self.request_bytes = 0
+            self.ingest_bytes = 0
+            self.reply_bytes = 0
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Shut every worker down (idempotent): close op, join, reap."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            with worker.lock:
+                if not worker.process.is_alive():
+                    continue
+                try:
+                    worker.conn.send_bytes(
+                        guarded_dumps(("close", None, False))
+                    )
+                    worker.conn.recv_bytes()  # the close ack
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout_s)
+            if worker.process.is_alive():  # pragma: no cover - wedged worker
+                worker.process.terminate()
+                worker.process.join(timeout_s)
+            worker.conn.close()
+
+
+class AffineEngineProxy:
+    """The front-end's engine-shaped handle onto one resident worker.
+
+    Mutators buffer journal-format delta records and flush them in
+    chunks (one ``apply`` request per chunk); every read flushes first,
+    so a query issued right after an ingest sees the complete state —
+    the same read-your-writes guarantee the in-process engines give.
+    The system facade's readers-writer lock already serialises ingest
+    against queries, so the buffer needs no locking of its own.
+    """
+
+    def __init__(
+        self,
+        pool: AffineWorkerPool,
+        shard_id: int,
+        *,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ) -> None:
+        self.pool = pool
+        self.shard_id = shard_id
+        self.kind = "affine"
+        self.chunk_records = chunk_records
+        self.warmer = None  # attached by the facade, runs parent-side
+        self._pending: list[dict] = []
+
+    # -- resident state must not be reachable here --------------------------------
+
+    @property
+    def store(self):
+        raise ReproError(
+            "affine mode keeps the object store resident in the shard "
+            "worker; fetch through the storage provider instead"
+        )
+
+    @property
+    def index(self):
+        raise ReproError(
+            "affine mode keeps the index mirror resident in the shard "
+            "worker; query through the storage provider instead"
+        )
+
+    # -- buffered mutators ---------------------------------------------------------
+
+    def _queue(self, record: dict) -> None:
+        self._pending.append(record)
+        if len(self._pending) >= self.chunk_records:
+            self.flush()
+
+    def flush(self) -> int:
+        """Ship buffered delta records to the worker; returns count."""
+        if not self._pending:
+            return 0
+        records, self._pending = self._pending, []
+        self.pool.dispatch(
+            [(self.shard_id, "apply", records)], ingest=True
+        )
+        return len(records)
+
+    def insert_entry(
+        self, keyword: str, object_id: int, object_hash: bytes
+    ) -> None:
+        self._queue(
+            {
+                "op": "entry",
+                "kw": keyword,
+                "id": object_id,
+                "hash": object_hash.hex(),
+            }
+        )
+
+    def register_keyword(self, keyword: str, commitment: int) -> None:
+        self._queue(
+            {"op": "register", "kw": keyword, "c": format(commitment, "x")}
+        )
+
+    def apply_insertion(self, keyword: str, proof) -> None:
+        from repro.sp.engine import _proof_to_record
+
+        self._queue(
+            {"op": "apply", "kw": keyword, "proof": _proof_to_record(proof)}
+        )
+
+    def bloom_add(self, keyword: str, object_id: int) -> None:
+        self._queue({"op": "bloom", "kw": keyword, "id": object_id})
+
+    def put_object(self, obj) -> None:
+        from repro.sp.engine import _object_to_record
+
+        self._queue({"op": "object", **_object_to_record(obj)})
+
+    def adopt_tree(self, keyword: str, tree, entries) -> None:
+        """Affine ingest never moves trees: ship the postings instead."""
+        self.flush()
+        self.pool.dispatch(
+            [(self.shard_id, "bulk", [(keyword, list(entries))])],
+            ingest=True,
+        )
+
+    def apply_bulk(self, groups) -> None:
+        """Ship posting groups; the worker extends its trees in place."""
+        self.flush()
+        self.pool.dispatch(
+            [(self.shard_id, "bulk", groups)], ingest=True
+        )
+
+    # -- reads (flush first: read-your-writes) ------------------------------------
+
+    def view(self, keyword: str):
+        self.flush()
+        return self.pool.request(self.shard_id, "views", [keyword])[keyword]
+
+    def tree(self, keyword: str):
+        self.flush()
+        return self.pool.request(self.shard_id, "tree", keyword)
+
+    def get_object(self, object_id: int):
+        self.flush()
+        return self.pool.request(self.shard_id, "get_objects", [object_id])[0]
+
+    def has_object(self, object_id: int) -> bool:
+        self.flush()
+        return object_id in self.pool.request(self.shard_id, "object_ids")
+
+    def object_count(self) -> int:
+        self.flush()
+        return len(self.pool.request(self.shard_id, "object_ids"))
+
+    def all_object_ids(self) -> list[int]:
+        self.flush()
+        return self.pool.request(self.shard_id, "object_ids")
+
+    def close(self) -> None:
+        """Flush any tail records; worker shutdown is the pool's job."""
+        if not self.pool._closed:
+            self.flush()

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 from pathlib import Path
 from typing import Callable
 
@@ -167,39 +168,53 @@ class IndexShardEngine:
         self, keyword: str, object_id: int, object_hash: bytes
     ) -> None:
         """Mirror one confirmed posting into the keyword's MB-tree."""
-        self.index.tree_for(keyword).insert(object_id, object_hash)
-        self._journal(
-            {
-                "op": "entry",
-                "kw": keyword,
-                "id": object_id,
-                "hash": object_hash.hex(),
-            }
-        )
+        record = {
+            "op": "entry",
+            "kw": keyword,
+            "id": object_id,
+            "hash": object_hash.hex(),
+        }
+        self._apply(record)
+        self._journal(record)
 
     def register_keyword(self, keyword: str, commitment: int) -> None:
         """Register a first-seen keyword's root commitment (Chameleon)."""
-        self.index.register_keyword(keyword, commitment)
-        self._journal(
-            {"op": "register", "kw": keyword, "c": format(commitment, "x")}
-        )
+        record = {"op": "register", "kw": keyword, "c": format(commitment, "x")}
+        self._apply(record)
+        self._journal(record)
 
     def apply_insertion(self, keyword: str, proof: InsertionProof) -> None:
         """Ingest one DO insertion proof (Chameleon)."""
-        self.index.apply_insertion(keyword, proof)
-        self._journal(
-            {"op": "apply", "kw": keyword, "proof": _proof_to_record(proof)}
-        )
+        record = {"op": "apply", "kw": keyword, "proof": _proof_to_record(proof)}
+        self._apply(record)
+        self._journal(record)
 
     def bloom_add(self, keyword: str, object_id: int) -> None:
         """Mirror one ID into the keyword's Bloom filter chain (CI*)."""
-        chain = self.blooms.get(keyword)
-        if chain is None:
-            chain = self.blooms[keyword] = BloomFilterChain(
-                filter_bits=self.filter_bits, capacity=self.bloom_capacity
-            )
-        chain.add(object_id)
-        self._journal({"op": "bloom", "kw": keyword, "id": object_id})
+        record = {"op": "bloom", "kw": keyword, "id": object_id}
+        self._apply(record)
+        self._journal(record)
+
+    def put_object(self, obj: DataObject) -> None:
+        """Store one raw object homed on this shard."""
+        record = {"op": "object", **_object_to_record(obj)}
+        self._apply(record)
+        self._journal(record)
+
+    def apply_records(self, records: list[dict]) -> int:
+        """Apply a batch of journal-format delta records, then journal
+        them as one append.
+
+        This is the resident-worker ingest entry point: the wire format
+        of a shard delta *is* the journal record format, so a batch
+        shipped over the affine channel replays through the same code
+        path as crash recovery and lands in the segment log with one
+        write call.  Returns the number of records applied.
+        """
+        for record in records:
+            self._apply(record)
+        self._journal_many(records)
+        return len(records)
 
     def adopt_tree(self, keyword: str, tree, entries) -> None:
         """Install a bulk-built MB-tree over the keyword's current one.
@@ -210,21 +225,73 @@ class IndexShardEngine:
         a replay rebuilds the identical tree without the bulk task.
         """
         self.index.trees[keyword] = tree
-        for object_id, object_hash in entries:
-            self._journal(
+        self._journal_many(
+            [
                 {
                     "op": "entry",
                     "kw": keyword,
                     "id": object_id,
                     "hash": object_hash.hex(),
                 }
-            )
+                for object_id, object_hash in entries
+            ]
+        )
 
-    def put_object(self, obj: DataObject) -> None:
-        """Store one raw object homed on this shard."""
-        self.store.put(obj)
-        obs.inc(self._objects_metric)
-        self._journal({"op": "object", **_object_to_record(obj)})
+    def apply_bulk(self, groups: list[tuple[str, list]]) -> int:
+        """Ingest posting groups ``[(keyword, [(id, hash), ...]), ...]``.
+
+        The resident-worker analogue of the stateless bulk-mirror path:
+        the deltas arrive as raw postings and the trees are extended *in
+        place* inside the owning process — no tree ever crosses the
+        channel.  All groups journal as a single append.  Returns the
+        number of postings applied.
+        """
+        applied = 0
+        records = []
+        for keyword, entries in groups:
+            tree = self.index.tree_for(keyword)
+            for object_id, object_hash in entries:
+                tree.insert(object_id, object_hash)
+                records.append(
+                    {
+                        "op": "entry",
+                        "kw": keyword,
+                        "id": object_id,
+                        "hash": object_hash.hex(),
+                    }
+                )
+                applied += 1
+        self._journal_many(records)
+        return applied
+
+    def _apply(self, record: dict) -> None:
+        """Apply one journal-format record to in-memory state (no
+        journaling) — the single dispatch shared by the public mutators,
+        batch ingest and crash replay."""
+        op = record.get("op")
+        if op == "entry":
+            self.index.tree_for(record["kw"]).insert(
+                record["id"], bytes.fromhex(record["hash"])
+            )
+        elif op == "register":
+            self.index.register_keyword(record["kw"], int(record["c"], 16))
+        elif op == "apply":
+            self.index.apply_insertion(
+                record["kw"], _record_to_proof(record["proof"])
+            )
+        elif op == "bloom":
+            keyword = record["kw"]
+            chain = self.blooms.get(keyword)
+            if chain is None:
+                chain = self.blooms[keyword] = BloomFilterChain(
+                    filter_bits=self.filter_bits, capacity=self.bloom_capacity
+                )
+            chain.add(record["id"])
+        elif op == "object":
+            self.store.put(_record_to_object(record))
+            obs.inc(self._objects_metric)
+        else:
+            raise ReproError(f"unknown journal op {op!r}")
 
     # -- reads ------------------------------------------------------------------
 
@@ -259,6 +326,9 @@ class IndexShardEngine:
 
     def _journal(self, record: dict) -> None:
         """Durability hook; the in-memory engine keeps nothing."""
+
+    def _journal_many(self, records: list[dict]) -> None:
+        """Batched durability hook; one append for the whole batch."""
 
     def close(self) -> None:
         """Release any resources (no-op in memory)."""
@@ -300,41 +370,63 @@ class DiskShardEngine(IndexShardEngine):
         self._log = self.path.open("a")
 
     def _replay(self) -> None:
-        with self.path.open() as log:
-            for line in log:
-                line = line.strip()
-                if line:
-                    self._apply_record(json.loads(line))
+        """Replay the segment log, truncating a torn tail record.
 
-    def _apply_record(self, record: dict) -> None:
-        op = record.get("op")
-        if op == "entry":
-            self.insert_entry(
-                record["kw"], record["id"], bytes.fromhex(record["hash"])
-            )
-        elif op == "register":
-            self.register_keyword(record["kw"], int(record["c"], 16))
-        elif op == "apply":
-            self.apply_insertion(record["kw"], _record_to_proof(record["proof"]))
-        elif op == "bloom":
-            self.bloom_add(record["kw"], record["id"])
-        elif op == "object":
-            self.put_object(_record_to_object(record))
-        else:
-            raise ReproError(
-                f"unknown journal op {op!r} in {self.path.name}"
-            )
+        A crash mid-append leaves either bytes after the last newline or
+        a final newline-terminated line that no longer decodes (the page
+        holding its prefix may not have hit disk).  Both are the torn
+        tail of an *unconfirmed* append: drop it, truncate the file to
+        the last good record and recover everything before it.  A
+        non-final line that fails to decode is real corruption and
+        raises — silently skipping interior records would desynchronise
+        the shard from the on-chain digests.
+        """
+        data = self.path.read_bytes()
+        keep = data.rfind(b"\n") + 1  # bytes past the last newline = torn
+        lines = data[:keep].split(b"\n")[:-1]
+        good_end = 0
+        for lineno, raw in enumerate(lines):
+            line = raw.strip()
+            if line:
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    if lineno == len(lines) - 1:
+                        break  # torn final line: truncate before it
+                    raise ReproError(
+                        f"corrupt journal record at {self.path.name}:"
+                        f"{lineno + 1}"
+                    ) from exc
+                self._apply(record)
+            good_end += len(raw) + 1
+        if good_end < len(data):
+            os.truncate(self.path, good_end)
 
     def _journal(self, record: dict) -> None:
         if self._log is not None:
             self._log.write(json.dumps(record) + "\n")
             self._log.flush()
 
+    def _journal_many(self, records: list[dict]) -> None:
+        # One write call + flush for the whole batch, not O(k) syscalls.
+        if self._log is not None and records:
+            self._log.write(
+                "".join(json.dumps(record) + "\n" for record in records)
+            )
+            self._log.flush()
+
     def close(self) -> None:
-        """Close the segment log; the engine stays readable in memory."""
+        """Flush, fsync and close the segment log (idempotent).
+
+        The engine stays readable in memory; the fsync guarantees every
+        journaled record is durable before the handle is released, so a
+        clean close is always replayable in full.
+        """
         if self._log is not None:
-            self._log.close()
-            self._log = None
+            log, self._log = self._log, None
+            log.flush()
+            os.fsync(log.fileno())
+            log.close()
 
 
 def make_engine(

@@ -188,15 +188,24 @@ class CacheWarmer:
             self._thread = thread
         thread.start()
 
-    def stop(self) -> None:
-        """Stop the background thread and wait for it to exit."""
+    def stop(self, timeout_s: float = 2.0) -> bool:
+        """Stop the background thread and join it (idempotent).
+
+        The stop event is set *before* the thread slot is cleared, so a
+        concurrent :meth:`start` cannot race a half-stopped loop; the
+        join is bounded by ``timeout_s`` so a warmer wedged inside a
+        slow verification can never hang ``close()`` or a test teardown.
+        Returns ``True`` once the thread has actually exited (including
+        the no-thread case), ``False`` if the join timed out.
+        """
+        self._stop.set()
         with self._lock:
             thread = self._thread
             self._thread = None
         if thread is None:
-            return
-        self._stop.set()
-        thread.join()
+            return True
+        thread.join(timeout_s)
+        return not thread.is_alive()
 
     def _loop(self, interval_s: float) -> None:
         while not self._stop.wait(interval_s):
@@ -280,10 +289,15 @@ class ShardedCacheWarmer:
         for warmer in self._warmers:
             warmer.start(interval_s)
 
-    def stop(self) -> None:
-        """Stop every shard warmer's background thread."""
-        for warmer in self._warmers:
-            warmer.stop()
+    def stop(self, timeout_s: float = 2.0) -> bool:
+        """Stop every shard warmer's background thread (idempotent).
+
+        Returns ``True`` only if every thread exited within its join
+        timeout; all warmers are stopped regardless.
+        """
+        return all(
+            [warmer.stop(timeout_s) for warmer in self._warmers]
+        )
 
     def wait_idle(self, timeout_s: float = 2.0) -> bool:
         """Block until no shard has pending work."""

@@ -1,0 +1,341 @@
+"""Shard-affine worker pool: parity, guarding, recovery, telemetry.
+
+The affine pool must be invisible above the SP exactly like the
+stateless scatter path: byte-identical VOs, answers and gas at any
+shard count, with the structural invariant that resident shard state
+(trees, index mirrors, engines) never crosses the pipe toward a worker.
+"""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.core.merkle_family import MerkleInvertedSP
+from repro.core.objects import DataObject
+from repro.core.query.parser import KeywordQuery
+from repro.core.query.vo import QueryVO
+from repro.core.system import HybridStorageSystem
+from repro.errors import ParameterError, ReproError
+from repro.parallel import RemoteTraceback
+from repro.sp.affine import (
+    RPC_SPAN,
+    AffineEngineProxy,
+    AffineWorkerPool,
+    EngineSpec,
+    guarded_dumps,
+)
+from repro.sp.engine import MemoryShardEngine
+
+from tests.sp.test_sharding import QUERIES, SCHEMES, build, make_docs
+
+MERKLE_SPEC = ("merkle", {"fanout": 4})
+
+
+def make_pool(shards=1, **kwargs):
+    return AffineWorkerPool(
+        [
+            EngineSpec(
+                shard_id=shard, engine="memory", index_spec=MERKLE_SPEC, **kwargs
+            )
+            for shard in range(shards)
+        ]
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestAffineParity:
+    """Resident workers vs the serial single-shard reference."""
+
+    def test_answers_vo_and_gas_identical(self, scheme):
+        base, base_reports = build(scheme, shards=1)
+        affine, affine_reports = build(scheme, shards=4, pool="affine")
+
+        assert [r.gas for r in base_reports] == [
+            r.gas for r in affine_reports
+        ]
+        for text in QUERIES:
+            query = KeywordQuery.parse(text)
+            answer_base = base.process_query(query)
+            answer_affine = affine.process_query(query)
+            assert answer_base.result_ids == answer_affine.result_ids
+            for vo_base, vo_affine in zip(
+                answer_base.vo.conjuncts, answer_affine.vo.conjuncts
+            ):
+                assert base._codec.encode(
+                    QueryVO(conjuncts=(vo_base,))
+                ) == affine._codec.encode(QueryVO(conjuncts=(vo_affine,)))
+
+            result_base = base.query(text)
+            result_affine = affine.query(text)
+            assert result_base.verified and result_affine.verified
+            assert result_base.result_ids == result_affine.result_ids
+            assert result_base.vo_sp_bytes == result_affine.vo_sp_bytes
+        base.close()
+        affine.close()
+
+    def test_batched_ingest_matches_per_object(self, scheme):
+        serial = HybridStorageSystem(
+            scheme=scheme, seed=13, shards=1, cvc_modulus_bits=512
+        )
+        affine = HybridStorageSystem(
+            scheme=scheme,
+            seed=13,
+            shards=4,
+            cvc_modulus_bits=512,
+            pool="affine",
+        )
+        docs = make_docs(8)
+        for obj in docs:
+            serial.add_object(obj)
+        affine.add_objects_batched(docs)
+        for text in QUERIES[:3]:
+            result_serial = serial.query(text)
+            result_affine = affine.query(text)
+            assert result_serial.verified and result_affine.verified
+            assert result_serial.result_ids == result_affine.result_ids
+            assert result_serial.vo_sp_bytes == result_affine.vo_sp_bytes
+        serial.close()
+        affine.close()
+
+
+class TestObjectHoming:
+    def test_objects_reachable_and_counted(self):
+        system, _ = build("mi", shards=4, pool="affine")
+        assert len(system) == 10
+        assert system.all_object_ids() == list(range(10))
+        for object_id in system.all_object_ids():
+            assert system.get_object(object_id).object_id == object_id
+        system.close()
+
+    def test_duplicate_insert_rejected(self):
+        system, _ = build("mi", shards=4, pool="affine")
+        with pytest.raises(ReproError):
+            system.add_object(DataObject(0, ("alpha",), b"dup"))
+        system.close()
+
+
+class TestRequestGuard:
+    """Resident shard state must never be pickled into a request."""
+
+    def test_trees_and_mirrors_rejected(self):
+        engine = MemoryShardEngine(0, lambda: MerkleInvertedSP(fanout=4))
+        engine.insert_entry("alpha", 1, bytes(32))
+        for forbidden in (
+            engine.tree("alpha"),
+            MerkleInvertedSP(fanout=4),
+            engine,
+        ):
+            with pytest.raises(ParameterError, match="resident shard state"):
+                guarded_dumps(forbidden)
+            # Nesting does not smuggle it past the guard.
+            with pytest.raises(ParameterError, match="resident shard state"):
+                guarded_dumps(("apply", [forbidden], False))
+
+    def test_plain_delta_payloads_pass(self):
+        payload = ("apply", [{"op": "entry", "kw": "a", "id": 1}], False)
+        assert pickle.loads(guarded_dumps(payload)) == payload
+
+    def test_dispatch_refuses_state_and_pool_survives(self):
+        pool = make_pool()
+        try:
+            tree_holder = MerkleInvertedSP(fanout=4)
+            with pytest.raises(ParameterError, match="resident shard state"):
+                pool.dispatch([(0, "ping", tree_holder)])
+            # The guard fired before anything hit the pipe.
+            assert pool.request(0, "ping", 41) == 41
+        finally:
+            pool.close()
+
+
+class TestPoolMechanics:
+    def test_worker_errors_carry_remote_traceback(self):
+        pool = make_pool()
+        try:
+            with pytest.raises(ParameterError, match="unknown affine op"):
+                pool.request(0, "explode")
+            try:
+                pool.request(0, "explode")
+            except ParameterError as exc:
+                assert isinstance(exc.__cause__, RemoteTraceback)
+                assert "_handle" in str(exc.__cause__)
+            # The worker loop survived the failed request.
+            assert pool.request(0, "ping", 7) == 7
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_reaps_workers(self):
+        pool = make_pool(shards=2)
+        processes = [worker.process for worker in pool._workers]
+        pool.close()
+        pool.close()
+        assert all(not process.is_alive() for process in processes)
+        with pytest.raises(ReproError, match="closed"):
+            pool.dispatch([(0, "ping", None)])
+
+    def test_proxy_chunks_mutations(self):
+        pool = make_pool()
+        try:
+            proxy = AffineEngineProxy(pool, 0, chunk_records=2)
+            for i in range(5):
+                proxy.insert_entry("alpha", i, bytes([i]) * 32)
+            # Two full chunks auto-flushed; one record still buffered.
+            assert len(proxy._pending) == 1
+            tree = proxy.tree("alpha")  # reads flush first
+            assert proxy._pending == []
+            serial = MerkleInvertedSP(fanout=4)
+            for i in range(5):
+                serial.tree_for("alpha").insert(i, bytes([i]) * 32)
+            assert tree.root_hash == serial.tree_for("alpha").root_hash
+        finally:
+            pool.close()
+
+    def test_ingest_counter_tracks_delta_bytes_only(self):
+        pool = make_pool()
+        try:
+            proxy = AffineEngineProxy(pool, 0)
+            proxy.insert_entry("alpha", 1, bytes(32))
+            proxy.flush()
+            after_ingest = pool.ingest_bytes
+            assert after_ingest > 0
+            pool.request(0, "object_ids")  # a read
+            assert pool.ingest_bytes == after_ingest
+            pool.reset_counters()
+            assert (pool.request_bytes, pool.ingest_bytes) == (0, 0)
+        finally:
+            pool.close()
+
+
+class TestDiskRecovery:
+    """Crash/restart: workers replay their shard journals on boot."""
+
+    def build_sp(self, tmp_path, **kwargs):
+        from repro.core.sp_frontend import ShardedStorageProvider
+        from repro.parallel import make_executor
+
+        return ShardedStorageProvider(
+            index_factory=lambda: MerkleInvertedSP(fanout=4),
+            executor=make_executor("serial"),
+            scheme_value="mi",
+            join_order="size",
+            join_plan="sorted",
+            shards=3,
+            engine="disk",
+            engine_dir=tmp_path,
+            seed=13,
+            fanout=4,
+            pool="affine",
+            index_spec=MERKLE_SPEC,
+            **kwargs,
+        )
+
+    def fill(self, sp):
+        from repro.core.objects import ObjectMetadata
+
+        for i, keyword in enumerate(("alpha", "beta", "gamma", "delta")):
+            for j in range(3):
+                object_id = 10 * i + j
+                obj = DataObject(object_id, (keyword,), b"p-%d" % object_id)
+                sp.insert_entries(ObjectMetadata.of(obj))
+                sp.put_object(obj)
+        sp.flush_mutations()
+
+    def test_restart_rebuilds_trees_and_locations(self, tmp_path):
+        sp = self.build_sp(tmp_path)
+        self.fill(sp)
+        roots = {
+            kw: sp.tree(kw).root_hash
+            for kw in ("alpha", "beta", "gamma", "delta")
+        }
+        object_ids = sp.all_object_ids()
+        sp.close()
+
+        reopened = self.build_sp(tmp_path)
+        try:
+            for keyword, root in roots.items():
+                assert reopened.tree(keyword).root_hash == root
+            assert reopened.all_object_ids() == object_ids
+            # The handshake rebuilt the ID -> shard map: objects are
+            # fetchable without re-ingesting anything.
+            for object_id in object_ids:
+                assert reopened.get_object(object_id).object_id == object_id
+        finally:
+            reopened.close()
+
+    def test_torn_tail_is_truncated_on_worker_boot(self, tmp_path):
+        sp = self.build_sp(tmp_path)
+        self.fill(sp)
+        roots = {kw: sp.tree(kw).root_hash for kw in ("alpha", "beta")}
+        sp.close()
+        # Simulate a crash mid-append: a torn, newline-less tail.
+        journal = sorted(tmp_path.glob("shard-*.jsonl"))[0]
+        with journal.open("ab") as log:
+            log.write(b'{"op": "entry", "kw": "al')
+
+        reopened = self.build_sp(tmp_path)
+        try:
+            for keyword, root in roots.items():
+                assert reopened.tree(keyword).root_hash == root
+        finally:
+            reopened.close()
+        assert not journal.read_bytes().endswith(b'"al')
+
+
+class TestAffineTelemetry:
+    """Worker-side spans come home and connect into one trace."""
+
+    def test_rpc_spans_are_adopted_and_parented(self):
+        system = HybridStorageSystem(
+            scheme="mi", seed=13, shards=4, pool="affine"
+        )
+        try:
+            docs = [
+                DataObject(
+                    i,
+                    (f"kw-{i % 16}", f"kw-{(i + 5) % 16}", "common"),
+                    b"payload-%d" % i,
+                )
+                for i in range(24)
+            ]
+            with obs.collect() as col:
+                system.add_objects_batched(docs)
+                result = system.query("common")
+            assert result.verified
+        finally:
+            system.close()
+
+        rpcs = [s for s in col.spans if s.name == RPC_SPAN]
+        assert sorted({s.attributes["shard"] for s in rpcs}) == [0, 1, 2, 3]
+        assert {s.attributes["op"] for s in rpcs} >= {"bulk"}
+        span_ids = {s.span_id for s in col.spans}
+        for span in rpcs:
+            assert span.parent_id in span_ids
+            assert "worker" in span.attributes
+
+    def test_critpath_report_includes_affine_rpcs(self):
+        system = HybridStorageSystem(
+            scheme="mi", seed=13, shards=4, pool="affine"
+        )
+        try:
+            docs = [
+                DataObject(i, (f"kw-{i % 16}", "common"), b"p-%d" % i)
+                for i in range(16)
+            ]
+            with obs.collect() as col:
+                system.add_objects_batched(docs)
+        finally:
+            system.close()
+
+        report = obs.analyze(col.spans)
+        phases = {p.name: p for p in report.phases}
+        assert RPC_SPAN in phases
+        assert report.wall_s > 0
+        assert RPC_SPAN in report.render()
+
+    def test_untraced_dispatch_skips_snapshots(self):
+        pool = make_pool()
+        try:
+            assert obs.trace.current() is None
+            assert pool.request(0, "ping", 5) == 5
+        finally:
+            pool.close()

@@ -143,3 +143,119 @@ class TestDiskEngineReplay:
         path.write_text('{"op": "explode"}\n')
         with pytest.raises(ReproError):
             DiskShardEngine(0, merkle_factory, tmp_path)
+
+
+class TestTornTailRecovery:
+    """Crash mid-append: the torn tail is dropped, everything before
+    it recovers, and the file is truncated to the last good record."""
+
+    def fill_and_close(self, tmp_path):
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        for object_id in range(4):
+            engine.insert_entry(
+                "alpha", object_id, bytes([object_id]) * 32
+            )
+        root = engine.tree("alpha").root_hash
+        engine.close()
+        return tmp_path / "shard-000.jsonl", root
+
+    def test_bytes_after_last_newline_are_truncated(self, tmp_path):
+        path, root = self.fill_and_close(tmp_path)
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"op": "entry", "kw": "al')
+
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        assert engine.tree("alpha").root_hash == root
+        engine.close()
+        assert path.read_bytes() == intact
+
+    def test_undecodable_final_line_is_truncated(self, tmp_path):
+        path, root = self.fill_and_close(tmp_path)
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"op": "entry", "kw\x00\x01\n')
+
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        assert engine.tree("alpha").root_hash == root
+        engine.close()
+        assert path.read_bytes() == intact
+
+    def test_appends_after_truncation_stay_replayable(self, tmp_path):
+        path, _ = self.fill_and_close(tmp_path)
+        path.write_bytes(path.read_bytes() + b"garbage-tail")
+
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        engine.insert_entry("alpha", 9, b"h9".ljust(32, b"\0"))
+        root = engine.tree("alpha").root_hash
+        engine.close()
+
+        reopened = DiskShardEngine(0, merkle_factory, tmp_path)
+        assert reopened.tree("alpha").root_hash == root
+        reopened.close()
+
+    def test_undecodable_interior_line_raises(self, tmp_path):
+        path, _ = self.fill_and_close(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines.insert(1, b"not json at all\n")
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(ReproError, match="corrupt journal record"):
+            DiskShardEngine(0, merkle_factory, tmp_path)
+
+
+class TestBatchedJournal:
+    def entries(self, count=6):
+        return [(object_id, bytes([object_id]) * 32) for object_id in range(count)]
+
+    def test_apply_bulk_journals_one_append(self, tmp_path):
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        writes = []
+        original = engine._log.write
+        engine._log.write = lambda text: writes.append(text) or original(text)
+        assert engine.apply_bulk([("alpha", self.entries())]) == 6
+        assert len(writes) == 1
+        root = engine.tree("alpha").root_hash
+        engine.close()
+
+        reopened = DiskShardEngine(0, merkle_factory, tmp_path)
+        assert reopened.tree("alpha").root_hash == root
+        reopened.close()
+
+    def test_adopt_tree_journals_one_append(self, tmp_path):
+        from repro.core.mbtree import MBTree
+
+        entries = self.entries()
+        tree = MBTree(fanout=4)
+        for object_id, object_hash in entries:
+            tree.insert(object_id, object_hash)
+
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        writes = []
+        original = engine._log.write
+        engine._log.write = lambda text: writes.append(text) or original(text)
+        engine.adopt_tree("alpha", tree, entries)
+        assert len(writes) == 1
+        engine.close()
+
+        reopened = DiskShardEngine(0, merkle_factory, tmp_path)
+        assert reopened.tree("alpha").root_hash == tree.root_hash
+        reopened.close()
+
+    def test_apply_records_round_trips_through_replay_path(self, tmp_path):
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        records = [
+            {"op": "entry", "kw": "alpha", "id": i, "hash": ("%02x" % i) * 32}
+            for i in range(4)
+        ]
+        assert engine.apply_records(records) == 4
+        root = engine.tree("alpha").root_hash
+        engine.close()
+
+        reopened = DiskShardEngine(0, merkle_factory, tmp_path)
+        assert reopened.tree("alpha").root_hash == root
+        reopened.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        engine = DiskShardEngine(0, merkle_factory, tmp_path)
+        engine.insert_entry("alpha", 1, bytes(32))
+        engine.close()
+        engine.close()
+        assert engine._log is None

@@ -160,3 +160,47 @@ class TestBackground:
         system.warmer.start(interval_s=0.01)
         system.close()
         system.close()
+
+    def test_stop_joins_and_reports_exit(self):
+        import threading
+
+        warmer = CacheWarmer(
+            prove=lambda kw: [], proof_system=None, hot_threshold=0
+        )
+        before = threading.active_count()
+        warmer.start(interval_s=0.01)
+        assert threading.active_count() == before + 1
+        assert warmer.stop() is True
+        assert threading.active_count() == before
+        # Idempotent, including the never-started case.
+        assert warmer.stop() is True
+        assert CacheWarmer(
+            prove=lambda kw: [], proof_system=None, hot_threshold=0
+        ).stop() is True
+
+    def test_close_leaks_no_warmer_threads(self):
+        import threading
+
+        system = make_system()
+        system.warmer.start(interval_s=0.01)
+        system.close()
+        assert not any(
+            thread.name == "cache-warmer" and thread.is_alive()
+            for thread in threading.enumerate()
+        )
+
+    def test_sharded_stop_aggregates_every_shard(self):
+        from repro.sp.engine import ShardRouter
+        from repro.sp.warmer import ShardedCacheWarmer
+
+        warmers = [
+            CacheWarmer(
+                prove=lambda kw: [], proof_system=None, hot_threshold=0
+            )
+            for _ in range(3)
+        ]
+        sharded = ShardedCacheWarmer(warmers, ShardRouter(3, seed=1))
+        sharded.start(interval_s=0.01)
+        assert sharded.stop() is True
+        for warmer in warmers:
+            assert warmer._thread is None
