@@ -42,6 +42,7 @@ import os
 import pickle
 import threading
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -113,8 +114,6 @@ class EngineSpec:
 
 # -- request guarding ------------------------------------------------------------
 
-_FORBIDDEN_TABLE: dict | None = None
-
 
 def _resident_state_types() -> tuple:
     """The types that constitute resident shard state (lazy import)."""
@@ -140,14 +139,19 @@ def _reject_resident_state(obj):
 
 
 def _guard_table() -> dict:
-    global _FORBIDDEN_TABLE
-    if _FORBIDDEN_TABLE is None:
-        table = {}
-        for cls in _resident_state_types():
-            for sub in [cls] + cls.__subclasses__():
-                table[sub] = _reject_resident_state
-        _FORBIDDEN_TABLE = table
-    return _FORBIDDEN_TABLE
+    # Rebuilt on every dumps: subclasses of the resident-state types may
+    # be imported or defined at any time, and a cached table would let
+    # them pickle straight past the guard.  Walking a handful of small
+    # class hierarchies is noise next to the pickling itself.
+    table = {}
+    stack = list(_resident_state_types())
+    while stack:
+        cls = stack.pop()
+        if cls in table:
+            continue
+        table[cls] = _reject_resident_state
+        stack.extend(cls.__subclasses__())
+    return table
 
 
 def guarded_dumps(obj) -> bytes:
@@ -296,6 +300,7 @@ class AffineWorkerPool:
             ctx = multiprocessing.get_context()
         self._workers: list[_Worker] = []
         self._closed = False
+        self._broken = False
         self._counter_lock = threading.Lock()
         self.request_bytes = 0
         self.ingest_bytes = 0
@@ -333,15 +338,35 @@ class AffineWorkerPool:
         """Run ``(shard, op, payload)`` calls; results in call order.
 
         Per-worker locks are taken in ascending shard order (two
-        concurrent dispatches can never deadlock), all requests are sent
-        before any reply is read, and replies are read back in call
-        order — each pipe is FIFO, so multi-call shards resolve
-        deterministically.  A worker-side exception is re-raised here
-        with the worker's traceback chained; its telemetry snapshot is
-        adopted first, so failing spans still reach the trace.
+        concurrent dispatches can never deadlock).  Requests are sent
+        eagerly, draining any already-ready replies between sends; each
+        pipe is FIFO, so the j-th reply from a shard pairs with the j-th
+        call to that shard and results land in call order regardless of
+        read interleaving.  The drain-before-send also means a worker
+        mid-way through a large reply is normally read before we block
+        writing to it — but a large request racing a large (>pipe
+        buffer) earlier reply on the *same* shard can still wedge, so
+        call sites keep one side of any multi-call shard conversation
+        small (bulk replies are counts; view/join requests are keyword
+        lists).
+
+        Exactly one reply is consumed per successfully sent request,
+        even when a send fails partway or a worker reports an error —
+        an unread reply would desynchronize that shard's pipe and feed
+        a stale result to the *next* dispatch.  The first error (a
+        worker-side exception, with the worker's traceback chained, or
+        the send-phase failure) is re-raised only after the drain;
+        telemetry snapshots are adopted first, so failing spans still
+        reach the trace.  If a pipe itself dies mid-protocol the pool
+        is marked broken and every later dispatch fails fast.
         """
         if self._closed:
             raise ReproError("affine pool is closed")
+        if self._broken:
+            raise ReproError(
+                "affine pool is broken after a prior pipe failure; "
+                "build a new pool"
+            )
         if not calls:
             return []
         collector = obs_trace.current()
@@ -352,32 +377,75 @@ class AffineWorkerPool:
             parent_id = stack[-1].span_id if stack else None
         shard_order = sorted({shard for shard, _, _ in calls})
         held = []
+        results: list = [None] * len(calls)
+        # Per-shard FIFO of result slots awaiting a reply.
+        pending: dict[int, deque] = {shard: deque() for shard in shard_order}
+        failure = None  # first worker-side (exc, formatted_traceback)
+        sent = 0
+        received = 0
+
+        def read_reply(shard: int) -> None:
+            nonlocal received, failure
+            try:
+                raw = self._workers[shard].conn.recv_bytes()
+            except BaseException:
+                self._broken = True
+                raise
+            received += len(raw)
+            index = pending[shard].popleft()
+            ok, result, snapshot = pickle.loads(raw)
+            if snapshot is not None and traced:
+                xproc.adopt(
+                    collector,
+                    snapshot,
+                    parent_id=parent_id,
+                    extra_attributes={"shard": shard},
+                )
+            if ok:
+                results[index] = result
+            elif failure is None:
+                failure = result
+
         try:
             for shard in shard_order:
                 self._workers[shard].lock.acquire()
                 held.append(shard)
-            sent = 0
-            for shard, op, payload in calls:
-                buffer = guarded_dumps((op, payload, traced))
-                sent += len(buffer)
-                self._workers[shard].conn.send_bytes(buffer)
-            received = 0
-            results = []
-            for shard, op, payload in calls:
-                raw = self._workers[shard].conn.recv_bytes()
-                received += len(raw)
-                ok, result, snapshot = pickle.loads(raw)
-                if snapshot is not None and traced:
-                    xproc.adopt(
-                        collector,
-                        snapshot,
-                        parent_id=parent_id,
-                        extra_attributes={"shard": shard},
-                    )
-                if not ok:
-                    exc, formatted = result
-                    raise exc from RemoteTraceback(formatted)
-                results.append(result)
+            send_failure = None
+            try:
+                for index, (shard, op, payload) in enumerate(calls):
+                    for ready in shard_order:
+                        while pending[ready] and self._workers[
+                            ready
+                        ].conn.poll(0):
+                            read_reply(ready)
+                    # guarded_dumps may reject the payload: nothing has
+                    # hit this call's pipe yet, so the pool stays usable
+                    # once already-sent replies are drained below.
+                    buffer = guarded_dumps((op, payload, traced))
+                    try:
+                        self._workers[shard].conn.send_bytes(buffer)
+                    except BaseException:
+                        # A failed send may have written a partial
+                        # frame: this shard's stream is unrecoverable.
+                        self._broken = True
+                        raise
+                    sent += len(buffer)
+                    pending[shard].append(index)
+            except BaseException as exc:  # noqa: B036 - re-raised after drain
+                send_failure = exc
+            try:
+                for shard in shard_order:
+                    while pending[shard]:
+                        read_reply(shard)
+            except BaseException as exc:  # noqa: B036 - undrainable pipe
+                self._broken = True
+                if send_failure is None and failure is None:
+                    raise
+            if failure is not None:
+                exc, formatted = failure
+                raise exc from RemoteTraceback(formatted)
+            if send_failure is not None:
+                raise send_failure
         finally:
             for shard in reversed(held):
                 self._workers[shard].lock.release()
@@ -409,17 +477,22 @@ class AffineWorkerPool:
         if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
-            with worker.lock:
-                if not worker.process.is_alive():
-                    continue
-                try:
-                    worker.conn.send_bytes(
-                        guarded_dumps(("close", None, False))
-                    )
-                    worker.conn.recv_bytes()  # the close ack
-                except (BrokenPipeError, EOFError, OSError):
-                    pass
+        if not self._broken:
+            for worker in self._workers:
+                with worker.lock:
+                    if not worker.process.is_alive():
+                        continue
+                    try:
+                        worker.conn.send_bytes(
+                            guarded_dumps(("close", None, False))
+                        )
+                        # Bounded wait for the close ack: a worker wedged
+                        # in a long _handle call must not hang close() —
+                        # fall through to join/terminate below.
+                        if worker.conn.poll(timeout_s):
+                            worker.conn.recv_bytes()
+                    except (BrokenPipeError, EOFError, OSError):
+                        pass
         for worker in self._workers:
             worker.process.join(timeout_s)
             if worker.process.is_alive():  # pragma: no cover - wedged worker

@@ -147,6 +147,34 @@ class TestRequestGuard:
         finally:
             pool.close()
 
+    def test_guard_sees_subclasses_defined_after_first_dumps(self):
+        # Prime the dispatch table, then define a subclass: a cached
+        # table would let it pickle straight past the guard.
+        guarded_dumps(("ping", None, False))
+
+        class LateMirror(MerkleInvertedSP):
+            pass
+
+        with pytest.raises(ParameterError, match="resident shard state"):
+            guarded_dumps(LateMirror(fanout=4))
+
+    def test_guard_failure_mid_dispatch_drains_sent_replies(self):
+        pool = make_pool(shards=2)
+        try:
+            tree_holder = MerkleInvertedSP(fanout=4)
+            # Two requests go out before the third call's payload is
+            # rejected; their replies must be consumed, or the next
+            # dispatch would read them as its own.
+            with pytest.raises(ParameterError, match="resident shard state"):
+                pool.dispatch(
+                    [(0, "ping", 10), (1, "ping", 11), (0, "ping", tree_holder)]
+                )
+            assert pool.dispatch(
+                [(0, "ping", "x"), (1, "ping", "y")]
+            ) == ["x", "y"]
+        finally:
+            pool.close()
+
 
 class TestPoolMechanics:
     def test_worker_errors_carry_remote_traceback(self):
@@ -163,6 +191,38 @@ class TestPoolMechanics:
             assert pool.request(0, "ping", 7) == 7
         finally:
             pool.close()
+
+    def test_error_in_multi_call_dispatch_does_not_desync(self):
+        pool = make_pool(shards=2)
+        try:
+            # The failing call sits between healthy ones; every reply —
+            # including those after the failure — must be drained so the
+            # next dispatch pairs with its own replies, not stale ones.
+            with pytest.raises(ParameterError, match="unknown affine op"):
+                pool.dispatch(
+                    [
+                        (0, "ping", 1),
+                        (1, "explode", None),
+                        (0, "ping", 2),
+                        (1, "ping", 3),
+                    ]
+                )
+            assert pool.dispatch(
+                [(0, "ping", "a"), (1, "ping", "b"), (0, "ping", "c")]
+            ) == ["a", "b", "c"]
+        finally:
+            pool.close()
+
+    def test_dead_worker_marks_pool_broken(self):
+        pool = make_pool()
+        pool._workers[0].process.kill()
+        pool._workers[0].process.join()
+        with pytest.raises((OSError, EOFError)):
+            pool.dispatch([(0, "ping", 1)])
+        # The pipe is desynchronized for good: fail fast from now on.
+        with pytest.raises(ReproError, match="broken"):
+            pool.dispatch([(0, "ping", 1)])
+        pool.close()
 
     def test_close_is_idempotent_and_reaps_workers(self):
         pool = make_pool(shards=2)
