@@ -17,6 +17,15 @@ Quick start::
     print(result.result_ids, result.verified)
 """
 
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZE") == "1":
+    # Must run before any submodule creates a lock, so every
+    # threading.Lock/RLock born in repro code is a sanitized one.
+    from repro.analysis.sanitize import install as _install_sanitizer
+
+    _install_sanitizer()
+
 from repro.core.checkpoints import CheckpointIssuer, CheckpointVerifier
 from repro.core.objects import DataObject, ObjectMetadata, ObjectStore
 from repro.core.persistence import load_system, save_system

@@ -6,6 +6,11 @@ that side effect.
 """
 
 from repro.analysis.checkers.crypto_hygiene import CryptoHygieneChecker
+from repro.analysis.concurrency import (
+    ForkSafetyChecker,
+    LockOrderChecker,
+    PipeProtocolChecker,
+)
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.gas_integrality import GasIntegralityChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
@@ -16,8 +21,11 @@ from repro.analysis.checkers.wallclock import WallClockChecker
 __all__ = [
     "CryptoHygieneChecker",
     "DeterminismChecker",
+    "ForkSafetyChecker",
     "GasIntegralityChecker",
     "LockDisciplineChecker",
+    "LockOrderChecker",
+    "PipeProtocolChecker",
     "TimingSafeCompareChecker",
     "VerificationDisciplineChecker",
     "WallClockChecker",

@@ -7,6 +7,7 @@ Exit codes: 0 clean (or fully baselined), 1 new findings or scan errors,
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -64,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--sanitize-report",
+        metavar="FILE",
+        help=(
+            "render a runtime-sanitizer JSON dump (REPRO_SANITIZE_OUT) "
+            "and exit; exit code 1 if it records violations"
+        ),
+    )
     return parser
 
 
@@ -76,6 +85,18 @@ def main(argv: list[str] | None = None) -> int:
         for rule, cls in sorted(registered_rules().items()):
             print(f"{rule}: {cls.description}")
         return 0
+
+    if args.sanitize_report:
+        from repro.analysis.sanitize import render_report
+
+        try:
+            with open(args.sanitize_report, encoding="utf-8") as fh:
+                snapshot = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load sanitize dump: {exc}", file=sys.stderr)
+            return 2
+        print(render_report(snapshot))
+        return 1 if snapshot.get("violations") else 0
 
     try:
         select = args.select.split(",") if args.select else None

@@ -1,0 +1,173 @@
+"""fork-safety: locks vs fork(), pipes, and pickled payloads.
+
+Four invariants around the affine pool's fork-and-pipe architecture:
+
+* **held-at-fork** — no lock may be held (directly or up the call
+  chain) when a ``Process.start()`` runs: the fork start method clones
+  the holder's mutex state into a child that has no thread to release
+  it, so the child deadlocks on first contention;
+* **fork-window** — between creating the worker pipes (``Pipe()``) and
+  ``process.start()`` in the same function, no lock may be acquired and
+  no thread started: anything the parent does in that window is
+  duplicated into every child's address space at the worst moment;
+* **blocking-under-lock** — no blocking ``Connection.send``/``recv``
+  may be reachable while a mutex is held.  Exempt: locks whose owning
+  class also owns the pipe endpoint (their whole purpose is serialising
+  pipe access, like the pool's per-worker locks) and ``ReadWriteLock``
+  (the system facade's coarse ingest/query guard sits above the
+  transport by design — it participates in the lock-order graph
+  instead);
+* **payload hygiene** — no lock or lock-owning object may appear in a
+  ``guarded_dumps`` payload expression: a pickled lock is dead weight
+  at best and a fork-shared mutex at worst.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.concurrency.model import LockToken, ProjectModel
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleSource, ProjectChecker, register
+
+
+def _blocking_exempt(model: ProjectModel, token: LockToken) -> bool:
+    """Locks allowed to be held across a pipe send/recv."""
+    if token.kind == "rwlock":
+        return True
+    return model.lock_owner_has_conn(token)
+
+
+@register
+class ForkSafetyChecker(ProjectChecker):
+    """Enforces the fork/pipe safety invariants project-wide."""
+
+    rule = "fork-safety"
+    description = (
+        "no lock held across fork or a blocking pipe op; no lock "
+        "acquired in the pipe-setup/fork window; no lock-bearing "
+        "objects in guarded_dumps payloads"
+    )
+    paths = ("",)
+
+    def check_project(
+        self, sources: list[ModuleSource]
+    ) -> Iterator[Finding]:
+        model = ProjectModel.build_cached(sources)
+        by_module = {src.module: src for src in sources}
+        for summary in model.functions.values():
+            src = by_module.get(summary.module)
+            if src is None:
+                continue
+
+            # held-at-fork / blocking-under-lock, direct ops.
+            for op in summary.blocking:
+                if op.kind == "fork" and op.held:
+                    held = ", ".join(str(t) for t in op.held)
+                    yield self._at(
+                        src,
+                        op.line,
+                        f"Process.start() runs while holding {held}; the "
+                        "forked child inherits the locked mutex with no "
+                        "thread to release it",
+                        summary.symbol,
+                    )
+                elif op.kind in ("send", "recv"):
+                    for token in op.held:
+                        if _blocking_exempt(model, token):
+                            continue
+                        yield self._at(
+                            src,
+                            op.line,
+                            f"blocking Connection.{op.detail} while "
+                            f"holding {token}; a full pipe buffer turns "
+                            "this lock into a system-wide stall",
+                            summary.symbol,
+                        )
+
+            # ... and through calls, using the blocking closure.
+            for site in summary.calls:
+                if site.resolved is None or not site.held:
+                    continue
+                reachable = model.closure_blocking.get(site.resolved, set())
+                if "fork" in reachable:
+                    held = ", ".join(str(t) for t in site.held)
+                    yield self._at(
+                        src,
+                        site.line,
+                        f"call into {site.resolved} can fork while "
+                        f"holding {held}; the child inherits the locked "
+                        "mutex",
+                        summary.symbol,
+                    )
+                if reachable & {"send", "recv"}:
+                    for token in site.held:
+                        if _blocking_exempt(model, token):
+                            continue
+                        yield self._at(
+                            src,
+                            site.line,
+                            f"call into {site.resolved} can block on a "
+                            f"pipe while holding {token}; keep lock "
+                            "scopes off the transport",
+                            summary.symbol,
+                        )
+
+            # fork-window: Pipe() ... start() with no locks/threads between.
+            yield from self._fork_window(src, model, summary)
+
+            # guarded_dumps payload hygiene.
+            for ref in summary.payload_refs:
+                what = (
+                    f"lock {ref.detail}"
+                    if ref.kind == "lock"
+                    else f"lock-owning object of class {ref.detail}"
+                )
+                yield self._at(
+                    src,
+                    ref.line,
+                    f"guarded_dumps payload references {what}; resident "
+                    "synchronisation state must never cross the pipe",
+                    summary.symbol,
+                )
+
+    def _fork_window(
+        self, src: ModuleSource, model: ProjectModel, summary
+    ) -> Iterator[Finding]:
+        if not summary.pipe_create_lines:
+            return
+        fork_lines = [
+            op.line for op in summary.blocking if op.kind == "fork"
+        ]
+        if not fork_lines:
+            return
+        window = (min(summary.pipe_create_lines), max(fork_lines))
+        for acq in summary.acquisitions:
+            if window[0] < acq.line < window[1]:
+                yield self._at(
+                    src,
+                    acq.line,
+                    f"lock {acq.token} acquired between pipe setup and "
+                    "Process.start(); the fork window must stay free of "
+                    "synchronisation",
+                    summary.symbol,
+                )
+        for op in summary.blocking:
+            if op.kind == "thread_start" and window[0] < op.line < window[1]:
+                yield self._at(
+                    src,
+                    op.line,
+                    "thread started between pipe setup and "
+                    "Process.start(); forked children snapshot the "
+                    "thread's locks mid-flight",
+                    summary.symbol,
+                )
+
+    def _at(
+        self, src: ModuleSource, line: int, message: str, symbol: str
+    ) -> Finding:
+        node = ast.Pass()
+        node.lineno = line
+        node.col_offset = 0
+        return self.finding(src, node, message, symbol=symbol)

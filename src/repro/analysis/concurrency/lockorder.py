@@ -1,0 +1,228 @@
+"""lock-order: cycles in the may-hold-while-acquiring graph.
+
+An edge ``A -> B`` means some execution path can acquire lock ``B``
+while lock ``A`` is held — either directly (a nested ``with`` /
+``acquire()``) or through a call whose callee transitively acquires
+``B``.  Any cycle in that graph is a potential deadlock: two threads
+entering the cycle at different points can each hold what the other
+needs.
+
+Two further shapes are flagged without needing a full cycle:
+
+* a *mutex* re-acquired while already held (``threading.Lock`` is not
+  re-entrant, so this self-edge deadlocks a single thread) — re-entrant
+  kinds (``RLock``, ``ReadWriteLock``) are exempt;
+* per-element locks acquired while iterating a *nondeterministically
+  ordered* container (a set/dict): two threads iterating different
+  orders produce an A/B-B/A inversion at runtime even though the graph
+  shows one token.  Iterating ``sorted(...)`` or a list is the fix —
+  exactly the affine pool's ascending-shard idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.concurrency.model import (
+    ORDER_UNORDERED,
+    LockToken,
+    ProjectModel,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleSource, ProjectChecker, register
+
+
+@dataclass(frozen=True)
+class _Edge:
+    src: LockToken
+    dst: LockToken
+    module: str
+    symbol: str
+    line: int
+    via: str = ""
+
+
+def build_edges(model: ProjectModel) -> list[_Edge]:
+    """Every may-hold-while-acquiring edge, with a witness site each."""
+    edges: list[_Edge] = []
+    seen: set[tuple[LockToken, LockToken]] = set()
+
+    def add(
+        src: LockToken,
+        dst: LockToken,
+        module: str,
+        symbol: str,
+        line: int,
+        via: str = "",
+    ) -> None:
+        if (src, dst) in seen:
+            return
+        seen.add((src, dst))
+        edges.append(_Edge(src, dst, module, symbol, line, via))
+
+    for summary in model.functions.values():
+        for acq in summary.acquisitions:
+            for held in acq.held:
+                add(held, acq.token, summary.module, summary.symbol, acq.line)
+        for site in summary.calls:
+            if site.resolved is None or not site.held:
+                continue
+            for token in model.closure_acquires.get(site.resolved, ()):
+                for held in site.held:
+                    add(
+                        held,
+                        token,
+                        summary.module,
+                        summary.symbol,
+                        site.line,
+                        via=site.resolved,
+                    )
+    return edges
+
+
+def _cycles(edges: list[_Edge]) -> list[list[LockToken]]:
+    """Strongly connected components with >= 2 nodes, as token lists."""
+    graph: dict[LockToken, set[LockToken]] = {}
+    for edge in edges:
+        graph.setdefault(edge.src, set()).add(edge.dst)
+        graph.setdefault(edge.dst, set())
+    index: dict[LockToken, int] = {}
+    low: dict[LockToken, int] = {}
+    on_stack: set[LockToken] = set()
+    stack: list[LockToken] = []
+    counter = [0]
+    out: list[list[LockToken]] = []
+
+    def strongconnect(node: LockToken) -> None:
+        # Iterative Tarjan: (node, iterator) frames.
+        work = [(node, iter(sorted(graph[node], key=str)))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child], key=str))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[current] = min(low[current], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component: list[LockToken] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    out.append(sorted(component, key=str))
+
+    for node in sorted(graph, key=str):
+        if node not in index:
+            strongconnect(node)
+    return out
+
+
+@register
+class LockOrderChecker(ProjectChecker):
+    """Reports lock-order cycles and nondeterministic acquisition order."""
+
+    rule = "lock-order"
+    description = (
+        "the cross-module may-hold-while-acquiring graph must be acyclic; "
+        "per-element locks must be acquired in a deterministic order"
+    )
+    paths = ("",)
+
+    def check_project(
+        self, sources: list[ModuleSource]
+    ) -> Iterator[Finding]:
+        model = ProjectModel.build_cached(sources)
+        by_module = {src.module: src for src in sources}
+        edges = build_edges(model)
+
+        # 1. Self-deadlock: a non-re-entrant mutex acquired while held.
+        for edge in edges:
+            if edge.src.base() != edge.dst.base():
+                continue
+            if edge.dst.kind != "mutex":
+                continue
+            src = by_module.get(edge.module)
+            if src is None:
+                continue
+            suffix = f" (via {edge.via})" if edge.via else ""
+            yield self._at(
+                src,
+                edge.line,
+                f"non-re-entrant lock {edge.dst} may be acquired while "
+                f"already held{suffix}; a single thread deadlocks here",
+                edge.symbol,
+            )
+
+        # 2. Cross-lock cycles.
+        for component in _cycles(edges):
+            members = set(component)
+            if len({token.base() for token in component}) < 2:
+                # Only the read/write modes of one ReadWriteLock: the
+                # lock itself arbitrates (upgrades raise); not a cycle
+                # between independent locks.
+                continue
+            witness = next(
+                e
+                for e in edges
+                if e.src in members
+                and e.dst in members
+                and e.src.base() != e.dst.base()
+            )
+            src = by_module.get(witness.module)
+            if src is None:
+                continue
+            chain = " -> ".join(str(token) for token in component)
+            yield self._at(
+                src,
+                witness.line,
+                f"lock-order cycle: {chain} -> {component[0]}; threads "
+                "entering at different points can deadlock",
+                witness.symbol,
+            )
+
+        # 3. Per-element acquisition over an unordered iterable.
+        for summary in model.functions.values():
+            src = by_module.get(summary.module)
+            if src is None:
+                continue
+            for acq in summary.acquisitions:
+                if acq.loop_order == ORDER_UNORDERED:
+                    yield self._at(
+                        src,
+                        acq.line,
+                        f"per-element lock {acq.token} acquired while "
+                        "iterating an unordered container; iterate "
+                        "sorted(...) so concurrent holders agree on the "
+                        "acquisition order",
+                        summary.symbol,
+                    )
+
+    def _at(
+        self, src: ModuleSource, line: int, message: str, symbol: str
+    ) -> Finding:
+        node = ast.Pass()
+        node.lineno = line
+        node.col_offset = 0
+        return self.finding(src, node, message, symbol=symbol)

@@ -1,0 +1,223 @@
+"""pipe-protocol: one reply consumed per request sent, on every path.
+
+The affine pool's pipes are FIFO request/reply streams: the j-th reply
+from a shard pairs with the j-th request sent to it.  An unconsumed
+reply desynchronises the stream and feeds a *stale* result to the next
+dispatch — silently, which is worse than the deadlock the other rules
+chase.  This rule checks the structural shape that keeps the invariant,
+per function scope (nested functions are separate scopes):
+
+* a scope that **sends** on a connection must either converse inline
+  (a ``recv``/``poll`` on a connection in the same scope — the
+  close-handshake and worker-loop shape) or **account** for every send
+  in a pending structure: each send followed by a
+  ``pending[...].append(...)``;
+* a scope that accounts sends must **drain**: a ``while`` loop over the
+  pending structure positioned after the last send, and *outside* any
+  ``try`` that guards the sends (an error path that skips the drain
+  leaks exactly the replies the invariant exists to consume);
+* a scope that **receives** against a pending structure must pop
+  exactly one entry per receive.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    Checker,
+    ModuleSource,
+    enclosing_symbol,
+    register,
+    walk_with_stack,
+)
+
+_SEND_NAMES = frozenset({"send_bytes", "send"})
+_RECV_NAMES = frozenset({"recv_bytes", "recv"})
+_POP_NAMES = frozenset({"popleft", "pop"})
+
+
+def _mentions_conn(expr: ast.AST) -> bool:
+    """Heuristic: the receiver chain names a connection."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "conn" in node.id:
+            return True
+        if isinstance(node, ast.Attribute) and "conn" in node.attr:
+            return True
+    return False
+
+
+def _mentions_pending(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and "pending" in node.id:
+            return True
+        if isinstance(node, ast.Attribute) and "pending" in node.attr:
+            return True
+    return False
+
+
+class _Scope:
+    """One function's own statements (nested defs excluded)."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef, symbol: str):
+        self.node = node
+        self.symbol = symbol
+        self.sends: list[ast.Call] = []
+        self.recvs: list[ast.Call] = []
+        self.polls: list[ast.Call] = []
+        self.appends: list[ast.Call] = []
+        self.pops: list[ast.Call] = []
+        self.drains: list[ast.While] = []
+        self.pending_refs = 0
+        self.tries: list[ast.Try] = []
+        self._collect()
+
+    def _own_nodes(self) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+        # walk_with_stack roots at self.node's children, so a node with
+        # no function ancestor on the stack belongs to this scope and a
+        # nested def's contents carry that def as an ancestor.
+        for node, ancestors in walk_with_stack(self.node):
+            owner = next(
+                (
+                    a
+                    for a in reversed(ancestors)
+                    if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ),
+                None,
+            )
+            if owner is None:
+                yield node, ancestors
+
+    def _collect(self) -> None:
+        for node, _ancestors in self._own_nodes():
+            if isinstance(node, ast.Try):
+                self.tries.append(node)
+            elif isinstance(node, ast.While):
+                if _mentions_pending(node.test):
+                    self.drains.append(node)
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                label = node.id if isinstance(node, ast.Name) else node.attr
+                if "pending" in label:
+                    self.pending_refs += 1
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                method = node.func.attr
+                receiver = node.func.value
+                if method in _SEND_NAMES and _mentions_conn(receiver):
+                    self.sends.append(node)
+                elif method in _RECV_NAMES and _mentions_conn(receiver):
+                    self.recvs.append(node)
+                elif method == "poll" and _mentions_conn(receiver):
+                    self.polls.append(node)
+                elif method == "append" and _mentions_pending(receiver):
+                    self.appends.append(node)
+                elif method in _POP_NAMES and _mentions_pending(receiver):
+                    self.pops.append(node)
+
+
+def _subtree_contains(root: ast.AST, target: ast.AST) -> bool:
+    return any(node is target for node in ast.walk(root))
+
+
+@register
+class PipeProtocolChecker(Checker):
+    """Structural one-reply-per-request check for pipe conversations."""
+
+    rule = "pipe-protocol"
+    description = (
+        "every pipe send is either an inline conversation or accounted "
+        "in a pending structure with a post-send, outside-the-try drain "
+        "loop; every tracked recv pops exactly one pending entry"
+    )
+    paths = ("sp/",)
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbol = enclosing_symbol(ancestors + (node,))
+                yield from self._check_scope(src, _Scope(node, symbol))
+
+    def _check_scope(self, src: ModuleSource, scope: _Scope) -> Iterator[Finding]:
+        if scope.sends and not scope.recvs and not scope.polls:
+            if not scope.pending_refs:
+                for send in scope.sends:
+                    yield self.finding(
+                        src,
+                        send,
+                        "pipe send with no reply accounting in scope: no "
+                        "inline recv/poll and no pending structure; an "
+                        "unread reply desynchronises the stream",
+                        symbol=scope.symbol,
+                    )
+            else:
+                yield from self._check_accounted(src, scope)
+        if scope.recvs and scope.pending_refs:
+            if len(scope.pops) != len(scope.recvs):
+                yield self.finding(
+                    src,
+                    scope.recvs[0],
+                    f"{len(scope.recvs)} pipe recv(s) but "
+                    f"{len(scope.pops)} pending pop(s) in scope; each "
+                    "reply must consume exactly one pending entry",
+                    symbol=scope.symbol,
+                )
+
+    def _check_accounted(
+        self, src: ModuleSource, scope: _Scope
+    ) -> Iterator[Finding]:
+        last_send_line = max(send.lineno for send in scope.sends)
+        for send in scope.sends:
+            if not any(
+                append.lineno > send.lineno for append in scope.appends
+            ):
+                yield self.finding(
+                    src,
+                    send,
+                    "pipe send is not followed by a pending append; "
+                    "unaccounted requests leave replies nobody drains",
+                    symbol=scope.symbol,
+                )
+        post_drains = [
+            w for w in scope.drains if w.lineno > last_send_line
+        ]
+        if not post_drains:
+            yield self.finding(
+                src,
+                scope.sends[0],
+                "sends are accounted in a pending structure but no "
+                "'while pending' drain loop follows them; replies from "
+                "sent requests must be consumed before returning",
+                symbol=scope.symbol,
+            )
+            return
+        for send in scope.sends:
+            guard = None
+            for candidate in scope.tries:
+                if any(
+                    _subtree_contains(stmt, send) for stmt in candidate.body
+                ):
+                    # Innermost try whose body holds the send.
+                    if guard is None or _subtree_contains(guard, candidate):
+                        guard = candidate
+            if guard is None or not guard.handlers:
+                continue
+            if all(
+                any(
+                    _subtree_contains(stmt, drain)
+                    for stmt in guard.body
+                )
+                for drain in post_drains
+            ):
+                yield self.finding(
+                    src,
+                    send,
+                    "the drain loop lives inside the same try that "
+                    "guards this send; an exception skips it and the "
+                    "replies stay in the pipe — drain after (or in the "
+                    "finally of) the guarded region",
+                    symbol=scope.symbol,
+                )
+                break

@@ -121,6 +121,8 @@ class Checker:
     rule: str = ""
     description: str = ""
     paths: tuple[str, ...] = ("",)
+    #: Project-scoped checkers see every module at once (see ProjectChecker).
+    project: bool = False
 
     def applies_to(self, module: str) -> bool:
         """Whether this rule is in scope for a module key."""
@@ -143,6 +145,29 @@ class Checker:
             message=message,
             symbol=symbol,
         )
+
+
+class ProjectChecker(Checker):
+    """Base class for rules that need a whole-project view.
+
+    Module-local checkers see one file at a time; interprocedural rules
+    (lock-order graphs, reachability along the call graph) need every
+    module in scope simultaneously.  Subclasses implement
+    :meth:`check_project`, which receives the full list of parsed
+    sources whose module keys matched :attr:`paths`.  Findings are still
+    anchored to a single ``(module, line)`` so suppression comments and
+    baseline keys behave exactly as for module-local rules.
+    """
+
+    project: bool = True
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        """Project checkers run via :meth:`check_project`; see the runner."""
+        return iter(())
+
+    def check_project(self, sources: list[ModuleSource]) -> Iterator[Finding]:
+        """Yield findings over the whole set of in-scope modules."""
+        raise NotImplementedError
 
 
 #: Global registry of checker classes, keyed by rule id.

@@ -7,7 +7,12 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.analysis.findings import Finding
-from repro.analysis.framework import Checker, ModuleSource, default_checkers
+from repro.analysis.framework import (
+    Checker,
+    ModuleSource,
+    ProjectChecker,
+    default_checkers,
+)
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
@@ -48,18 +53,42 @@ def lint_module(src: ModuleSource, checkers: list[Checker]) -> tuple[list[Findin
     """
     raw: list[Finding] = []
     for checker in checkers:
-        if checker.applies_to(src.module):
+        if not checker.project and checker.applies_to(src.module):
             raw.extend(checker.check(src))
-    suppressions = src.suppressed_rules()
+    kept, dropped = _apply_suppressions(raw, {src.module: src.suppressed_rules()})
+    return kept, dropped
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions_by_module: dict[str, dict[int, set[str]]],
+) -> tuple[list[Finding], int]:
+    """Drop findings silenced by ``# reprolint: disable=`` comments."""
     kept: list[Finding] = []
     dropped = 0
-    for finding in raw:
-        rules = suppressions.get(finding.line, ())
+    for finding in findings:
+        suppressions = suppressions_by_module.get(finding.module, {})
+        rules = suppressions.get(finding.line, set())
         if finding.rule in rules or "all" in rules:
             dropped += 1
         else:
             kept.append(finding)
     return kept, dropped
+
+
+def run_project_checkers(
+    sources: list[ModuleSource], checkers: list[Checker]
+) -> tuple[list[Finding], int]:
+    """Run every project-scoped checker over its in-scope module subset."""
+    raw: list[Finding] = []
+    for checker in checkers:
+        if not isinstance(checker, ProjectChecker):
+            continue
+        in_scope = [src for src in sources if checker.applies_to(src.module)]
+        if in_scope:
+            raw.extend(checker.check_project(in_scope))
+    by_module = {src.module: src.suppressed_rules() for src in sources}
+    return _apply_suppressions(raw, by_module)
 
 
 def lint_source(
@@ -70,8 +99,10 @@ def lint_source(
 ) -> list[Finding]:
     """Lint an in-memory source string (unit-test / fixture entry point)."""
     src = ModuleSource.parse(path, text=text, module=module)
-    findings, _ = lint_module(src, checkers if checkers is not None else default_checkers())
-    return findings
+    active = checkers if checkers is not None else default_checkers()
+    findings, _ = lint_module(src, active)
+    project_findings, _ = run_project_checkers([src], active)
+    return sorted(findings + project_findings)
 
 
 def run_lint(
@@ -81,15 +112,20 @@ def run_lint(
     """Lint every Python file under ``paths``."""
     active = checkers if checkers is not None else default_checkers()
     result = LintResult()
+    sources: list[ModuleSource] = []
     for filename in iter_python_files(paths):
         try:
             src = ModuleSource.parse(filename)
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             result.errors.append(f"{filename}: {exc}")
             continue
+        sources.append(src)
         findings, suppressed = lint_module(src, active)
         result.findings.extend(findings)
         result.suppressed += suppressed
         result.files_scanned += 1
+    project_findings, project_suppressed = run_project_checkers(sources, active)
+    result.findings.extend(project_findings)
+    result.suppressed += project_suppressed
     result.findings.sort()
     return result

@@ -535,27 +535,31 @@ class HybridStorageSystem:
 
     def query(self, query: KeywordQuery | str) -> QueryResult:
         """Full round trip: SP processing plus client verification."""
-        with self._rwlock.read(), obs.span(
-            "query", scheme=self.scheme.value
-        ) as root_span:
+        with obs.span("query", scheme=self.scheme.value) as root_span:
             if isinstance(query, str):
                 tp = time.perf_counter()
                 with obs.span("query.parse"):
                     query = KeywordQuery.parse(query)
                 obs.observe("query.parse_seconds", time.perf_counter() - tp,
                             buckets=obs.TIME_BUCKETS_S)
-            if self.warmer is not None:
-                self.warmer.note_access(query.all_keywords())
-            t0 = time.perf_counter()
-            answer = self._sp.process_query(query)
-            sp_seconds = time.perf_counter() - t0
-            tc = time.perf_counter()
-            with obs.span(
-                "query.chain", keywords=len(query.all_keywords())
-            ):
-                proof_system = self.chain_proof_system(query.all_keywords())
-            obs.observe("query.chain_seconds", time.perf_counter() - tc,
-                        buckets=obs.TIME_BUCKETS_S)
+            # Only SP evaluation and chain reads need the facade read
+            # lock; verification and VO encoding operate on the returned
+            # snapshot and must not extend the lock scope.
+            with self._rwlock.read():
+                if self.warmer is not None:
+                    self.warmer.note_access(query.all_keywords())
+                t0 = time.perf_counter()
+                answer = self._sp.process_query(query)
+                sp_seconds = time.perf_counter() - t0
+                tc = time.perf_counter()
+                with obs.span(
+                    "query.chain", keywords=len(query.all_keywords())
+                ):
+                    proof_system = self.chain_proof_system(
+                        query.all_keywords()
+                    )
+                obs.observe("query.chain_seconds", time.perf_counter() - tc,
+                            buckets=obs.TIME_BUCKETS_S)
             t1 = time.perf_counter()
             with obs.span("query.verify", executor=self.executor.kind):
                 verified = verify_query(

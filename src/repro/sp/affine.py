@@ -40,10 +40,14 @@ import io
 import multiprocessing
 import os
 import pickle
+import sys
 import threading
 import traceback
 from collections import deque
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from typing import TYPE_CHECKING, Any, NoReturn
 
 from repro import obs
 from repro.errors import ParameterError, ReproError
@@ -51,6 +55,9 @@ from repro.obs import trace as obs_trace
 from repro.obs import xproc
 from repro.parallel import RemoteTraceback
 from repro.sp.engine import IndexShardEngine, make_engine
+
+if TYPE_CHECKING:
+    from repro.core.objects import DataObject
 
 #: Pool modes accepted by the SP front-end / system facade.
 POOL_KINDS = ("stateless", "affine")
@@ -62,7 +69,7 @@ RPC_SPAN = "sp.affine.rpc"
 DEFAULT_CHUNK_RECORDS = 4096
 
 
-def build_index_factory(index_spec: tuple):
+def build_index_factory(index_spec: tuple) -> Callable[[], object]:
     """Rebuild a per-shard index factory from its picklable spec.
 
     The system facade's index factories are closures over live config
@@ -131,7 +138,7 @@ def _resident_state_types() -> tuple:
     )
 
 
-def _reject_resident_state(obj):
+def _reject_resident_state(obj: object) -> NoReturn:
     raise ParameterError(
         f"affine request must not carry resident shard state "
         f"({type(obj).__name__}); ship deltas, not trees"
@@ -154,7 +161,7 @@ def _guard_table() -> dict:
     return table
 
 
-def guarded_dumps(obj) -> bytes:
+def guarded_dumps(obj: object) -> bytes:
     """Pickle a request payload, rejecting resident shard state.
 
     The dispatch-table guard costs nothing for allowed types (builtin
@@ -172,7 +179,7 @@ def guarded_dumps(obj) -> bytes:
 # -- worker side -----------------------------------------------------------------
 
 
-def _handle(engine: IndexShardEngine, op: str, payload):
+def _handle(engine: IndexShardEngine, op: str, payload: Any) -> object:
     """Execute one request against the resident engine."""
     if op == "apply":
         return engine.apply_records(payload)
@@ -205,7 +212,7 @@ def _handle(engine: IndexShardEngine, op: str, payload):
     raise ParameterError(f"unknown affine op {op!r}")
 
 
-def _worker_main(conn, spec: EngineSpec) -> None:
+def _worker_main(conn: Connection, spec: EngineSpec) -> None:
     """Resident worker loop: build the engine once, serve until close.
 
     Runs in the child process.  The fork start method copies the
@@ -271,6 +278,17 @@ def _worker_main(conn, spec: EngineSpec) -> None:
 # -- parent side -----------------------------------------------------------------
 
 
+def _mark_pipe_lock(lock: threading.Lock) -> None:
+    """Bless a pipe-serialising lock with the runtime sanitizer.
+
+    Resolved through ``sys.modules`` so the analysis package is never
+    imported here: it is already loaded iff ``REPRO_SANITIZE=1``.
+    """
+    sanitize = sys.modules.get("repro.analysis.sanitize")
+    if sanitize is not None:
+        sanitize.mark_pipe_lock(lock)
+
+
 @dataclass
 class _Worker:
     process: multiprocessing.Process
@@ -316,7 +334,9 @@ class AffineWorkerPool:
             )
             process.start()
             child_conn.close()
-            self._workers.append(_Worker(process=process, conn=parent_conn))
+            worker = _Worker(process=process, conn=parent_conn)
+            _mark_pipe_lock(worker.lock)
+            self._workers.append(worker)
         # Collect handshakes after every spawn so workers boot (and
         # replay their journals) concurrently.
         for spec, worker in zip(specs, self._workers):
@@ -461,7 +481,7 @@ class AffineWorkerPool:
             obs.inc("sp.affine.scatter.bytes", sent)
         return results
 
-    def request(self, shard: int, op: str, payload=None):
+    def request(self, shard: int, op: str, payload: object = None) -> Any:
         """One call to one worker; returns its result."""
         return self.dispatch([(shard, op, payload)])[0]
 
@@ -529,14 +549,14 @@ class AffineEngineProxy:
     # -- resident state must not be reachable here --------------------------------
 
     @property
-    def store(self):
+    def store(self) -> NoReturn:
         raise ReproError(
             "affine mode keeps the object store resident in the shard "
             "worker; fetch through the storage provider instead"
         )
 
     @property
-    def index(self):
+    def index(self) -> NoReturn:
         raise ReproError(
             "affine mode keeps the index mirror resident in the shard "
             "worker; query through the storage provider instead"
@@ -576,7 +596,7 @@ class AffineEngineProxy:
             {"op": "register", "kw": keyword, "c": format(commitment, "x")}
         )
 
-    def apply_insertion(self, keyword: str, proof) -> None:
+    def apply_insertion(self, keyword: str, proof: object) -> None:
         from repro.sp.engine import _proof_to_record
 
         self._queue(
@@ -586,12 +606,14 @@ class AffineEngineProxy:
     def bloom_add(self, keyword: str, object_id: int) -> None:
         self._queue({"op": "bloom", "kw": keyword, "id": object_id})
 
-    def put_object(self, obj) -> None:
+    def put_object(self, obj: DataObject) -> None:
         from repro.sp.engine import _object_to_record
 
         self._queue({"op": "object", **_object_to_record(obj)})
 
-    def adopt_tree(self, keyword: str, tree, entries) -> None:
+    def adopt_tree(
+        self, keyword: str, tree: object, entries: Iterable[Any]
+    ) -> None:
         """Affine ingest never moves trees: ship the postings instead."""
         self.flush()
         self.pool.dispatch(
@@ -599,7 +621,7 @@ class AffineEngineProxy:
             ingest=True,
         )
 
-    def apply_bulk(self, groups) -> None:
+    def apply_bulk(self, groups: list[tuple[str, list]]) -> None:
         """Ship posting groups; the worker extends its trees in place."""
         self.flush()
         self.pool.dispatch(
@@ -608,15 +630,15 @@ class AffineEngineProxy:
 
     # -- reads (flush first: read-your-writes) ------------------------------------
 
-    def view(self, keyword: str):
+    def view(self, keyword: str) -> Any:
         self.flush()
         return self.pool.request(self.shard_id, "views", [keyword])[keyword]
 
-    def tree(self, keyword: str):
+    def tree(self, keyword: str) -> Any:
         self.flush()
         return self.pool.request(self.shard_id, "tree", keyword)
 
-    def get_object(self, object_id: int):
+    def get_object(self, object_id: int) -> DataObject:
         self.flush()
         return self.pool.request(self.shard_id, "get_objects", [object_id])[0]
 

@@ -33,8 +33,9 @@ from __future__ import annotations
 import base64
 import json
 import os
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from repro import obs
 from repro.core.chameleon import InsertionProof
@@ -216,7 +217,7 @@ class IndexShardEngine:
         self._journal_many(records)
         return len(records)
 
-    def adopt_tree(self, keyword: str, tree, entries) -> None:
+    def adopt_tree(self, keyword: str, tree: Any, entries: Iterable[Any]) -> None:
         """Install a bulk-built MB-tree over the keyword's current one.
 
         ``tree`` must extend this engine's current tree with exactly
@@ -295,14 +296,14 @@ class IndexShardEngine:
 
     # -- reads ------------------------------------------------------------------
 
-    def view(self, keyword: str):
+    def view(self, keyword: str) -> Any:
         """The join engine's IndexView for one of this shard's keywords."""
         view = self.index.view(keyword)
         if self.star:
             view.bloom = self.blooms.get(keyword)
         return view
 
-    def tree(self, keyword: str):
+    def tree(self, keyword: str) -> Any:
         """The keyword's raw index tree, or ``None`` if never inserted."""
         return self.index.trees.get(keyword)
 

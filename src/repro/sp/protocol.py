@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro import obs
 from repro.core.objects import MAX_KEYWORD_BYTES, DataObject
@@ -24,6 +24,9 @@ from repro.core.query.codec import VOCodec
 from repro.core.query.parser import KeywordQuery
 from repro.core.query.verify import verify_query
 from repro.core.query.vo import QueryAnswer
+
+if TYPE_CHECKING:
+    from repro.core.system import HybridStorageSystem
 from repro.errors import DatasetError, QueryError, ReproError
 
 #: Protocol version byte, bumped on breaking format changes.
@@ -191,7 +194,7 @@ class StorageProviderServer:
     chain, mirroring the trust boundary of Fig. 1.
     """
 
-    def __init__(self, system) -> None:
+    def __init__(self, system: HybridStorageSystem) -> None:
         self._system = system
         self._codec = VOCodec(value_bytes=system.value_bytes)
 
@@ -268,7 +271,7 @@ class RemoteClient:
     """
 
     def __init__(
-        self, transport: Callable[[bytes], bytes], system
+        self, transport: Callable[[bytes], bytes], system: HybridStorageSystem
     ) -> None:
         self._transport = transport
         self._system = system

@@ -32,19 +32,26 @@ counters and an ``sp.batch.flush`` span per drain.
 from __future__ import annotations
 
 import threading
+from collections.abc import Callable
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.crypto import vc
 from repro.errors import ReproError
 from repro.parallel import Executor, SerialExecutor
 
+if TYPE_CHECKING:
+    from repro.core.chameleon_index import ChameleonDataOwner
+
 #: A request key: (keyword, node position, 1-based CVC slot).
 RequestKey = tuple[str, int, int]
 
 
-def _open_batch(args: tuple[vc.CVCPublicParams, vc.CVCAux, list[int], str]):
+def _open_batch(
+    args: tuple[vc.CVCPublicParams, vc.CVCAux, list[int], str],
+) -> dict[int, int]:
     """Executor task: all requested slots of one commitment, batched.
 
     Module-level so process pools can pickle it; ``pp`` and ``aux`` are
@@ -81,7 +88,7 @@ class WitnessScheduler:
 
     def __init__(
         self,
-        aux_source,
+        aux_source: Callable[[str, int], vc.CVCAux],
         pp: vc.CVCPublicParams,
         executor: Executor | None = None,
         strategy: str = "auto",
@@ -206,7 +213,7 @@ class WitnessScheduler:
         return future.result()
 
 
-def tree_aux_source(owner) -> "object":
+def tree_aux_source(owner: ChameleonDataOwner) -> Callable[[str, int], vc.CVCAux]:
     """Adapter: resolve aux from a :class:`ChameleonDataOwner`'s trees."""
 
     def resolve(keyword: str, position: int) -> vc.CVCAux:

@@ -35,9 +35,14 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro import obs
 from repro.errors import VerificationError
+
+if TYPE_CHECKING:
+    from repro.sp.engine import ShardRouter
 
 #: Accesses within the trailing window before a keyword counts as hot.
 DEFAULT_HOT_THRESHOLD = 2
@@ -65,8 +70,8 @@ class CacheWarmer:
 
     def __init__(
         self,
-        prove,
-        proof_system,
+        prove: Callable[[str], Sequence[Any]],
+        proof_system: Callable[[frozenset[str]], Any],
         hot_threshold: int = DEFAULT_HOT_THRESHOLD,
     ) -> None:
         self._prove = prove
@@ -81,13 +86,13 @@ class CacheWarmer:
 
     # -- signals ----------------------------------------------------------------
 
-    def note_insert(self, keywords) -> None:
+    def note_insert(self, keywords: Iterable[str]) -> None:
         """Mark keywords dirty: their digests (and proofs) just changed."""
         with self._lock:
             for keyword in keywords:
                 self._dirty[keyword] = None
 
-    def note_access(self, keywords) -> None:
+    def note_access(self, keywords: Iterable[str]) -> None:
         """Record one access to each keyword (the trailing hot signal)."""
         with self._lock:
             for keyword in keywords:
@@ -235,8 +240,10 @@ class ShardedCacheWarmer:
     the per-shard pending sets are disjoint by construction.
     """
 
-    def __init__(self, warmers, router) -> None:
-        self._warmers = list(warmers)
+    def __init__(
+        self, warmers: Iterable[CacheWarmer], router: ShardRouter
+    ) -> None:
+        self._warmers: list[CacheWarmer] = list(warmers)
         self._router = router
 
     def _warmer_for(self, keyword: str) -> CacheWarmer:
@@ -247,12 +254,12 @@ class ShardedCacheWarmer:
         """The shared trailing-access bar (identical across shards)."""
         return self._warmers[0].hot_threshold
 
-    def note_insert(self, keywords) -> None:
+    def note_insert(self, keywords: Iterable[str]) -> None:
         """Mark keywords dirty on their owning shards."""
         for keyword in keywords:
             self._warmer_for(keyword).note_insert((keyword,))
 
-    def note_access(self, keywords) -> None:
+    def note_access(self, keywords: Iterable[str]) -> None:
         """Record one access per keyword on its owning shard."""
         for keyword in keywords:
             self._warmer_for(keyword).note_access((keyword,))

@@ -1,0 +1,40 @@
+"""Deliberate lock-order inversion, used as a detection fixture.
+
+``first()`` acquires ``_lock_a`` then ``_lock_b``; ``second()`` acquires
+them in the opposite order.  Two threads running one function each can
+deadlock — the static ``lock-order`` rule must find the cycle in this
+file, and the runtime sanitizer must flag the inversion when both
+functions execute (see ``test_concurrency.py`` / ``test_sanitize.py``).
+
+This module is a *fixture*: it is imported by tests, never by ``repro``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_lock_a = threading.Lock()
+_lock_b = threading.Lock()
+
+#: Written under both locks; gives the critical sections a body.
+_events: list[str] = []
+
+
+def first() -> None:
+    """A-then-B: one half of the inversion."""
+    with _lock_a:
+        with _lock_b:
+            _events.append("first")
+
+
+def second() -> None:
+    """B-then-A: the other half."""
+    with _lock_b:
+        with _lock_a:
+            _events.append("second")
+
+
+def use_locks(lock_a: threading.Lock, lock_b: threading.Lock) -> None:
+    """Re-bind the module locks (lets tests swap in sanitized locks)."""
+    global _lock_a, _lock_b
+    _lock_a, _lock_b = lock_a, lock_b

@@ -1,0 +1,409 @@
+"""Tests for the cross-module concurrency rules.
+
+Each sub-rule of ``lock-order``, ``fork-safety`` and ``pipe-protocol``
+gets a triggering fixture and a clean counterpart.  The fixtures mirror
+the architectural shapes of the real tree (facade rwlock, per-worker
+pipe locks, the affine pool's pending/drain protocol) so the rules keep
+guarding the idioms they were written for.
+"""
+
+import os
+
+from repro.analysis import lint_source, run_lint
+from repro.analysis.framework import default_checkers
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "lockorder_fixture.py")
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+def order_checkers():
+    return default_checkers(["lock-order"])
+
+
+def fork_checkers():
+    return default_checkers(["fork-safety"])
+
+
+def pipe_checkers():
+    return default_checkers(["pipe-protocol"])
+
+
+# -- lock-order ---------------------------------------------------------------
+
+INVERSION = """\
+import threading
+
+_lock_a = threading.Lock()
+_lock_b = threading.Lock()
+
+
+def first():
+    with _lock_a:
+        with _lock_b:
+            pass
+
+
+def second():
+    with _lock_b:
+        with _lock_a:
+            pass
+"""
+
+SELF_DEADLOCK = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            pass
+"""
+
+RLOCK_REENTRY = SELF_DEADLOCK.replace("threading.Lock()", "threading.RLock()")
+
+UNORDERED_LOOP = """\
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._locks: dict[int, threading.Lock] = {}
+
+    def grab(self, wanted):
+        for shard in {s for s in wanted}:
+            self._locks[shard].acquire()
+"""
+
+SORTED_LOOP = """\
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._locks: dict[int, threading.Lock] = {}
+
+    def grab(self, wanted):
+        for shard in sorted(wanted):
+            self._locks[shard].acquire()
+"""
+
+
+class TestLockOrder:
+    def test_inversion_cycle_across_functions(self):
+        findings = lint_source(INVERSION, "fix_inv.py", order_checkers())
+        assert rules(findings) == ["lock-order"]
+        assert "lock-order cycle" in findings[0].message
+        assert "_lock_a" in findings[0].message
+        assert "_lock_b" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        consistent = INVERSION.replace(
+            "with _lock_b:\n        with _lock_a:",
+            "with _lock_a:\n        with _lock_b:",
+        )
+        assert lint_source(consistent, "fix_ok.py", order_checkers()) == []
+
+    def test_mutex_self_deadlock_through_call(self):
+        findings = lint_source(SELF_DEADLOCK, "fix_self.py", order_checkers())
+        assert rules(findings) == ["lock-order"]
+        assert "already held" in findings[0].message
+        assert findings[0].symbol == "Box.outer"
+
+    def test_rlock_reentry_is_clean(self):
+        assert lint_source(RLOCK_REENTRY, "fix_re.py", order_checkers()) == []
+
+    def test_unordered_per_element_iteration(self):
+        findings = lint_source(UNORDERED_LOOP, "fix_uno.py", order_checkers())
+        assert rules(findings) == ["lock-order"]
+        assert "unordered container" in findings[0].message
+
+    def test_sorted_per_element_iteration_is_clean(self):
+        assert lint_source(SORTED_LOOP, "fix_srt.py", order_checkers()) == []
+
+    def test_fixture_module_detected_from_disk(self):
+        result = run_lint([FIXTURE], order_checkers())
+        assert rules(result.findings) == ["lock-order"]
+        assert "lock-order cycle" in result.findings[0].message
+
+
+# -- fork-safety --------------------------------------------------------------
+
+HELD_AT_FORK = """\
+import threading
+
+
+class Spawner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def go(self, ctx):
+        with self._lock:
+            process = ctx.Process(target=print)
+            process.start()
+"""
+
+SEND_UNDER_LOCK = """\
+import threading
+
+
+class Endpoint:
+    def __init__(self, conn):
+        self.conn = conn
+
+
+class Manager:
+    def __init__(self, endpoint: Endpoint):
+        self._lock = threading.Lock()
+        self.endpoint = endpoint
+
+    def push(self, data):
+        with self._lock:
+            self.endpoint.conn.send_bytes(data)
+"""
+
+TRANSITIVE_SEND = """\
+import threading
+
+
+class Endpoint:
+    def __init__(self, conn):
+        self.conn = conn
+
+    def ship(self, data):
+        self.conn.send_bytes(data)
+
+
+class Manager:
+    def __init__(self, endpoint: Endpoint):
+        self._lock = threading.Lock()
+        self.endpoint = endpoint
+
+    def push(self, data):
+        with self._lock:
+            self.endpoint.ship(data)
+"""
+
+FORK_WINDOW = """\
+import threading
+
+
+class Boot:
+    def start(self, ctx):
+        parent_conn, child_conn = ctx.Pipe()
+        other_lock = threading.Lock()
+        other_lock.acquire()
+        other_lock.release()
+        process = ctx.Process(target=print)
+        process.start()
+"""
+
+LOCK_IN_PAYLOAD = """\
+import threading
+from repro.sp.affine import guarded_dumps
+
+
+class Holder:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def pack(self):
+        return guarded_dumps((1, self._lock))
+"""
+
+PIPE_LOCK_EXEMPT = """\
+import threading
+
+
+class Endpoint:
+    def __init__(self, conn):
+        self.conn = conn
+        self.lock = threading.Lock()
+
+    def push(self, data):
+        with self.lock:
+            self.conn.send_bytes(data)
+"""
+
+
+class TestForkSafety:
+    def test_fork_while_holding_lock(self):
+        findings = lint_source(HELD_AT_FORK, "fix_fork.py", fork_checkers())
+        assert rules(findings) == ["fork-safety"]
+        assert "Process.start()" in findings[0].message
+
+    def test_send_under_unrelated_lock(self):
+        findings = lint_source(SEND_UNDER_LOCK, "fix_send.py", fork_checkers())
+        assert rules(findings) == ["fork-safety"]
+        assert "blocking Connection.send_bytes" in findings[0].message
+
+    def test_transitive_send_through_callee(self):
+        findings = lint_source(TRANSITIVE_SEND, "fix_ts.py", fork_checkers())
+        assert rules(findings) == ["fork-safety"]
+        assert "can block on a pipe" in findings[0].message
+        assert findings[0].symbol == "Manager.push"
+
+    def test_lock_acquired_in_fork_window(self):
+        findings = lint_source(FORK_WINDOW, "fix_win.py", fork_checkers())
+        assert rules(findings) == ["fork-safety"]
+        assert "between pipe setup and" in findings[0].message
+
+    def test_lock_in_guarded_dumps_payload(self):
+        findings = lint_source(LOCK_IN_PAYLOAD, "fix_pay.py", fork_checkers())
+        assert rules(findings) == ["fork-safety"]
+        assert "guarded_dumps payload" in findings[0].message
+
+    def test_conn_owning_lock_is_exempt(self):
+        # The _Worker shape: a lock whose class owns the pipe endpoint
+        # exists to serialise pipe access and may be held across sends.
+        assert lint_source(PIPE_LOCK_EXEMPT, "fix_ok.py", fork_checkers()) == []
+
+
+# -- pipe-protocol ------------------------------------------------------------
+
+UNACCOUNTED_SEND = """\
+class Pool:
+    def blast(self, payload):
+        for worker in self.workers:
+            worker.conn.send_bytes(payload)
+"""
+
+SEND_WITHOUT_APPEND = """\
+from collections import deque
+
+
+class Pool:
+    def blast(self, payload):
+        pending = deque()
+        for worker in self.workers:
+            worker.conn.send_bytes(payload)
+        while pending:
+            pending.popleft()
+"""
+
+NO_DRAIN = """\
+from collections import deque
+
+
+class Pool:
+    def blast(self, payload):
+        pending = deque()
+        for index, worker in enumerate(self.workers):
+            worker.conn.send_bytes(payload)
+            pending.append(index)
+"""
+
+DRAIN_IN_TRY = """\
+from collections import deque
+
+
+class Pool:
+    def blast(self, payload):
+        pending = deque()
+        try:
+            for index, worker in enumerate(self.workers):
+                worker.conn.send_bytes(payload)
+                pending.append(index)
+            while pending:
+                self.read_reply(pending)
+        except ValueError:
+            pass
+"""
+
+POP_MISMATCH = """\
+class Pool:
+    def read_two(self, pending, shard):
+        raw = self.workers[shard].conn.recv_bytes()
+        more = self.workers[shard].conn.recv_bytes()
+        pending.popleft()
+        return raw, more
+"""
+
+PROTOCOL_CLEAN = """\
+from collections import deque
+
+
+class Pool:
+    def read_reply(self, pending, shard):
+        raw = self.workers[shard].conn.recv_bytes()
+        index = pending.popleft()
+        return index, raw
+
+    def blast(self, payload):
+        pending = deque()
+        try:
+            for index, worker in enumerate(self.workers):
+                worker.conn.send_bytes(payload)
+                pending.append(index)
+        except ValueError:
+            pass
+        while pending:
+            self.read_reply(pending, 0)
+
+    def handshake(self):
+        self.conn.send_bytes(b"hello")
+        if self.conn.poll(5.0):
+            self.conn.recv_bytes()
+"""
+
+
+class TestPipeProtocol:
+    def test_send_with_no_accounting(self):
+        findings = lint_source(UNACCOUNTED_SEND, "sp/fix_a.py", pipe_checkers())
+        assert rules(findings) == ["pipe-protocol"]
+        assert "no reply accounting" in findings[0].message
+
+    def test_send_not_followed_by_append(self):
+        findings = lint_source(
+            SEND_WITHOUT_APPEND, "sp/fix_b.py", pipe_checkers()
+        )
+        assert rules(findings) == ["pipe-protocol"]
+        assert "not followed by a pending append" in findings[0].message
+
+    def test_accounted_sends_without_drain(self):
+        findings = lint_source(NO_DRAIN, "sp/fix_c.py", pipe_checkers())
+        assert rules(findings) == ["pipe-protocol"]
+        assert "drain loop" in findings[0].message
+
+    def test_drain_inside_guarding_try(self):
+        findings = lint_source(DRAIN_IN_TRY, "sp/fix_d.py", pipe_checkers())
+        assert rules(findings) == ["pipe-protocol"]
+        assert "inside the same try" in findings[0].message
+
+    def test_recv_pop_mismatch(self):
+        findings = lint_source(POP_MISMATCH, "sp/fix_e.py", pipe_checkers())
+        assert rules(findings) == ["pipe-protocol"]
+        assert "2 pipe recv(s) but 1 pending pop(s)" in findings[0].message
+
+    def test_drain_after_try_is_clean(self):
+        assert lint_source(PROTOCOL_CLEAN, "sp/fix_f.py", pipe_checkers()) == []
+
+    def test_rule_is_scoped_to_sp(self):
+        assert (
+            lint_source(UNACCOUNTED_SEND, "core/fix_a.py", pipe_checkers())
+            == []
+        )
+
+
+# -- the real tree ------------------------------------------------------------
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        here = os.path.dirname(__file__)
+        src = os.path.abspath(os.path.join(here, "..", "..", "src", "repro"))
+        checkers = default_checkers(
+            ["lock-order", "fork-safety", "pipe-protocol"]
+        )
+        result = run_lint([src], checkers)
+        assert result.errors == []
+        assert result.findings == []

@@ -1,0 +1,271 @@
+"""Tests for the runtime lock-order sanitizer.
+
+These tests drive :mod:`repro.analysis.sanitize` directly (constructing
+``SanitizedLock`` objects, or calling :func:`install`/:func:`uninstall`
+around a scope) rather than relying on ``REPRO_SANITIZE=1`` — the env
+hook itself is exercised in a subprocess so the patched factories never
+leak into the surrounding pytest process.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.analysis import sanitize
+from tests.analysis import lockorder_fixture
+
+# Under an env-installed sanitizer (the CI sanitizer job) these tests
+# must not run: the fixture's uninstall() would tear down the global
+# hooks mid-session, and the deliberate violations staged here would
+# poison the empty-findings gate in tests/conftest.py.
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SANITIZE") == "1",
+    reason="sanitizer already installed process-wide via REPRO_SANITIZE",
+)
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+@pytest.fixture()
+def san():
+    """A live sanitizer state, fully restored afterwards."""
+    state = sanitize.install()
+    try:
+        yield state
+    finally:
+        sanitize.uninstall()
+        sanitize.reset()
+
+
+def violations(kind=None):
+    snapshot = sanitize.report()
+    found = snapshot["violations"]
+    if kind is not None:
+        found = [v for v in found if v["kind"] == kind]
+    return found
+
+
+class TestLockOrderRuntime:
+    def test_inversion_detected_without_deadlock(self, san):
+        a = sanitize.SanitizedLock("a")
+        b = sanitize.SanitizedLock("b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # reverse order: flagged, single-threaded
+                pass
+        found = violations("lock-order-inversion")
+        assert len(found) == 1
+        assert "Lock(a)" in found[0]["message"]
+        assert "Lock(b)" in found[0]["message"]
+        assert found[0]["reverse_witness"], "must carry the first edge"
+
+    def test_consistent_order_is_silent(self, san):
+        a = sanitize.SanitizedLock("a")
+        b = sanitize.SanitizedLock("b")
+        for _ in range(3):
+            with a, b:
+                pass
+        assert violations() == []
+
+    def test_three_lock_cycle_via_path(self, san):
+        a = sanitize.SanitizedLock("a")
+        b = sanitize.SanitizedLock("b")
+        c = sanitize.SanitizedLock("c")
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with c, a:  # closes a->b->c->a without a direct reverse edge
+            pass
+        assert len(violations("lock-order-inversion")) == 1
+
+    def test_fixture_module_detected_at_runtime(self, san):
+        lock_a = sanitize.SanitizedLock("fixture_a")
+        lock_b = sanitize.SanitizedLock("fixture_b")
+        lockorder_fixture.use_locks(lock_a, lock_b)
+        try:
+            lockorder_fixture.first()
+            lockorder_fixture.second()
+        finally:
+            lockorder_fixture.use_locks(threading.Lock(), threading.Lock())
+        found = violations("lock-order-inversion")
+        assert len(found) == 1
+        assert "fixture" in found[0]["message"]
+
+    def test_rlock_reentry_is_not_an_edge(self, san):
+        r = sanitize.SanitizedRLock("r")
+        with r:
+            with r:
+                pass
+        assert sanitize.report()["edges"] == []
+        assert violations() == []
+
+    def test_condition_wait_releases_held_tracking(self, san):
+        r = sanitize.SanitizedRLock("r")
+        cond = threading.Condition(r)
+        woke = threading.Event()
+
+        def waker():
+            with cond:
+                cond.notify_all()
+
+        with cond:
+            t = threading.Thread(target=waker)
+            t.start()
+            cond.wait(timeout=5.0)
+            woke.set()
+        t.join()
+        assert woke.is_set()
+        assert sanitize.state().held_now() == []
+        assert violations() == []
+
+
+class TestBlockingUnderLock:
+    def test_send_while_holding_lock(self, san):
+        import multiprocessing
+
+        lock = sanitize.SanitizedLock("guard")
+        a, b = multiprocessing.Pipe()
+        try:
+            with lock:
+                a.send_bytes(b"x")
+            b.recv_bytes()
+        finally:
+            a.close()
+            b.close()
+        found = violations("blocking-under-lock")
+        assert len(found) == 1
+        assert "send_bytes" in found[0]["message"]
+        assert "Lock(guard)" in found[0]["message"]
+
+    def test_pipe_marked_lock_is_exempt(self, san):
+        import multiprocessing
+
+        lock = sanitize.mark_pipe_lock(sanitize.SanitizedLock("pipe"))
+        a, b = multiprocessing.Pipe()
+        try:
+            with lock:
+                a.send_bytes(b"x")
+            b.recv_bytes()
+        finally:
+            a.close()
+            b.close()
+        assert violations() == []
+
+    def test_unlocked_send_is_silent(self, san):
+        import multiprocessing
+
+        a, b = multiprocessing.Pipe()
+        try:
+            a.send_bytes(b"x")
+            b.recv_bytes()
+        finally:
+            a.close()
+            b.close()
+        assert violations() == []
+
+
+class TestFactoriesAndReport:
+    def test_factory_wraps_repro_and_test_callers(self, san):
+        lock = threading.Lock()  # this file lives under tests/
+        assert isinstance(lock, sanitize.SanitizedLock)
+        rlock = threading.RLock()
+        assert isinstance(rlock, sanitize.SanitizedRLock)
+
+    def test_uninstall_restores_native_factories(self):
+        sanitize.install()
+        sanitize.uninstall()
+        sanitize.reset()
+        assert threading.Lock is sanitize._ORIG_LOCK
+        assert threading.RLock is sanitize._ORIG_RLOCK
+
+    def test_report_shape_and_render(self, san):
+        a = sanitize.SanitizedLock("a")
+        b = sanitize.SanitizedLock("b")
+        with a, b:
+            pass
+        snapshot = sanitize.report()
+        assert snapshot["installed"]
+        assert snapshot["locks"] >= 2
+        assert any(
+            e["src"] == "Lock(a)" and e["dst"] == "Lock(b)"
+            for e in snapshot["edges"]
+        )
+        text = sanitize.render_report(snapshot)
+        assert "Lock(a) -> Lock(b)" in text
+        assert "no violations" in text
+
+    def test_report_publishes_obs_gauges(self, san):
+        from repro import obs
+
+        with obs.collect() as collector:
+            a = sanitize.SanitizedLock("a")
+            with a:
+                pass
+            sanitize.report()
+            snapshot = collector.metrics.snapshot()
+        assert snapshot["sanitize.acquisitions"] >= 1
+        assert snapshot["sanitize.violation_count"] == 0
+
+
+class TestEnvHook:
+    def test_repro_sanitize_env_installs_and_dumps(self, tmp_path):
+        out = tmp_path / "sanitize.json"
+        code = (
+            "import repro\n"
+            "from repro.analysis import sanitize\n"
+            "assert sanitize.installed()\n"
+            "a = sanitize.SanitizedLock('a')\n"
+            "b = sanitize.SanitizedLock('b')\n"
+            "with a, b: pass\n"
+            "with b:\n"
+            "    with a: pass\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_SANITIZE"] = "1"
+        env["REPRO_SANITIZE_OUT"] = str(out)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        dump = json.loads(out.read_text())
+        kinds = [v["kind"] for v in dump["violations"]]
+        assert "lock-order-inversion" in kinds
+
+    def test_cli_renders_dump_and_gates(self, tmp_path):
+        from repro.analysis.cli import main
+
+        dump = {
+            "installed": True,
+            "locks": 2,
+            "acquisitions": 4,
+            "edges": [{"src": "Lock(a)", "dst": "Lock(b)", "stack": []}],
+            "violations": [
+                {
+                    "kind": "lock-order-inversion",
+                    "thread": 1,
+                    "message": "acquiring Lock(a) while holding Lock(b)",
+                    "stack": ["x.py:1:f"],
+                }
+            ],
+            "infos": [],
+        }
+        path = tmp_path / "dump.json"
+        path.write_text(json.dumps(dump))
+        assert main(["--sanitize-report", str(path)]) == 1
+        dump["violations"] = []
+        path.write_text(json.dumps(dump))
+        assert main(["--sanitize-report", str(path)]) == 0

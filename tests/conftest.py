@@ -7,10 +7,34 @@ structurally identical) 512-bit modulus.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.crypto import vc
 from repro.crypto.prf import generate_key
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Under ``REPRO_SANITIZE=1``, fail the run on sanitizer findings.
+
+    The CI sanitizer job runs the concurrency-heavy suites with the
+    runtime lock-order sanitizer installed (see
+    :mod:`repro.analysis.sanitize`); any recorded violation — inversion,
+    lock held at fork, blocking pipe op under a lock — turns an
+    otherwise green session red.
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        return
+    from repro.analysis import sanitize
+
+    if not sanitize.installed():
+        return
+    snapshot = sanitize.report()
+    if snapshot["violations"]:
+        print()
+        print(sanitize.render_report(snapshot))
+        session.exitstatus = 1
 
 
 @pytest.fixture(scope="session")
