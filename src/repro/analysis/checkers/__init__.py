@@ -14,6 +14,7 @@ from repro.analysis.concurrency import (
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.gas_integrality import GasIntegralityChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.multiproof import MultiproofBatchedPathChecker
 from repro.analysis.checkers.timing import TimingSafeCompareChecker
 from repro.analysis.checkers.verification import VerificationDisciplineChecker
 from repro.analysis.checkers.wallclock import WallClockChecker
@@ -25,6 +26,7 @@ __all__ = [
     "GasIntegralityChecker",
     "LockDisciplineChecker",
     "LockOrderChecker",
+    "MultiproofBatchedPathChecker",
     "PipeProtocolChecker",
     "TimingSafeCompareChecker",
     "VerificationDisciplineChecker",

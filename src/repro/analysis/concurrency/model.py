@@ -408,18 +408,25 @@ class ProjectModel:
 
     # -- name / type resolution ---------------------------------------------------
 
-    def resolve_class(self, name: str, module: str) -> str | None:
+    def resolve_class(
+        self, name: str, module: str, _seen: frozenset[str] = frozenset()
+    ) -> str | None:
         """Class *name* as visible from *module* -> class key."""
         key = f"{module}::{name}"
         if key in self.classes:
             return key
+        if key in _seen:
+            # Import cycle (e.g. a module importing a name from itself,
+            # as a lint fixture shadowing a real module can) — give up
+            # rather than recurse forever.
+            return None
         entry = self.imports.get(module, {}).get(name)
         if entry and entry[0] == "symbol":
             target = f"{entry[1]}::{entry[2]}"
             if target in self.classes:
                 return target
             # Re-exported class: follow the defining module's imports.
-            return self.resolve_class(entry[2], entry[1])
+            return self.resolve_class(entry[2], entry[1], _seen | {key})
         candidates = self.class_names.get(name, [])
         if len(candidates) == 1:
             return candidates[0]

@@ -122,6 +122,8 @@ def main(argv: list[str] | None = None) -> int:
                 "fig11",
                 "fig12",
                 "fig13",
+                "query",
+                "multiproof",
             ):
                 kwargs["num_queries"] = args.queries
             result = fn(**kwargs)

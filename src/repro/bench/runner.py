@@ -234,6 +234,12 @@ class QueryRow:
     avg_results: float
     chain_ms: float = 0.0
     parse_ms: float = 0.0
+    #: Average total VO bytes (``VO_sp`` + ``VO_chain``) — the exact
+    #: figure ``vo_kb`` rounds, kept in bytes for compare gates.
+    vo_bytes: float = 0.0
+    #: Average proof-only share of the VO (per-entry proofs plus the
+    #: deduplicated multiproof table) — what v3 compression shrinks.
+    vo_proof_bytes: float = 0.0
 
 
 def _phase_mean_ms(snap: dict, name: str) -> float:
@@ -256,11 +262,13 @@ def measure_queries(
         dataset=dataset, num_keywords=num_keywords, seed=seed
     )
     vo_sizes: list[int] = []
+    proof_sizes: list[int] = []
     result_counts: list[int] = []
     with obs.collect() as col:
         for query in workload.queries(num_queries):
             result = system.query(query)
             vo_sizes.append(result.vo_total_bytes)
+            proof_sizes.append(result.vo_proof_bytes)
             result_counts.append(len(result.result_ids))
         snap = col.metrics.snapshot()
     return QueryRow(
@@ -274,6 +282,8 @@ def measure_queries(
         avg_results=statistics.mean(result_counts),
         chain_ms=_phase_mean_ms(snap, "query.chain_seconds"),
         parse_ms=_phase_mean_ms(snap, "query.parse_seconds"),
+        vo_bytes=statistics.mean(vo_sizes),
+        vo_proof_bytes=statistics.mean(proof_sizes),
     )
 
 
@@ -559,6 +569,57 @@ def experiment_shard(**kwargs):
     return _shard(**kwargs)
 
 
+def experiment_multiproof(**kwargs):
+    """Multiproof VO compression bench (lazy import avoids a cycle)."""
+    from repro.bench.multiproof import experiment_multiproof as _multiproof
+
+    return _multiproof(**kwargs)
+
+
+def experiment_query(
+    size: int = 400,
+    keyword_counts: tuple[int, ...] = (2, 4, 6),
+    num_queries: int = 10,
+    seed: int = 7,
+    dataset_name: str = "twitter",
+) -> list[QueryRow]:
+    """Query bench with VO byte attribution (wire vs proof-only).
+
+    Same protocol as Fig. 11 but the table splits every row's VO size
+    into total wire bytes and the proof-only share the v3 multiproof
+    frame compresses, so bandwidth wins are attributable per scheme.
+    """
+    dataset = _dataset(dataset_name, size, seed=seed)
+    systems = {
+        scheme: build_system(scheme, _dataset(dataset_name, size, seed=seed))
+        for scheme in ("mi", "ci", "ci*")
+    }
+    rows: list[QueryRow] = []
+    for count in keyword_counts:
+        for system in systems.values():
+            rows.append(
+                measure_queries(system, dataset, count, num_queries, seed=seed)
+            )
+    print(
+        f"\nQuery — VO byte attribution "
+        f"({dataset_name}, n={size}, {num_queries} queries/point)"
+    )
+    print(
+        f"{'#kw':>4}{'scheme':>8}{'SP CPU (ms)':>14}{'VO (B)':>10}"
+        f"{'proof (B)':>11}{'verify (ms)':>14}{'avg results':>13}"
+    )
+    for row in rows:
+        label = SCHEME_LABELS[row.scheme] + (
+            "/SMI" if row.scheme == "mi" else ""
+        )
+        print(
+            f"{row.num_keywords:>4}{label:>8}{row.sp_ms:>14.2f}"
+            f"{row.vo_bytes:>10.0f}{row.vo_proof_bytes:>11.0f}"
+            f"{row.verify_ms:>14.2f}{row.avg_results:>13.1f}"
+        )
+    return rows
+
+
 EXPERIMENTS = {
     "fig6": experiment_fig6,
     "fig10": experiment_fig10,
@@ -571,6 +632,8 @@ EXPERIMENTS = {
     "fastpath": experiment_fastpath,
     "witness": experiment_witness,
     "shard": experiment_shard,
+    "query": experiment_query,
+    "multiproof": experiment_multiproof,
 }
 
 

@@ -133,7 +133,7 @@ class MembershipProof:
 
     def byte_size(self, value_bytes: int = 128) -> int:
         """Serialised size: commitments and proofs are group elements."""
-        base = 8 + 2 * value_bytes  # position + c_pos + pi
+        base = 9 + 2 * value_bytes  # position + c_pos + pi + link count
         return base + sum(link.byte_size(value_bytes) for link in self.links)
 
     def derived_position(self, arity: int) -> int:

@@ -182,9 +182,15 @@ class MerklePath:
         return len(self.steps)
 
     def byte_size(self) -> int:
-        """Serialised size: sibling digests plus one index byte per level."""
+        """Serialised size in bytes, matching the VO codec's encoding.
+
+        The codec writes one depth byte, then per step a 2-byte index
+        and the length-prefixed ``before``/``after`` digest runs (one
+        length byte each).  Kept in lock-step by a codec test so VO
+        size accounting cannot drift from the wire again.
+        """
         digests = sum(len(s.before) + len(s.after) for s in self.steps)
-        return 32 * digests + 2 * len(self.steps)
+        return 1 + 32 * digests + 4 * len(self.steps)
 
 
 def paths_adjacent(left: MerklePath, right: MerklePath) -> bool:

@@ -23,11 +23,12 @@ from repro.core.mbtree import (
     MerklePath,
     paths_adjacent,
 )
+from repro.core.multiproof import LeafRef, TreeMultiproof, build_multiproof
 from repro.core.objects import ObjectMetadata
 from repro.core.proofcache import VerificationCache
 from repro.core.query.vo import ProvenEntry
 from repro.crypto.hashing import EMPTY_DIGEST, digests_equal
-from repro.errors import VerificationError
+from repro.errors import ReproError, VerificationError
 
 
 @dataclass
@@ -133,19 +134,89 @@ class MerkleProofSystem:
 
     ``cache``, when set, memoises successful path verifications keyed on
     the full proven tuple (root, entry, path) — see
-    :mod:`repro.core.proofcache` for the soundness argument.
+    :mod:`repro.core.proofcache` for the soundness argument.  Compressed
+    (v3) VOs attach their deduplicated multiproof table via
+    :meth:`attach_multiproofs`; each
+    :class:`~repro.core.multiproof.TreeMultiproof` folds once per query
+    — and caches on ``(root, gindex-set digest)`` so a warmed proof is
+    free — with every :class:`~repro.core.multiproof.LeafRef` entry
+    resolved against it.
     """
 
     roots: dict[str, bytes]
     value_bytes: int = 32
     cache: VerificationCache | None = None
+    multiproofs: tuple = ()
+    _mp_verified: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def _root(self, keyword: str) -> bytes:
         return self.roots.get(keyword, EMPTY_DIGEST)
 
+    def attach_multiproofs(self, multiproofs: tuple) -> None:
+        """Bind the current query's deduplicated proof table.
+
+        Called by :func:`~repro.core.query.verify.verify_query` before
+        any conjunct verification; replaces any previously attached
+        table (per-query state, not per-system).
+        """
+        self.multiproofs = tuple(multiproofs)
+        self._mp_verified = {}
+
+    def _multiproof(self, proof_index: int) -> TreeMultiproof:
+        if not 0 <= proof_index < len(self.multiproofs):
+            raise VerificationError(
+                f"multiproof index {proof_index} out of range "
+                f"({len(self.multiproofs)} attached)"
+            )
+        return self.multiproofs[proof_index]
+
+    def _verify_leafref(
+        self, keyword: str, entry: ProvenEntry, ref: LeafRef
+    ) -> None:
+        mp = self._multiproof(ref.proof_index)
+        object_id, object_hash = mp.leaf_entry(ref.ordinal)
+        if object_id != entry.object_id or not digests_equal(
+            object_hash, entry.object_hash
+        ):
+            raise VerificationError(
+                f"entry {entry.object_id} does not match the multiproof "
+                f"leaf it references"
+            )
+        root = self._root(keyword)
+        bound = self._mp_verified.get(ref.proof_index)
+        if bound is not None:
+            # One fold has one result: a proof that verified against a
+            # different keyword's root can never match this one.
+            if not digests_equal(bound, root):
+                raise VerificationError(
+                    f"multiproof {ref.proof_index} is bound to a different "
+                    f"tree than keyword {keyword!r}"
+                )
+            return
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(root, mp.cache_token())
+            if self.cache.seen(key):
+                self._mp_verified[ref.proof_index] = root
+                return
+        computed = mp.fold_root()
+        if not digests_equal(computed, root):
+            raise VerificationError(
+                f"multiproof {ref.proof_index} does not match the on-chain "
+                f"root of keyword {keyword!r}"
+            )
+        if self.cache is not None:
+            self.cache.add(key)
+        self._mp_verified[ref.proof_index] = root
+
     def verify_entry(self, keyword: str, entry: ProvenEntry) -> None:
         """Authenticate one proven entry; raises on failure."""
         path = entry.proof
+        if isinstance(path, LeafRef):
+            self._verify_leafref(keyword, entry, path)
+            return
         if not isinstance(path, MerklePath):
             raise VerificationError("expected a Merkle path proof")
         root = self._root(keyword)
@@ -167,20 +238,83 @@ class MerkleProofSystem:
         if self.cache is not None:
             self.cache.add(key)
 
+    def warm_entries(self, keyword: str, entries: list[ProvenEntry]) -> int:
+        """Pre-verify a keyword's posting list for the warmer.
+
+        Verifies each per-entry path independently (a tampered entry is
+        skipped and left uncached, the rest still warm — fail closed per
+        entry) and returns the number that verified.  When *every* entry
+        verified, additionally seeds the shared cache with the
+        full-cover multiproof those entries deduplicate into — the same
+        construction the SP's query-time compression emits for a full
+        scan, so its ``(root, gindex-set digest)`` key hits when the
+        query arrives.  A partially tampered list seeds nothing batched:
+        a multiproof over a subset would not match the query-time cover.
+        """
+        paths: list[tuple[ProvenEntry, MerklePath]] = []
+        warmed = 0
+        for entry in entries:
+            try:
+                self.verify_entry(keyword, entry)
+            except VerificationError:
+                continue
+            warmed += 1
+            if isinstance(entry.proof, MerklePath):
+                paths.append((entry, entry.proof))
+        if warmed < len(entries) or not paths or self.cache is None:
+            return warmed
+        try:
+            multiproof, _ = build_multiproof(paths)
+        except ReproError:
+            # Mutually inconsistent paths cannot form the query-time
+            # cover; the per-entry verifications above still stand.
+            return warmed
+        root = self._root(keyword)
+        if digests_equal(multiproof.fold_root(), root):
+            self.cache.add(self.cache.key(root, multiproof.cache_token()))
+        return warmed
+
     def is_first(self, keyword: str, entry: ProvenEntry) -> bool:
         """Whether the entry is provably the tree's first."""
         path = entry.proof
+        if isinstance(path, LeafRef):
+            try:
+                return self._multiproof(path.proof_index).is_leftmost(
+                    path.ordinal
+                )
+            except VerificationError:
+                return False
         return isinstance(path, MerklePath) and path.is_leftmost()
 
     def is_last(self, keyword: str, entry: ProvenEntry) -> bool:
         """Whether the entry is provably the tree's last."""
         path = entry.proof
+        if isinstance(path, LeafRef):
+            try:
+                return self._multiproof(path.proof_index).is_rightmost(
+                    path.ordinal
+                )
+            except VerificationError:
+                return False
         return isinstance(path, MerklePath) and path.is_rightmost()
 
     def adjacent(
         self, keyword: str, lower: ProvenEntry, upper: ProvenEntry
     ) -> bool:
         """Whether two verified entries are consecutive."""
+        if isinstance(lower.proof, LeafRef) and isinstance(
+            upper.proof, LeafRef
+        ):
+            if lower.proof.proof_index != upper.proof.proof_index:
+                # Compression emits one proof per tree, so two refs into
+                # different proofs can never be neighbours of one tree.
+                return False
+            try:
+                return self._multiproof(lower.proof.proof_index).adjacent(
+                    lower.proof.ordinal, upper.proof.ordinal
+                )
+            except VerificationError:
+                return False
         if not isinstance(lower.proof, MerklePath) or not isinstance(
             upper.proof, MerklePath
         ):

@@ -1,0 +1,641 @@
+"""Merkle multiproofs: one deduplicated proof per tree per query.
+
+A DNF answer that references ``k`` entries of one MB-tree ships ``k``
+independent :class:`~repro.core.mbtree.MerklePath` objects whose sibling
+digests overlap almost entirely — the dominant VO cost in the paper's
+high-selectivity regime (Figs. 11/12).  This module replaces them with a
+single :class:`TreeMultiproof` per ``(tree, commitment)``: the shared
+siblings are deduplicated, every proven entry is recovered from one
+upward fold, and the entry *positions* (the generalized indices the
+boundary-adjacency checks need) come out of the same walk for free.
+
+Generalized indices
+-------------------
+The ethereum/consensus-specs multiproof format addresses binary-tree
+nodes by ``gindex = 2**depth + index``.  MB-trees are multi-way with
+per-node child counts, so the binary gindex generalizes to a mixed-radix
+fold over the root-to-leaf *gpath* (the child index chosen at each
+level) and the per-level node *widths*::
+
+    g = 1
+    for index, width in zip(gpath, widths):
+        g = g * width + index
+
+which reduces to ``2**depth + index`` exactly when every width is 2.
+The widths are authenticated: a node's digest hashes the concatenation
+of *all* its children, so the verifier's fold fails unless the claimed
+slot count matches the committed one.
+
+Wire shape
+----------
+A :class:`TreeMultiproof` lists the proof's *cover nodes* in DFS
+pre-order; each node is a tuple of per-slot codes (``SLOT_HELPER`` — a
+supplied sibling digest, ``SLOT_DESCEND`` — the next DFS node,
+``SLOT_LEAF`` — a proven ``<id, h(o)>`` entry), with the helper digests
+and the leaf entries carried in DFS order.  Verification is a
+stack-machine fold (:meth:`TreeMultiproof.fold_root`): structurally
+malformed proofs — codes out of place, leftover or missing helpers,
+descend below the leaf level — raise
+:class:`~repro.errors.VerificationError` before any root comparison.
+
+Construction (:func:`build_multiproofs` / :func:`compress_query_vo`)
+runs on the SP after the per-conjunct VOs are gathered in call order, so
+the compressed VO is deterministic for any shard count or pool mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mbtree import MerklePath, entry_digest, leaf_digest, node_digest
+from repro.core.query.vo import (
+    ConjunctiveVO,
+    FullScanVO,
+    JoinRound,
+    MultiWayJoinVO,
+    ProvenEntry,
+    QueryVO,
+    SemiJoinProbe,
+    SemiJoinStage,
+)
+from repro.crypto.hashing import tagged_hash
+from repro.errors import ReproError, VerificationError
+
+#: Slot codes of one cover node, in child order.
+SLOT_HELPER = 0  #: sibling digest supplied in the helper list
+SLOT_DESCEND = 1  #: child is the next cover node in DFS order
+SLOT_LEAF = 2  #: proven entry supplied in the leaf list (leaf level only)
+
+_TOKEN_TAG = "repro/merkle-multiproof-token"
+
+
+def leaf_gindex(gpath: tuple[int, ...], widths: tuple[int, ...]) -> int:
+    """Mixed-radix generalized index of a leaf (root-to-leaf addressing).
+
+    Equals the consensus-specs ``2**depth + index`` when every node
+    width is 2; distinct ``(gpath, widths)`` pairs of one tree map to
+    distinct integers because each level's digit is bounded by its
+    width.
+    """
+    if len(gpath) != len(widths):
+        raise ReproError("gpath and widths must have equal length")
+    g = 1
+    for index, width in zip(gpath, widths):
+        if not 0 <= index < width:
+            raise ReproError(f"gpath digit {index} out of range for width {width}")
+        g = g * width + index
+    return g
+
+
+def compute_multiproof_indices(
+    leaf_gpaths: list[tuple[int, ...]],
+    leaf_widths: list[tuple[int, ...]],
+) -> dict[tuple[int, ...], int]:
+    """Partition the cover nodes' slots into helper/descend/leaf codes.
+
+    Given the proven leaves' gpaths and per-level widths, returns a map
+    from each cover-node *slot* (addressed by its gpath prefix, the
+    root's slots being length-1 prefixes) to its slot code.  The cover
+    is minimal: a slot is ``SLOT_DESCEND`` when some proven leaf passes
+    through it above the leaf level, ``SLOT_LEAF`` when it *is* a proven
+    leaf, and ``SLOT_HELPER`` otherwise.
+    """
+    if len(leaf_gpaths) != len(leaf_widths):
+        raise ReproError("one widths tuple is required per leaf gpath")
+    if not leaf_gpaths:
+        raise ReproError("a multiproof needs at least one proven leaf")
+    height = len(leaf_gpaths[0])
+    on_path: set[tuple[int, ...]] = set()
+    node_width: dict[tuple[int, ...], int] = {}
+    for gpath, widths in zip(leaf_gpaths, leaf_widths):
+        if len(gpath) != height or len(widths) != height:
+            raise ReproError("all leaves of one tree must share the path depth")
+        for level in range(height):
+            node = gpath[:level]
+            width = widths[level]
+            known = node_width.setdefault(node, width)
+            if known != width:
+                raise ReproError(
+                    f"conflicting widths {known} vs {width} for node {node}"
+                )
+            on_path.add(gpath[: level + 1])
+    codes: dict[tuple[int, ...], int] = {}
+    for node, width in node_width.items():
+        for slot in range(width):
+            child = node + (slot,)
+            if child not in on_path:
+                codes[child] = SLOT_HELPER
+            elif len(child) == height:
+                codes[child] = SLOT_LEAF
+            else:
+                codes[child] = SLOT_DESCEND
+    return codes
+
+
+@dataclass(frozen=True, eq=True)
+class LeafRef:
+    """A proof slot pointing into the VO's multiproof table.
+
+    ``proof_index`` selects the :class:`TreeMultiproof` in
+    :attr:`QueryVO.multiproofs`; ``ordinal`` is the leaf's rank in that
+    proof's DFS (= ascending key) leaf order.
+    """
+
+    proof_index: int
+    ordinal: int
+
+    def byte_size(self) -> int:
+        """Serialised size in bytes: the two varints.
+
+        The presence and proof-tag bytes belong to the entry framing
+        (:meth:`~repro.core.query.vo.ProvenEntry.byte_size` counts
+        them), matching the convention of the other proof types.
+        """
+        return _varint_size(self.proof_index) + _varint_size(self.ordinal)
+
+
+def _varint_size(value: int) -> int:
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+class _Frame:
+    """One in-flight cover node of the stack-machine fold."""
+
+    __slots__ = ("codes", "depth", "pos", "digests", "gpath")
+
+    def __init__(self, codes, depth, gpath):
+        self.codes = codes
+        self.depth = depth
+        self.pos = 0
+        self.digests: list[bytes] = []
+        self.gpath = gpath
+
+
+@dataclass(frozen=True, eq=True)
+class TreeMultiproof:
+    """One deduplicated membership proof for a set of entries of one tree.
+
+    ``height`` is the number of levels below the root digest (the depth
+    every :class:`~repro.core.mbtree.MerklePath` of the tree shares);
+    ``nodes`` lists each cover node's slot codes in DFS pre-order (the
+    root first); ``helpers`` and ``leaves`` carry the sibling digests
+    and the proven ``(object_id, object_hash)`` entries in the order the
+    DFS consumes them.
+    """
+
+    height: int
+    nodes: tuple[tuple[int, ...], ...]
+    helpers: tuple[bytes, ...]
+    leaves: tuple[tuple[int, bytes], ...]
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            # Dict-key hashing only; content identity uses cache_token().
+            cached = hash(  # reprolint: disable=crypto-hygiene
+                (self.height, self.nodes, self.helpers, self.leaves)
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def cache_token(self) -> bytes:
+        """Collision-resistant digest over the proof's full content.
+
+        The verification-cache key for a multiproof is ``(root, token)``
+        — the gindex-set digest the warmer and the client both derive —
+        so a warmed proof hits at query time iff it is byte-identical.
+        The encoding is injective: every list is length-prefixed and
+        digests are fixed 32-byte words.
+        """
+        token = self.__dict__.get("_token")
+        if token is None:
+            buf = bytearray()
+            buf += self.height.to_bytes(4, "big")
+            buf += len(self.nodes).to_bytes(4, "big")
+            for codes in self.nodes:
+                buf += len(codes).to_bytes(4, "big")
+                buf += bytes(codes)
+            buf += len(self.helpers).to_bytes(4, "big")
+            for digest in self.helpers:
+                buf += digest
+            buf += len(self.leaves).to_bytes(4, "big")
+            for object_id, object_hash in self.leaves:
+                buf += object_id.to_bytes(8, "big")
+                buf += object_hash
+            token = tagged_hash(_TOKEN_TAG, bytes(buf))
+            object.__setattr__(self, "_token", token)
+        return token
+
+    def byte_size(self) -> int:
+        """Serialised size in bytes (matches the v3 codec encoding)."""
+        total = 1 + _varint_size(len(self.nodes))
+        for codes in self.nodes:
+            total += _varint_size(len(codes)) + (len(codes) + 3) // 4
+        total += _varint_size(len(self.helpers)) + 32 * len(self.helpers)
+        total += _varint_size(len(self.leaves)) + 40 * len(self.leaves)
+        return total
+
+    # -- verification ----------------------------------------------------------
+
+    def _walk(self) -> tuple[bytes, tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]]:
+        """Stack-machine fold: the recomputed root plus the leaf table.
+
+        Returns ``(root_digest, leaf_table)`` where ``leaf_table[i]`` is
+        the ``(gpath, widths)`` pair of the ``i``-th proven leaf.  Every
+        structural violation — wrong code values, descend at the leaf
+        level, leaves above it, unconsumed or missing helpers/leaves/
+        nodes, an empty node — fails closed with
+        :class:`~repro.errors.VerificationError`.
+        """
+        cached = self.__dict__.get("_walked")
+        if cached is not None:
+            return cached
+
+        def fail(reason: str) -> VerificationError:
+            return VerificationError(f"malformed multiproof: {reason}")
+
+        if self.height < 1:
+            raise fail("height must be at least 1")
+        nodes = iter(self.nodes)
+        helper_pos = 0
+        leaf_pos = 0
+        leaf_table: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        try:
+            root_codes = next(nodes)
+        except StopIteration:
+            raise fail("no cover nodes") from None
+        stack = [_Frame(root_codes, 0, ())]
+        root: bytes | None = None
+        while stack:
+            frame = stack[-1]
+            if not frame.codes:
+                raise fail("empty cover node")
+            if frame.pos == len(frame.codes):
+                digest = (
+                    leaf_digest(frame.digests)
+                    if frame.depth == self.height - 1
+                    else node_digest(frame.digests)
+                )
+                stack.pop()
+                if stack:
+                    stack[-1].digests.append(digest)
+                    stack[-1].pos += 1
+                else:
+                    root = digest
+                continue
+            code = frame.codes[frame.pos]
+            if code == SLOT_HELPER:
+                if helper_pos >= len(self.helpers):
+                    raise fail("helper digests exhausted mid-walk")
+                frame.digests.append(self.helpers[helper_pos])
+                helper_pos += 1
+                frame.pos += 1
+            elif code == SLOT_LEAF:
+                if frame.depth != self.height - 1:
+                    raise fail("proven leaf above the leaf level")
+                if leaf_pos >= len(self.leaves):
+                    raise fail("leaf entries exhausted mid-walk")
+                object_id, object_hash = self.leaves[leaf_pos]
+                if len(object_hash) != 32:
+                    raise fail("leaf hash is not a 32-byte digest")
+                frame.digests.append(entry_digest(object_id, object_hash))
+                leaf_table.append(
+                    (
+                        frame.gpath + (frame.pos,),
+                        tuple(len(f.codes) for f in stack),
+                    )
+                )
+                leaf_pos += 1
+                frame.pos += 1
+            elif code == SLOT_DESCEND:
+                if frame.depth >= self.height - 1:
+                    raise fail("descend at the leaf level")
+                try:
+                    child = next(nodes)
+                except StopIteration:
+                    raise fail("cover nodes exhausted mid-walk") from None
+                stack.append(
+                    _Frame(child, frame.depth + 1, frame.gpath + (frame.pos,))
+                )
+            else:
+                raise fail(f"unknown slot code {code}")
+        if next(nodes, None) is not None:
+            raise fail("unconsumed cover nodes")
+        if helper_pos != len(self.helpers):
+            raise fail("unconsumed helper digests")
+        if leaf_pos != len(self.leaves):
+            raise fail("unconsumed leaf entries")
+        if not leaf_table:
+            raise fail("no proven leaves")
+        assert root is not None
+        walked = (root, tuple(leaf_table))
+        object.__setattr__(self, "_walked", walked)
+        return walked
+
+    def fold_root(self) -> bytes:
+        """Recompute the tree's root digest from the proof content."""
+        return self._walk()[0]
+
+    def leaf_position(self, ordinal: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The ``(gpath, widths)`` of one proven leaf by DFS ordinal."""
+        table = self._walk()[1]
+        if not 0 <= ordinal < len(table):
+            raise VerificationError(
+                f"multiproof leaf ordinal {ordinal} out of range"
+            )
+        return table[ordinal]
+
+    def leaf_entry(self, ordinal: int) -> tuple[int, bytes]:
+        """The ``(object_id, object_hash)`` of one proven leaf."""
+        if not 0 <= ordinal < len(self.leaves):
+            raise VerificationError(
+                f"multiproof leaf ordinal {ordinal} out of range"
+            )
+        return self.leaves[ordinal]
+
+    # -- position predicates (gindex re-expressions of the path checks) --------
+
+    def is_leftmost(self, ordinal: int) -> bool:
+        """Whether the leaf is provably the tree's first entry."""
+        gpath, _ = self.leaf_position(ordinal)
+        return all(index == 0 for index in gpath)
+
+    def is_rightmost(self, ordinal: int) -> bool:
+        """Whether the leaf is provably the tree's last entry."""
+        gpath, widths = self.leaf_position(ordinal)
+        return all(index == width - 1 for index, width in zip(gpath, widths))
+
+    def adjacent(self, left_ordinal: int, right_ordinal: int) -> bool:
+        """Whether two proven leaves are consecutive in the tree.
+
+        The gindex re-expression of
+        :func:`~repro.core.mbtree.paths_adjacent`: the gpaths agree
+        until one divergence level where the right leaf's digit is the
+        left's plus one; below it the left leaf hugs its subtree's right
+        edge and the right leaf its subtree's left edge.
+        """
+        gpath_l, widths_l = self.leaf_position(left_ordinal)
+        gpath_r, widths_r = self.leaf_position(right_ordinal)
+        diverged = False
+        for level in range(self.height):
+            if not diverged:
+                if gpath_l[level] == gpath_r[level]:
+                    continue
+                if gpath_r[level] != gpath_l[level] + 1:
+                    return False
+                if widths_l[level] != widths_r[level]:
+                    return False
+                diverged = True
+            else:
+                if gpath_l[level] != widths_l[level] - 1:
+                    return False
+                if gpath_r[level] != 0:
+                    return False
+        return diverged
+
+
+# ---------------------------------------------------------------------------
+# Construction (SP side)
+# ---------------------------------------------------------------------------
+
+
+def _path_levels(
+    entry: ProvenEntry, path: MerklePath
+) -> tuple[tuple[int, ...], tuple[int, ...], list[tuple[bytes, ...]]]:
+    """Root-to-leaf ``(gpath, widths, per-level sibling digest rows)``."""
+    gpath: list[int] = []
+    widths: list[int] = []
+    rows: list[tuple[bytes, ...]] = []
+    for step in reversed(path.steps):
+        gpath.append(step.index)
+        widths.append(len(step.before) + 1 + len(step.after))
+        rows.append(step.before + (b"",) + step.after)
+    return tuple(gpath), tuple(widths), rows
+
+
+def build_multiproof(
+    proven: list[tuple[ProvenEntry, MerklePath]],
+) -> tuple[TreeMultiproof, dict[tuple[int, ...], int]]:
+    """Merge one tree's ``(entry, path)`` pairs into a multiproof.
+
+    Returns the proof plus the gpath -> DFS-ordinal map the caller uses
+    to rewrite each entry's proof into a :class:`LeafRef`.  Raises
+    :class:`~repro.errors.ReproError` when the paths are mutually
+    inconsistent (different depths, conflicting widths or sibling
+    digests, one gpath claiming two different entries) — an honest SP
+    never constructs such inputs.
+    """
+    if not proven:
+        raise ReproError("a multiproof needs at least one proven entry")
+    height = len(proven[0][1].steps)
+    if height < 1:
+        raise ReproError("cannot build a multiproof from an empty path")
+    gpaths: list[tuple[int, ...]] = []
+    widths_list: list[tuple[int, ...]] = []
+    slot_digest: dict[tuple[int, ...], bytes] = {}
+    entry_at: dict[tuple[int, ...], tuple[int, bytes]] = {}
+    for entry, path in proven:
+        if len(path.steps) != height:
+            raise ReproError("paths of one tree must share the depth")
+        gpath, widths, rows = _path_levels(entry, path)
+        leaf = (entry.object_id, entry.object_hash)
+        known = entry_at.setdefault(gpath, leaf)
+        if known != leaf:
+            raise ReproError(f"two entries claim the tree position {gpath}")
+        gpaths.append(gpath)
+        widths_list.append(widths)
+        for level, row in enumerate(rows):
+            node = gpath[:level]
+            for slot, digest in enumerate(row):
+                if slot == gpath[level]:
+                    continue
+                key = node + (slot,)
+                seen = slot_digest.setdefault(key, digest)
+                if seen != digest:
+                    raise ReproError(
+                        f"conflicting sibling digests at slot {key}"
+                    )
+    codes = compute_multiproof_indices(gpaths, widths_list)
+    nodes: list[tuple[int, ...]] = []
+    helpers: list[bytes] = []
+    leaves: list[tuple[int, bytes]] = []
+    ordinals: dict[tuple[int, ...], int] = {}
+    node_width: dict[tuple[int, ...], int] = {}
+    for gpath, widths in zip(gpaths, widths_list):
+        for level in range(height):
+            node_width[gpath[:level]] = widths[level]
+
+    # Emit in the exact order the fold consumes: slots in order, a
+    # descend slot recursing into its whole subtree *before* any later
+    # slot of the same node (helpers and leaves interleave with child
+    # subtrees; a node-at-a-time emission would misorder them whenever
+    # a helper slot follows a descend slot).  Recursion depth is the
+    # tree height — logarithmic in the corpus.
+    def emit(node: tuple[int, ...]) -> None:
+        width = node_width[node]
+        node_codes = tuple(codes[node + (slot,)] for slot in range(width))
+        nodes.append(node_codes)
+        for slot in range(width):
+            child = node + (slot,)
+            code = node_codes[slot]
+            if code == SLOT_HELPER:
+                helpers.append(slot_digest[child])
+            elif code == SLOT_LEAF:
+                ordinals[child] = len(leaves)
+                leaves.append(entry_at[child])
+            else:
+                emit(child)
+
+    emit(())
+    return (
+        TreeMultiproof(
+            height=height,
+            nodes=tuple(nodes),
+            helpers=tuple(helpers),
+            leaves=tuple(leaves),
+        ),
+        ordinals,
+    )
+
+
+def _map_entry(entry, fn):
+    if entry is None:
+        return None
+    return fn(entry)
+
+
+def _map_vo_entries(vo: QueryVO, fn) -> QueryVO:
+    """Rebuild a VO with every :class:`ProvenEntry` passed through ``fn``.
+
+    The traversal order is the codec's write order, which makes the
+    first-seen grouping (and therefore the whole compressed encoding)
+    deterministic.
+    """
+    conjuncts = []
+    for conj in vo.conjuncts:
+        base = conj.base
+        if isinstance(base, MultiWayJoinVO):
+            rounds = tuple(
+                JoinRound(
+                    kind=rnd.kind,
+                    probe_tree=rnd.probe_tree,
+                    lower=_map_entry(rnd.lower, fn),
+                    upper=_map_entry(rnd.upper, fn),
+                    next_target=_map_entry(rnd.next_target, fn),
+                )
+                for rnd in base.rounds
+            )
+            base = MultiWayJoinVO(
+                trees=base.trees,
+                first_target=fn(base.first_target),
+                rounds=rounds,
+            )
+        elif isinstance(base, FullScanVO):
+            base = FullScanVO(
+                keyword=base.keyword,
+                entries=tuple(fn(entry) for entry in base.entries),
+            )
+        stages = tuple(
+            SemiJoinStage(
+                keyword=stage.keyword,
+                probes=tuple(
+                    SemiJoinProbe(
+                        candidate_id=probe.candidate_id,
+                        bloom_absent=probe.bloom_absent,
+                        lower=_map_entry(probe.lower, fn),
+                        upper=_map_entry(probe.upper, fn),
+                    )
+                    for probe in stage.probes
+                ),
+            )
+            for stage in conj.stages
+        )
+        conjuncts.append(
+            ConjunctiveVO(
+                keywords=conj.keywords,
+                base=base,
+                stages=stages,
+                empty_keyword=conj.empty_keyword,
+            )
+        )
+    return QueryVO(conjuncts=tuple(conjuncts), multiproofs=vo.multiproofs)
+
+
+def compress_query_vo(vo: QueryVO) -> QueryVO:
+    """Deduplicate a VO's Merkle paths into one multiproof per tree.
+
+    Entries are grouped by the root digest their path folds to (one
+    group per ``(tree, commitment)``), each group becomes one
+    :class:`TreeMultiproof`, and every grouped entry's proof is replaced
+    by a :class:`LeafRef`.  Proof-less and CVC entries pass through
+    untouched, so the Chameleon family's VOs are returned unchanged.
+    Runs after call-order gathering, so the output is identical for any
+    shard count, pool mode or executor.
+
+    Compression is size-gated per group: a tree whose multiproof table
+    would cost more wire bytes than the per-entry paths it replaces
+    (singleton boundary proofs of near-empty keywords, typically) keeps
+    its paths, so the v3 frame is never materially larger than v2 at
+    low selectivity.  The gate depends only on the group itself, so
+    determinism across executors is preserved.
+    """
+    groups: dict[bytes, list[tuple[ProvenEntry, MerklePath]]] = {}
+    order: list[bytes] = []
+
+    def collect(entry: ProvenEntry) -> ProvenEntry:
+        proof = entry.proof
+        if isinstance(proof, MerklePath):
+            from repro.core.mbtree import Entry
+
+            root = proof.compute_root(
+                Entry(key=entry.object_id, value_hash=entry.object_hash)
+            )
+            if root not in groups:
+                groups[root] = []
+                order.append(root)
+            groups[root].append((entry, proof))
+        return entry
+
+    _map_vo_entries(vo, collect)
+    if not groups:
+        return vo
+    multiproofs: list[TreeMultiproof] = list(vo.multiproofs)
+    refs: dict[ProvenEntry, LeafRef] = {}
+    for root in order:
+        proof_index = len(multiproofs)
+        multiproof, ordinals = build_multiproof(groups[root])
+        group_refs: dict[ProvenEntry, LeafRef] = {}
+        # Wire delta per occurrence: a LeafRef entry drops the 40-byte
+        # id+hash (reconstructed from the leaf table) and swaps the
+        # path body for two varints; the multiproof table is the cost.
+        saved = -multiproof.byte_size()
+        for entry, path in groups[root]:
+            gpath = tuple(step.index for step in reversed(path.steps))
+            ref = LeafRef(proof_index=proof_index, ordinal=ordinals[gpath])
+            group_refs[entry] = ref
+            saved += 40 + path.byte_size() - ref.byte_size()
+        if saved <= 0:
+            continue
+        multiproofs.append(multiproof)
+        refs.update(group_refs)
+    if not refs:
+        return vo
+
+    def rewrite(entry: ProvenEntry) -> ProvenEntry:
+        ref = refs.get(entry)
+        if ref is None:
+            return entry
+        return ProvenEntry(
+            object_id=entry.object_id,
+            object_hash=entry.object_hash,
+            proof=ref,
+        )
+
+    rewritten = _map_vo_entries(vo, rewrite)
+    return QueryVO(
+        conjuncts=rewritten.conjuncts, multiproofs=tuple(multiproofs)
+    )

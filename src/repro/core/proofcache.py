@@ -13,6 +13,14 @@ the claimed entry, and the full proof object).  A tampered tuple differs
 in at least one key component, misses the cache, and is re-verified from
 scratch — a cache hit can therefore never mask a failing proof.
 
+Deduplicated multiproofs (v3 VOs) follow the same rule with a structural
+token instead of the raw object: their key is ``(root,
+TreeMultiproof.cache_token())``, where the token hashes the complete
+proof content — heights, per-node slot codes (the gindex partition),
+helper digests and the leaf table.  Any tamper changes the token, so a
+warmed fold can only ever be replayed for the byte-identical proof
+against the same root.
+
 Hits and misses are exported through :mod:`repro.obs` under
 ``<prefix>.cache_hit`` / ``<prefix>.cache_miss`` (e.g.
 ``vc.verify.cache_hit``) and mirrored on the instance for callers

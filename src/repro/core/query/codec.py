@@ -9,6 +9,20 @@ Format notes: integers are big-endian; group elements (CVC commitments
 and proofs) occupy the scheme's fixed ``value_bytes`` width; variable
 counts use 2-byte lengths (a 65,535-element bound per list is ample for
 any VO this system emits).
+
+Frame versions
+--------------
+A *v2* frame (the legacy format) starts directly with the one-byte
+conjunct count.  A *v3* frame starts with the marker byte ``0xF3``
+followed by the deduplicated multiproof table, then the conjuncts with
+:class:`~repro.core.multiproof.LeafRef` proofs referencing the table
+(their ``id``/``hash`` fields are omitted on the wire and reconstructed
+from the table's leaf entries).  The reader sniffs the first byte — any
+value ``>= 0xF0`` announces a versioned frame (DNF queries never carry
+240+ conjuncts, so the ranges cannot collide) — and therefore decodes
+both formats; unknown version markers raise
+:class:`~repro.errors.ReproError`, which the SP protocol maps to
+``ERR_BAD_REQUEST``.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ import io
 
 from repro.core.chameleon import ChameleonLink, MembershipProof
 from repro.core.mbtree import MerklePath, PathStep
+from repro.core.multiproof import LeafRef, TreeMultiproof
 from repro.core.query.vo import (
     ConjunctiveVO,
     FullScanVO,
@@ -26,25 +41,44 @@ from repro.core.query.vo import (
     QueryVO,
     SemiJoinProbe,
     SemiJoinStage,
+    iter_proven_entries,
 )
 from repro.errors import ReproError
 
 _PROOF_NONE = 0
 _PROOF_MERKLE = 1
 _PROOF_CVC = 2
+_PROOF_LEAFREF = 3
 
 _BASE_NONE = 0
 _BASE_MULTIWAY = 1
 _BASE_FULLSCAN = 2
 
+#: First byte of a versioned frame; ``0xF0 | version``.  v3 is the only
+#: versioned frame so far (v2 is the unmarked legacy layout).
+_VERSION_BASE = 0xF0
+_V3_MARKER = 0xF3
+
 
 class VOCodec:
-    """Encoder/decoder bound to one scheme's group-element width."""
+    """Encoder/decoder bound to one scheme's group-element width.
 
-    def __init__(self, value_bytes: int = 128) -> None:
+    ``version`` selects the frame the *encoder* emits: ``None`` (the
+    default) auto-selects — the byte-identical legacy v2 layout when the
+    VO carries no multiproofs, v3 otherwise; ``2`` forces legacy output
+    (and refuses VOs with multiproofs); ``3`` always emits a v3 frame.
+    The decoder is version-agnostic and reads both.
+    """
+
+    def __init__(
+        self, value_bytes: int = 128, version: int | None = None
+    ) -> None:
         if value_bytes <= 0:
             raise ReproError("value_bytes must be positive")
+        if version not in (None, 2, 3):
+            raise ReproError(f"unsupported VO codec version {version}")
         self.value_bytes = value_bytes
+        self.version = version
 
     # -- primitives --------------------------------------------------------------
 
@@ -88,6 +122,85 @@ class VOCodec:
             raise ReproError("truncated VO payload")
         return raw
 
+    @staticmethod
+    def _write_varint(out: io.BytesIO, value: int) -> None:
+        if value < 0:
+            raise ReproError("varint values must be non-negative")
+        while value >= 0x80:
+            out.write(bytes([(value & 0x7F) | 0x80]))
+            value >>= 7
+        out.write(bytes([value]))
+
+    @staticmethod
+    def _read_varint(data: io.BytesIO) -> int:
+        value = 0
+        shift = 0
+        while True:
+            raw = data.read(1)
+            if not raw:
+                raise ReproError("truncated VO payload")
+            byte = raw[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise ReproError("oversized varint in VO payload")
+
+    # -- multiproofs --------------------------------------------------------------
+
+    def _write_multiproof(self, out: io.BytesIO, mp: TreeMultiproof) -> None:
+        self._write_uint(out, mp.height, 1)
+        self._write_varint(out, len(mp.nodes))
+        for codes in mp.nodes:
+            self._write_varint(out, len(codes))
+            packed = bytearray((len(codes) + 3) // 4)
+            for slot, code in enumerate(codes):
+                if not 0 <= code <= 3:
+                    raise ReproError(f"cannot encode slot code {code}")
+                packed[slot // 4] |= code << ((slot % 4) * 2)
+            out.write(bytes(packed))
+        self._write_varint(out, len(mp.helpers))
+        for digest in mp.helpers:
+            if len(digest) != 32:
+                raise ReproError("multiproof helper is not a 32-byte digest")
+            out.write(digest)
+        self._write_varint(out, len(mp.leaves))
+        for object_id, object_hash in mp.leaves:
+            self._write_uint(out, object_id, 8)
+            if len(object_hash) != 32:
+                raise ReproError("multiproof leaf hash is not 32 bytes")
+            out.write(object_hash)
+
+    def _read_multiproof(self, data: io.BytesIO) -> TreeMultiproof:
+        height = self._read_uint(data, 1)
+        nodes = []
+        for _ in range(self._read_varint(data)):
+            width = self._read_varint(data)
+            if width > 0xFFFF:
+                raise ReproError("oversized multiproof node width")
+            packed = self._read_bytes(data, (width + 3) // 4)
+            codes = tuple(
+                (packed[slot // 4] >> ((slot % 4) * 2)) & 0x3
+                for slot in range(width)
+            )
+            if any(code > 2 for code in codes):
+                raise ReproError("invalid multiproof slot code")
+            nodes.append(codes)
+        helpers = tuple(
+            self._read_bytes(data, 32) for _ in range(self._read_varint(data))
+        )
+        leaves = tuple(
+            (self._read_uint(data, 8), self._read_bytes(data, 32))
+            for _ in range(self._read_varint(data))
+        )
+        return TreeMultiproof(
+            height=height,
+            nodes=tuple(nodes),
+            helpers=helpers,
+            leaves=leaves,
+        )
+
     # -- proofs ------------------------------------------------------------------
 
     def _write_merkle_path(self, out: io.BytesIO, path: MerklePath) -> None:
@@ -102,6 +215,9 @@ class VOCodec:
                 out.write(digest)
 
     def _read_merkle_path(self, data: io.BytesIO) -> MerklePath:
+        # Decoding a legacy frame rebuilds the per-entry paths the wire
+        # carried; only *construction* on the batched query path is
+        # forbidden by the lint rule.
         depth = self._read_uint(data, 1)
         steps = []
         for _ in range(depth):
@@ -114,7 +230,9 @@ class VOCodec:
                 self._read_bytes(data, 32)
                 for _ in range(self._read_uint(data, 1))
             )
+            # reprolint: disable-next-line=multiproof-batched-path
             steps.append(PathStep(index=index, before=before, after=after))
+        # reprolint: disable-next-line=multiproof-batched-path
         return MerklePath(steps=tuple(steps))
 
     def _write_membership(self, out: io.BytesIO, proof: MembershipProof) -> None:
@@ -147,31 +265,85 @@ class VOCodec:
             links=tuple(links),
         )
 
-    def _write_entry(self, out: io.BytesIO, entry: ProvenEntry | None) -> None:
+    def _write_entry(
+        self,
+        out: io.BytesIO,
+        entry: ProvenEntry | None,
+        mps: tuple | None = None,
+    ) -> None:
         if entry is None:
             self._write_uint(out, 0, 1)
             return
         self._write_uint(out, 1, 1)
-        self._write_uint(out, entry.object_id, 8)
-        out.write(entry.object_hash)
         proof = entry.proof
+        if isinstance(proof, LeafRef):
+            # v3 only: the id/hash live in the multiproof leaf table, so
+            # the entry shrinks to a tag plus two varints.
+            if mps is None:
+                raise ReproError(
+                    "LeafRef proofs require the v3 frame "
+                    "(VOCodec(version=2) cannot encode compressed VOs)"
+                )
+            self._write_uint(out, _PROOF_LEAFREF, 1)
+            self._write_varint(out, proof.proof_index)
+            self._write_varint(out, proof.ordinal)
+            return
+        if mps is not None:
+            # v3 frames tag before the id/hash so LeafRef entries can
+            # omit them; mirror that layout for the other proof kinds.
+            tag_first = True
+        else:
+            tag_first = False
+        if not tag_first:
+            self._write_uint(out, entry.object_id, 8)
+            out.write(entry.object_hash)
         if proof is None:
             self._write_uint(out, _PROOF_NONE, 1)
         elif isinstance(proof, MerklePath):
             self._write_uint(out, _PROOF_MERKLE, 1)
-            self._write_merkle_path(out, proof)
         elif isinstance(proof, MembershipProof):
             self._write_uint(out, _PROOF_CVC, 1)
-            self._write_membership(out, proof)
         else:
             raise ReproError(f"cannot encode proof type {type(proof)!r}")
+        if tag_first:
+            self._write_uint(out, entry.object_id, 8)
+            out.write(entry.object_hash)
+        if isinstance(proof, MerklePath):
+            self._write_merkle_path(out, proof)
+        elif isinstance(proof, MembershipProof):
+            self._write_membership(out, proof)
 
-    def _read_entry(self, data: io.BytesIO) -> ProvenEntry | None:
+    def _read_entry(
+        self, data: io.BytesIO, mps: tuple | None = None
+    ) -> ProvenEntry | None:
         if self._read_uint(data, 1) == 0:
             return None
+        if mps is not None:
+            tag = self._read_uint(data, 1)
+            if tag == _PROOF_LEAFREF:
+                proof_index = self._read_varint(data)
+                ordinal = self._read_varint(data)
+                if proof_index >= len(mps):
+                    raise ReproError(
+                        f"LeafRef proof index {proof_index} out of range"
+                    )
+                leaves = mps[proof_index].leaves
+                if ordinal >= len(leaves):
+                    raise ReproError(
+                        f"LeafRef ordinal {ordinal} out of range"
+                    )
+                object_id, object_hash = leaves[ordinal]
+                return ProvenEntry(
+                    object_id=object_id,
+                    object_hash=object_hash,
+                    proof=LeafRef(proof_index=proof_index, ordinal=ordinal),
+                )
+        else:
+            tag = None
         object_id = self._read_uint(data, 8)
         object_hash = self._read_bytes(data, 32)
-        tag = self._read_uint(data, 1)
+        if tag is None:
+            tag = self._read_uint(data, 1)
         if tag == _PROOF_NONE:
             proof = None
         elif tag == _PROOF_MERKLE:
@@ -186,19 +358,23 @@ class VOCodec:
 
     # -- VO structures ------------------------------------------------------------
 
-    def _write_round(self, out: io.BytesIO, rnd: JoinRound) -> None:
+    def _write_round(
+        self, out: io.BytesIO, rnd: JoinRound, mps: tuple | None = None
+    ) -> None:
         self._write_uint(out, 0 if rnd.kind == "probe" else 1, 1)
         self._write_uint(out, rnd.probe_tree, 1)
-        self._write_entry(out, rnd.lower)
-        self._write_entry(out, rnd.upper)
-        self._write_entry(out, rnd.next_target)
+        self._write_entry(out, rnd.lower, mps)
+        self._write_entry(out, rnd.upper, mps)
+        self._write_entry(out, rnd.next_target, mps)
 
-    def _read_round(self, data: io.BytesIO) -> JoinRound:
+    def _read_round(
+        self, data: io.BytesIO, mps: tuple | None = None
+    ) -> JoinRound:
         kind = "probe" if self._read_uint(data, 1) == 0 else "skip"
         probe_tree = self._read_uint(data, 1)
-        lower = self._read_entry(data)
-        upper = self._read_entry(data)
-        next_target = self._read_entry(data)
+        lower = self._read_entry(data, mps)
+        upper = self._read_entry(data, mps)
+        next_target = self._read_entry(data, mps)
         return JoinRound(
             kind=kind,
             probe_tree=probe_tree,
@@ -207,7 +383,9 @@ class VOCodec:
             next_target=next_target,
         )
 
-    def _write_conjunct(self, out: io.BytesIO, vo: ConjunctiveVO) -> None:
+    def _write_conjunct(
+        self, out: io.BytesIO, vo: ConjunctiveVO, mps: tuple | None = None
+    ) -> None:
         self._write_uint(out, len(vo.keywords), 1)
         for keyword in vo.keywords:
             self._write_string(out, keyword)
@@ -223,17 +401,17 @@ class VOCodec:
             self._write_uint(out, len(vo.base.trees), 1)
             for tree in vo.base.trees:
                 self._write_string(out, tree)
-            self._write_entry(out, vo.base.first_target)
+            self._write_entry(out, vo.base.first_target, mps)
             self._write_uint(out, len(vo.base.rounds), 2)
             for rnd in vo.base.rounds:
-                self._write_round(out, rnd)
+                self._write_round(out, rnd, mps)
         else:
             assert isinstance(vo.base, FullScanVO)
             self._write_uint(out, _BASE_FULLSCAN, 1)
             self._write_string(out, vo.base.keyword)
             self._write_uint(out, len(vo.base.entries), 2)
             for entry in vo.base.entries:
-                self._write_entry(out, entry)
+                self._write_entry(out, entry, mps)
         self._write_uint(out, len(vo.stages), 1)
         for stage in vo.stages:
             self._write_string(out, stage.keyword)
@@ -241,10 +419,12 @@ class VOCodec:
             for probe in stage.probes:
                 self._write_uint(out, probe.candidate_id, 8)
                 self._write_uint(out, 1 if probe.bloom_absent else 0, 1)
-                self._write_entry(out, probe.lower)
-                self._write_entry(out, probe.upper)
+                self._write_entry(out, probe.lower, mps)
+                self._write_entry(out, probe.upper, mps)
 
-    def _read_conjunct(self, data: io.BytesIO) -> ConjunctiveVO:
+    def _read_conjunct(
+        self, data: io.BytesIO, mps: tuple | None = None
+    ) -> ConjunctiveVO:
         keywords = tuple(
             self._read_string(data) for _ in range(self._read_uint(data, 1))
         )
@@ -260,10 +440,10 @@ class VOCodec:
                 self._read_string(data)
                 for _ in range(self._read_uint(data, 1))
             )
-            first_target = self._read_entry(data)
+            first_target = self._read_entry(data, mps)
             assert first_target is not None
             rounds = tuple(
-                self._read_round(data)
+                self._read_round(data, mps)
                 for _ in range(self._read_uint(data, 2))
             )
             base = MultiWayJoinVO(
@@ -273,7 +453,7 @@ class VOCodec:
             keyword = self._read_string(data)
             entries = []
             for _ in range(self._read_uint(data, 2)):
-                entry = self._read_entry(data)
+                entry = self._read_entry(data, mps)
                 assert entry is not None
                 entries.append(entry)
             base = FullScanVO(keyword=keyword, entries=tuple(entries))
@@ -286,8 +466,8 @@ class VOCodec:
             for _ in range(self._read_uint(data, 2)):
                 candidate_id = self._read_uint(data, 8)
                 bloom_absent = self._read_uint(data, 1) == 1
-                lower = self._read_entry(data)
-                upper = self._read_entry(data)
+                lower = self._read_entry(data, mps)
+                upper = self._read_entry(data, mps)
                 probes.append(
                     SemiJoinProbe(
                         candidate_id=candidate_id,
@@ -307,19 +487,72 @@ class VOCodec:
     # -- public API ----------------------------------------------------------------
 
     def encode(self, vo: QueryVO) -> bytes:
-        """Serialise a full ``VO_sp`` to its wire form."""
+        """Serialise a full ``VO_sp`` to its wire form.
+
+        Emits the byte-identical legacy v2 layout unless the VO carries
+        multiproofs or compressed :class:`LeafRef` proofs (or the codec
+        was pinned to ``version=3``).  A LeafRef without its multiproof
+        — e.g. a per-conjunct slice of a compressed VO — still gets the
+        v3 frame; such a frame round-trips deterministically but only
+        verifies once rejoined with its multiproofs.
+        """
+        use_v3 = self.version == 3 or (
+            self.version is None
+            and (
+                bool(vo.multiproofs)
+                or any(
+                    isinstance(entry.proof, LeafRef)
+                    for entry in iter_proven_entries(vo)
+                )
+            )
+        )
         out = io.BytesIO()
+        if not use_v3:
+            if vo.multiproofs:
+                raise ReproError(
+                    "VOCodec(version=2) cannot encode a VO with multiproofs"
+                )
+            self._write_uint(out, len(vo.conjuncts), 1)
+            for conjunct in vo.conjuncts:
+                self._write_conjunct(out, conjunct)
+            return out.getvalue()
+        out.write(bytes([_V3_MARKER]))
+        mps = tuple(vo.multiproofs)
+        self._write_varint(out, len(mps))
+        for mp in mps:
+            self._write_multiproof(out, mp)
         self._write_uint(out, len(vo.conjuncts), 1)
         for conjunct in vo.conjuncts:
-            self._write_conjunct(out, conjunct)
+            self._write_conjunct(out, conjunct, mps)
         return out.getvalue()
 
     def decode(self, payload: bytes) -> QueryVO:
-        """Parse a wire-form ``VO_sp``; raises on malformed input."""
+        """Parse a wire-form ``VO_sp``; raises on malformed input.
+
+        Reads both frame versions regardless of the codec's ``version``
+        pin (the pin only selects the encoder's output).
+        """
         data = io.BytesIO(payload)
+        if not payload:
+            raise ReproError("truncated VO payload")
+        first = payload[0]
+        mps: tuple | None = None
+        if first >= _VERSION_BASE:
+            if first != _V3_MARKER:
+                raise ReproError(
+                    f"unsupported VO frame version {first - _VERSION_BASE}"
+                )
+            data.read(1)
+            mps = tuple(
+                self._read_multiproof(data)
+                for _ in range(self._read_varint(data))
+            )
         conjuncts = tuple(
-            self._read_conjunct(data) for _ in range(self._read_uint(data, 1))
+            self._read_conjunct(data, mps)
+            for _ in range(self._read_uint(data, 1))
         )
         if data.read(1):
             raise ReproError("trailing bytes in VO payload")
-        return QueryVO(conjuncts=conjuncts)
+        return QueryVO(
+            conjuncts=conjuncts, multiproofs=mps if mps is not None else ()
+        )

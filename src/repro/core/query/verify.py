@@ -25,6 +25,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro.core.multiproof import LeafRef
 from repro.core.objects import DataObject
 from repro.core.query.parser import KeywordQuery
 from repro.core.query.vo import (
@@ -108,7 +109,17 @@ def verify_full_scan(
     )
     entries = vo.entries
     _check(len(entries) > 0, "full scan of a non-empty keyword returned nothing")
-    if executor is not None and executor.kind != "serial" and len(entries) > 1:
+    # Compressed entries share one multiproof whose single fold is
+    # memoised on the proof system; fanning them out to a pool would
+    # ship one proof-system copy per entry and re-fold the whole proof
+    # in every worker — O(n^2) digests for an O(n) check.
+    compressed = any(isinstance(e.proof, LeafRef) for e in entries)
+    if (
+        executor is not None
+        and executor.kind != "serial"
+        and len(entries) > 1
+        and not compressed
+    ):
         executor.map(
             _verify_entry_task, [(ps, vo.keyword, e) for e in entries]
         )
@@ -428,6 +439,14 @@ def verify_query(
         len(answer.vo.conjuncts) == len(query.conjunctions),
         "VO component count does not match the query's DNF",
     )
+    attach = getattr(ps, "attach_multiproofs", None)
+    if attach is not None:
+        attach(answer.vo.multiproofs)
+    else:
+        _check(
+            not answer.vo.multiproofs,
+            "VO carries multiproofs but the proof system cannot verify them",
+        )
     if executor is None:
         executor = SerialExecutor()
     union = VerifiedResults(ids=set())

@@ -36,6 +36,20 @@ def _proof_size(proof: object, value_bytes: int) -> int:
         return byte_size()
 
 
+def _varint_size(value: int) -> int:
+    """Bytes of the codec's LEB128 varint encoding."""
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+def _slot_size(entry: "ProvenEntry | None", value_bytes: int) -> int:
+    """Wire size of an optional-entry slot (1 presence byte when absent)."""
+    return 1 if entry is None else entry.byte_size(value_bytes)
+
+
 @dataclass(frozen=True)
 class ProvenEntry:
     """A ``<id, h(o)>`` entry together with its authenticity proof."""
@@ -45,8 +59,16 @@ class ProvenEntry:
     proof: object
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
-        return 8 + 32 + _proof_size(self.proof, value_bytes)
+        """Exact wire size, including the presence and proof-tag bytes.
+
+        A LeafRef-proofed entry (v3 frames only) omits the inline
+        ``id + hash`` — the multiproof leaf table carries them — so it
+        costs just the presence/tag bytes plus two varints.
+        """
+        proof = self.proof
+        if proof is not None and hasattr(proof, "proof_index"):
+            return 2 + _proof_size(proof, value_bytes)
+        return 1 + 8 + 32 + 1 + _proof_size(proof, value_bytes)
 
 
 @dataclass(frozen=True)
@@ -75,11 +97,10 @@ class JoinRound:
     next_target: ProvenEntry | None = None
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
+        """Exact wire size (absent entry slots still cost 1 byte)."""
         total = 2  # kind tag + probe index
         for entry in (self.lower, self.upper, self.next_target):
-            if entry is not None:
-                total += entry.byte_size(value_bytes)
+            total += _slot_size(entry, value_bytes)
         return total
 
 
@@ -101,8 +122,8 @@ class MultiWayJoinVO:
     rounds: tuple[JoinRound, ...]
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
-        total = sum(len(t) + 1 for t in self.trees) + 4
+        """Exact wire size (tree count + names, target, round count)."""
+        total = 1 + sum(len(t) + 1 for t in self.trees) + 2
         total += self.first_target.byte_size(value_bytes)
         total += sum(r.byte_size(value_bytes) for r in self.rounds)
         return total
@@ -120,9 +141,10 @@ class FullScanVO:
     entries: tuple[ProvenEntry, ...]
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
+        """Exact wire size (keyword length byte + entry count)."""
         return (
-            len(self.keyword)
+            1
+            + len(self.keyword)
             + 2
             + sum(e.byte_size(value_bytes) for e in self.entries)
         )
@@ -151,11 +173,10 @@ class SemiJoinProbe:
         )
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
+        """Exact wire size (absent boundary slots still cost 1 byte)."""
         total = 9  # candidate id + flag
         for entry in (self.lower, self.upper):
-            if entry is not None:
-                total += entry.byte_size(value_bytes)
+            total += _slot_size(entry, value_bytes)
         return total
 
 
@@ -167,9 +188,10 @@ class SemiJoinStage:
     probes: tuple[SemiJoinProbe, ...]
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
+        """Exact wire size (keyword length byte + probe count)."""
         return (
-            len(self.keyword)
+            1
+            + len(self.keyword)
             + 2
             + sum(p.byte_size(value_bytes) for p in self.probes)
         )
@@ -197,8 +219,9 @@ class ConjunctiveVO:
     empty_keyword: str | None = None
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
-        total = sum(len(k) + 1 for k in self.keywords) + 2
+        """Exact wire size (counts, flags and the base/stage tags)."""
+        # keyword count + empty flag + base tag + stage count
+        total = 4 + sum(len(k) + 1 for k in self.keywords)
         if self.empty_keyword is not None:
             total += len(self.empty_keyword) + 1
         if self.base is not None:
@@ -207,15 +230,76 @@ class ConjunctiveVO:
         return total
 
 
+def iter_proven_entries(vo: "QueryVO"):
+    """Yield every :class:`ProvenEntry` of a VO in the codec's write order."""
+    for conj in vo.conjuncts:
+        base = conj.base
+        if isinstance(base, MultiWayJoinVO):
+            yield base.first_target
+            for rnd in base.rounds:
+                for entry in (rnd.lower, rnd.upper, rnd.next_target):
+                    if entry is not None:
+                        yield entry
+        elif isinstance(base, FullScanVO):
+            yield from base.entries
+        for stage in conj.stages:
+            for probe in stage.probes:
+                for entry in (probe.lower, probe.upper):
+                    if entry is not None:
+                        yield entry
+
+
 @dataclass(frozen=True)
 class QueryVO:
-    """``VO_sp``: the full verification object for a DNF query."""
+    """``VO_sp``: the full verification object for a DNF query.
+
+    ``multiproofs`` is the deduplicated proof table of the v3 encoding:
+    one :class:`~repro.core.multiproof.TreeMultiproof` per
+    ``(tree, commitment)`` referenced by the entries, with each entry's
+    per-path proof replaced by a
+    :class:`~repro.core.multiproof.LeafRef` into the table.  Empty for
+    legacy (v2) VOs and for the Chameleon family.
+    """
 
     conjuncts: tuple[ConjunctiveVO, ...]
+    multiproofs: tuple = ()
 
     def byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
-        """Serialised size in bytes."""
-        return 2 + sum(c.byte_size(value_bytes) for c in self.conjuncts)
+        """Exact wire size under the codec's auto-selected frame version.
+
+        Mirrors :meth:`~repro.core.query.codec.VOCodec.encode`: the v3
+        frame (version marker + multiproof table) is chosen exactly when
+        the VO carries multiproofs or any LeafRef-proofed entry;
+        otherwise the legacy v2 frame (a bare conjunct count).
+        """
+        total = 1 + sum(c.byte_size(value_bytes) for c in self.conjuncts)
+        if self.multiproofs or any(
+            entry.proof is not None and hasattr(entry.proof, "proof_index")
+            for entry in iter_proven_entries(self)
+        ):
+            total += 1 + _varint_size(len(self.multiproofs))
+            total += sum(mp.byte_size() for mp in self.multiproofs)
+        return total
+
+    def proof_byte_size(self, value_bytes: int = DEFAULT_VALUE_BYTES) -> int:
+        """Proof-only bytes: per-entry proofs plus the multiproof table.
+
+        Excludes the structural framing (IDs, hashes, keywords), so the
+        ``vo_proof_bytes`` bench metric attributes compression to the
+        proofs it actually deduplicates.  The multiproof leaf table's
+        40-byte ``id + hash`` rows are excluded for the same reason:
+        they relocate the entry bindings a v2 frame carries inline (the
+        LeafRef entries drop theirs), so counting them as proof bytes
+        would misattribute framing to the proof side.
+        """
+        total = sum(
+            _proof_size(entry.proof, value_bytes)
+            for entry in iter_proven_entries(self)
+        )
+        total += sum(
+            mp.byte_size() - 40 * len(mp.leaves) for mp in self.multiproofs
+        )
+        return total
 
 
 @dataclass

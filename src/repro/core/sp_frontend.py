@@ -30,6 +30,7 @@ from typing import Callable, Iterator
 
 from repro import obs
 from repro.core.mbtree import MBTree
+from repro.core.multiproof import compress_query_vo
 from repro.core.objects import DataObject, ObjectMetadata
 from repro.core.query.join import conjunctive_join
 from repro.core.query.parser import KeywordQuery
@@ -162,6 +163,7 @@ class ShardedStorageProvider:
         bloom_capacity: int = DEFAULT_CAPACITY,
         pool: str = "stateless",
         index_spec: tuple | None = None,
+        vo_version: int = 3,
     ) -> None:
         self.router = ShardRouter(shards, seed=seed)
         self.engine_kind = engine
@@ -170,6 +172,11 @@ class ShardedStorageProvider:
         self.join_order = join_order
         self.join_plan = join_plan
         self.fanout = fanout
+        if vo_version not in (2, 3):
+            raise ParameterError(
+                f"unsupported vo_version {vo_version}; expected 2 or 3"
+            )
+        self.vo_version = vo_version
         if pool not in POOL_KINDS:
             raise ParameterError(
                 f"unknown pool {pool!r}; expected one of: "
@@ -513,7 +520,7 @@ class ShardedStorageProvider:
                 return QueryAnswer(
                     result_ids=sorted(result_ids),
                     objects=objects,
-                    vo=QueryVO(conjuncts=tuple(conjunct_vos)),
+                    vo=self._finish_vo(conjunct_vos),
                 )
             per_conjunct_views = self._scatter(query)
             if (
@@ -560,8 +567,24 @@ class ShardedStorageProvider:
         return QueryAnswer(
             result_ids=sorted(result_ids),
             objects=objects,
-            vo=QueryVO(conjuncts=tuple(conjunct_vos)),
+            vo=self._finish_vo(conjunct_vos),
         )
+
+    def _finish_vo(self, conjunct_vos: list[ConjunctiveVO]) -> QueryVO:
+        """Assemble ``VO_sp``, compressing per-entry paths when enabled.
+
+        The common tail of every query path (stateless, parallel and
+        affine): compression runs *after* call-order gathering, over the
+        fully assembled VO, so its output — one deduplicated multiproof
+        per ``(tree, commitment)`` — is byte-identical for any shard
+        count, pool mode or executor.  ``vo_version=2`` preserves the
+        legacy per-entry-path VO exactly; Chameleon-family VOs carry no
+        Merkle paths and pass through unchanged either way.
+        """
+        vo = QueryVO(conjuncts=tuple(conjunct_vos))
+        if self.vo_version >= 3:
+            vo = compress_query_vo(vo)
+        return vo
 
     def close(self) -> None:
         """Release engines, workers and warmers (idempotent).

@@ -105,6 +105,9 @@ class QueryResult:
     vo_chain_bytes: int
     sp_seconds: float
     verify_seconds: float
+    #: Proof-only share of ``vo_sp_bytes`` (per-entry proofs plus the
+    #: deduplicated multiproof table) — attributes compression wins.
+    vo_proof_bytes: int = 0
 
     @property
     def vo_total_bytes(self) -> int:
@@ -136,6 +139,11 @@ class HybridStorageSystem:
     :mod:`repro.parallel`); ``verify_cache_size`` bounds the shared LRU
     of successfully verified proof tuples reused across conjuncts and
     queries (0 disables it).
+
+    VO format knob: ``vo_version`` (default 3) selects the wire frame —
+    3 deduplicates the Merkle-family per-entry paths into one multiproof
+    per tree (the compressed frame), 2 preserves the legacy per-path VO
+    byte-for-byte (the Chameleon family is identical under both).
 
     Batch-witness knobs: ``witness_batching`` routes batched ingestion
     through the DO's staged insert + per-commitment divide-and-conquer
@@ -172,6 +180,7 @@ class HybridStorageSystem:
         engine: str = "memory",
         engine_dir: str | Path | None = None,
         pool: str = "stateless",
+        vo_version: int = 3,
     ) -> None:
         self.scheme = Scheme.parse(scheme)
         self.fanout = fanout
@@ -190,6 +199,7 @@ class HybridStorageSystem:
         self.shards = shards
         self.engine = engine
         self.pool = pool
+        self.vo_version = vo_version
         self.chain = Blockchain(gas_limit=gas_limit, track_state=track_state)
         self.mine_every = max(1, mine_every)
         self._inserts_since_mine = 0
@@ -265,6 +275,7 @@ class HybridStorageSystem:
             bloom_capacity=bloom_capacity,
             pool=pool,
             index_spec=index_spec,
+            vo_version=vo_version,
         )
         self._owner = DataOwnerPipeline(
             scheme=self.scheme,
@@ -568,6 +579,7 @@ class HybridStorageSystem:
             verify_seconds = time.perf_counter() - t1
             with obs.span("query.vo_encode"):
                 vo_sp_bytes = len(self._codec.encode(answer.vo))
+            vo_proof_bytes = answer.vo.proof_byte_size(self.value_bytes)
             vo_chain_bytes = proof_system.chain_digest_bytes()
             root_span.set(
                 keywords=len(query.all_keywords()),
@@ -594,6 +606,7 @@ class HybridStorageSystem:
             vo_chain_bytes=vo_chain_bytes,
             sp_seconds=sp_seconds,
             verify_seconds=verify_seconds,
+            vo_proof_bytes=vo_proof_bytes,
         )
 
     def warm_pending(self, limit: int | None = None) -> int:

@@ -155,12 +155,22 @@ class CacheWarmer:
         warmed = 0
         failures = 0
         with obs.span("sp.warm.keyword", keyword=keyword, entries=len(entries)):
-            for entry in entries:
-                try:
-                    ps.verify_entry(keyword, entry)
-                    warmed += 1
-                except VerificationError:
-                    failures += 1
+            warm_entries = getattr(ps, "warm_entries", None)
+            if warm_entries is not None:
+                # Scheme-provided batch hook: verifies each per-entry
+                # proof (skipping failures, fail closed per entry) and —
+                # when the whole list verified — seeds the cache with
+                # the deduplicated multiproof a compressed (v3) query
+                # will present, so the warmed key hits at query time.
+                warmed = warm_entries(keyword, entries)
+                failures = len(entries) - warmed
+            else:
+                for entry in entries:
+                    try:
+                        ps.verify_entry(keyword, entry)
+                        warmed += 1
+                    except VerificationError:
+                        failures += 1
         obs.inc("sp.warm.entries", warmed)
         if failures:
             obs.inc("sp.warm.failures", failures)

@@ -81,6 +81,8 @@ class TestExperimentSmoke:
             "fastpath",
             "witness",
             "shard",
+            "query",
+            "multiproof",
         }
         assert set(ABLATIONS) == {
             "abl-fanout",

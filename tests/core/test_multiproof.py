@@ -1,0 +1,284 @@
+"""Unit tests for the generalized-index Merkle multiproof (PR 9)."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.mbtree import Entry, MBTree, MerklePath, paths_adjacent
+from repro.core.multiproof import (
+    SLOT_DESCEND,
+    SLOT_HELPER,
+    SLOT_LEAF,
+    TreeMultiproof,
+    build_multiproof,
+    compute_multiproof_indices,
+    leaf_gindex,
+)
+from repro.core.query.vo import ProvenEntry
+from repro.errors import ReproError, VerificationError
+
+
+def vhash(key: int) -> bytes:
+    return bytes([key % 251]) * 32
+
+
+def make_tree(size: int, fanout: int = 4) -> MBTree:
+    tree = MBTree(fanout=fanout)
+    for key in range(size):
+        tree.insert(key, vhash(key))
+    return tree
+
+
+def proven(tree: MBTree, keys) -> list[tuple[ProvenEntry, MerklePath]]:
+    out = []
+    for key in keys:
+        entry, path = tree.prove(key)
+        out.append(
+            (
+                ProvenEntry(
+                    object_id=entry.key,
+                    object_hash=entry.value_hash,
+                    proof=path,
+                ),
+                path,
+            )
+        )
+    return out
+
+
+class TestGeneralizedIndex:
+    def test_binary_gindex_matches_classic_formula(self):
+        # For width-2 trees, g = 2**depth + leaf_index.
+        assert leaf_gindex((0, 0), (2, 2)) == 4
+        assert leaf_gindex((0, 1), (2, 2)) == 5
+        assert leaf_gindex((1, 1), (2, 2)) == 7
+
+    def test_mixed_radix_is_injective_per_level(self):
+        widths = (4, 3)
+        seen = set()
+        for a in range(4):
+            for b in range(3):
+                seen.add(leaf_gindex((a, b), widths))
+        assert len(seen) == 12
+
+    def test_root_has_gindex_one(self):
+        assert leaf_gindex((), ()) == 1
+
+
+class TestIndexPartition:
+    def test_single_leaf_binary_tree(self):
+        codes = compute_multiproof_indices([(0, 1)], [(2, 2)])
+        assert codes[(0,)] == SLOT_DESCEND
+        assert codes[(1,)] == SLOT_HELPER
+        assert codes[(0, 0)] == SLOT_HELPER
+        assert codes[(0, 1)] == SLOT_LEAF
+
+    def test_shared_parent_is_descended_once(self):
+        codes = compute_multiproof_indices(
+            [(0, 0), (0, 1)], [(2, 2), (2, 2)]
+        )
+        assert codes[(0,)] == SLOT_DESCEND
+        assert codes[(0, 0)] == SLOT_LEAF
+        assert codes[(0, 1)] == SLOT_LEAF
+        assert codes[(1,)] == SLOT_HELPER
+
+    def test_depth_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            compute_multiproof_indices([(0,), (0, 1)], [(2,), (2, 2)])
+
+    def test_conflicting_widths_rejected(self):
+        with pytest.raises(ReproError):
+            compute_multiproof_indices([(0, 0), (0, 1)], [(2, 2), (3, 2)])
+
+    def test_empty_leaf_set_rejected(self):
+        with pytest.raises(ReproError):
+            compute_multiproof_indices([], [])
+
+
+class TestBuildFoldParity:
+    @pytest.mark.parametrize("fanout", [3, 4])
+    @pytest.mark.parametrize("size", [5, 17, 60])
+    def test_fold_root_matches_tree_root(self, fanout, size):
+        tree = make_tree(size, fanout=fanout)
+        rng = random.Random(size * fanout)
+        keys = rng.sample(range(size), k=max(1, size // 3))
+        multiproof, ordinals = build_multiproof(proven(tree, keys))
+        assert multiproof.fold_root() == tree.root_hash
+        assert len(multiproof.leaves) == len(set(keys))
+        assert len(ordinals) == len(set(keys))
+
+    def test_full_cover_has_no_helpers(self):
+        tree = make_tree(16)
+        multiproof, _ = build_multiproof(proven(tree, range(16)))
+        assert multiproof.helpers == ()
+        assert multiproof.fold_root() == tree.root_hash
+
+    def test_duplicate_entries_deduplicate(self):
+        tree = make_tree(12)
+        pairs = proven(tree, [3, 7, 3, 7, 3])
+        multiproof, ordinals = build_multiproof(pairs)
+        assert len(multiproof.leaves) == 2
+        assert multiproof.fold_root() == tree.root_hash
+        assert sorted(ordinals.values()) == [0, 1]
+
+    def test_leaf_ordinals_follow_key_order(self):
+        tree = make_tree(30)
+        multiproof, _ = build_multiproof(proven(tree, [25, 2, 14]))
+        keys = [entry[0] for entry in multiproof.leaves]
+        assert keys == sorted(keys) == [2, 14, 25]
+
+    def test_multiproof_smaller_than_paths(self):
+        tree = make_tree(60)
+        pairs = proven(tree, range(0, 60, 2))
+        multiproof, _ = build_multiproof(pairs)
+        path_bytes = sum(40 + path.byte_size() for _, path in pairs)
+        assert multiproof.byte_size() < path_bytes / 2
+
+    def test_conflicting_sibling_digests_rejected(self):
+        tree = make_tree(20)
+        # Keys 0 and 1 share a leaf, so their leaf-level rows both claim
+        # the digests of the leaf's remaining entries — tampering one
+        # path's copy contradicts the other's.
+        pairs = proven(tree, [0, 1])
+        entry, path = pairs[1]
+        step = path.steps[0]
+        assert step.after, "keys 0 and 1 must share a non-full leaf"
+        bad_step = dataclasses.replace(
+            step, after=(bytes(32),) * len(step.after)
+        )
+        bad_path = dataclasses.replace(
+            path, steps=(bad_step,) + path.steps[1:]
+        )
+        with pytest.raises(ReproError):
+            build_multiproof([pairs[0], (entry, bad_path)])
+
+    def test_mixed_depth_paths_rejected(self):
+        shallow = make_tree(3)
+        deep = make_tree(40)
+        with pytest.raises(ReproError):
+            build_multiproof(proven(shallow, [1]) + proven(deep, [1]))
+
+
+class TestBoundaryPredicates:
+    def test_leftmost_rightmost_match_paths(self):
+        tree = make_tree(23)
+        multiproof, ordinals = build_multiproof(
+            proven(tree, [0, 5, 22])
+        )
+        by_key = {
+            multiproof.leaves[ordinal][0]: ordinal
+            for ordinal in range(len(multiproof.leaves))
+        }
+        assert multiproof.is_leftmost(by_key[0])
+        assert not multiproof.is_leftmost(by_key[5])
+        assert multiproof.is_rightmost(by_key[22])
+        assert not multiproof.is_rightmost(by_key[5])
+
+    @pytest.mark.parametrize("fanout", [3, 4])
+    def test_adjacency_matches_paths_adjacent(self, fanout):
+        size = 29
+        tree = make_tree(size, fanout=fanout)
+        multiproof, _ = build_multiproof(proven(tree, range(size)))
+        paths = {key: tree.prove(key)[1] for key in range(size)}
+        for left in range(size - 1):
+            for right in (left + 1, min(left + 5, size - 1)):
+                expected = paths_adjacent(paths[left], paths[right])
+                assert multiproof.adjacent(left, right) == expected
+
+    def test_adjacent_rejects_out_of_range_ordinals(self):
+        tree = make_tree(9)
+        multiproof, _ = build_multiproof(proven(tree, [1, 2]))
+        with pytest.raises(VerificationError):
+            multiproof.adjacent(0, 5)
+
+
+class TestFailClosed:
+    def build(self, size=21, keys=(2, 9, 17)):
+        tree = make_tree(size)
+        multiproof, _ = build_multiproof(proven(tree, keys))
+        return tree, multiproof
+
+    def test_dropped_helper_fails(self):
+        tree, mp = self.build()
+        bad = dataclasses.replace(mp, helpers=mp.helpers[:-1])
+        with pytest.raises(VerificationError):
+            bad.fold_root()
+
+    def test_duplicated_helper_changes_root_or_fails(self):
+        tree, mp = self.build()
+        bad = dataclasses.replace(mp, helpers=mp.helpers + mp.helpers[:1])
+        with pytest.raises(VerificationError):
+            bad.fold_root()
+
+    def test_reordered_helpers_change_the_root(self):
+        tree, mp = self.build()
+        assert len(mp.helpers) >= 2
+        swapped = (mp.helpers[1], mp.helpers[0]) + mp.helpers[2:]
+        if swapped == mp.helpers:
+            pytest.skip("helpers coincide")
+        bad = dataclasses.replace(mp, helpers=swapped)
+        try:
+            root = bad.fold_root()
+        except VerificationError:
+            return
+        assert root != tree.root_hash
+
+    def test_truncated_nodes_fail(self):
+        _, mp = self.build()
+        bad = dataclasses.replace(mp, nodes=mp.nodes[:-1])
+        with pytest.raises(VerificationError):
+            bad.fold_root()
+
+    def test_tampered_leaf_hash_changes_the_root(self):
+        tree, mp = self.build()
+        key, _ = mp.leaves[0]
+        bad_leaves = ((key, bytes(32)),) + mp.leaves[1:]
+        bad = dataclasses.replace(mp, leaves=bad_leaves)
+        assert bad.fold_root() != tree.root_hash
+
+    def test_leaf_entry_bounds_checked(self):
+        _, mp = self.build()
+        with pytest.raises(VerificationError):
+            mp.leaf_entry(len(mp.leaves))
+
+    def test_cache_token_binds_structure(self):
+        tree, mp = self.build()
+        other_tree, other = self.build(size=22, keys=(2, 9, 17))
+        assert mp.cache_token() != other.cache_token()
+        bad = dataclasses.replace(
+            mp, helpers=(bytes(32),) + mp.helpers[1:]
+        )
+        assert bad.cache_token() != mp.cache_token()
+
+
+class TestStackMachineRobustness:
+    def test_descend_at_leaf_level_fails(self):
+        mp = TreeMultiproof(
+            height=1,
+            nodes=((SLOT_DESCEND,),),
+            helpers=(),
+            leaves=((1, vhash(1)),),
+        )
+        with pytest.raises(VerificationError):
+            mp.fold_root()
+
+    def test_unconsumed_leaves_fail(self):
+        mp = TreeMultiproof(
+            height=1,
+            nodes=((SLOT_LEAF,),),
+            helpers=(),
+            leaves=((1, vhash(1)), (2, vhash(2))),
+        )
+        with pytest.raises(VerificationError):
+            mp.fold_root()
+
+    def test_all_helper_cover_fails(self):
+        mp = TreeMultiproof(
+            height=1,
+            nodes=((SLOT_HELPER, SLOT_HELPER),),
+            helpers=(bytes(32), bytes(32)),
+            leaves=(),
+        )
+        with pytest.raises(VerificationError):
+            mp.fold_root()

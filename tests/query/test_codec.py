@@ -54,6 +54,54 @@ class TestRoundTrip:
         assert codec.decode(codec.encode(answer.vo)) == answer.vo
 
 
+class TestByteSizeExactness:
+    """``byte_size()`` is the wire truth: it must equal ``len(encode())``."""
+
+    @pytest.mark.parametrize("scheme", ["smi", "ci", "ci*"])
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_vo_byte_size_matches_wire(self, scheme, text, small_docs):
+        system = loaded(scheme, small_docs)
+        codec = VOCodec(value_bytes=system.value_bytes)
+        vo = system.process_query(KeywordQuery.parse(text)).vo
+        assert vo.byte_size(system.value_bytes) == len(codec.encode(vo))
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_v2_frame_byte_size_matches_wire(self, text, small_docs):
+        system = loaded("smi", small_docs, vo_version=2)
+        codec = VOCodec(value_bytes=system.value_bytes)
+        vo = system.process_query(KeywordQuery.parse(text)).vo
+        assert vo.byte_size(system.value_bytes) == len(codec.encode(vo))
+
+    def test_merkle_path_byte_size_matches_wire_delta(self, small_docs):
+        """Swapping one MerklePath for ``None`` shrinks the frame by
+        exactly the path's claimed ``byte_size`` — pins the path size
+        formula to the codec, not just the aggregate."""
+        import dataclasses
+
+        from repro.core.query.vo import FullScanVO
+
+        system = loaded("smi", small_docs, vo_version=2)
+        codec = VOCodec(value_bytes=system.value_bytes)
+        vo = system.process_query(KeywordQuery.parse("symptom")).vo
+        base = vo.conjuncts[0].base
+        assert isinstance(base, FullScanVO) and base.entries
+        path = base.entries[0].proof
+        stripped_entry = dataclasses.replace(base.entries[0], proof=None)
+        stripped = dataclasses.replace(
+            vo,
+            conjuncts=(
+                dataclasses.replace(
+                    vo.conjuncts[0],
+                    base=dataclasses.replace(
+                        base, entries=(stripped_entry,) + base.entries[1:]
+                    ),
+                ),
+            ),
+        )
+        delta = len(codec.encode(vo)) - len(codec.encode(stripped))
+        assert delta == path.byte_size()
+
+
 class TestMalformedPayloads:
     def test_truncated(self, small_docs):
         system = loaded("smi", small_docs)

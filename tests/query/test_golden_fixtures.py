@@ -1,0 +1,104 @@
+"""Golden v2 VO fixtures: committed wire frames must stay decodable.
+
+The legacy (v2) frame is a compatibility surface: clients running older
+verifiers send and receive it, so its byte layout is frozen.  These
+tests decode byte-exact fixtures committed under ``tests/fixtures/``,
+verify them against a deterministically rebuilt system, and re-encode
+them byte-identically — any codec change that silently reshapes the v2
+wire fails here first.
+
+Regenerate (only after an intentional, versioned format change)::
+
+    PYTHONPATH=src python tests/query/test_golden_fixtures.py --regen
+"""
+
+import pathlib
+
+import pytest
+
+from repro import DataObject, HybridStorageSystem, KeywordQuery
+from repro.core.query.codec import VOCodec
+from repro.core.query.verify import verify_query
+from repro.errors import ReproError
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent.parent / "fixtures"
+
+#: The deterministic corpus behind every fixture (seed 8, v2 frames).
+FIXTURE_DOCS = (
+    DataObject(1, ("covid-19", "sars-cov-2"), b"a"),
+    DataObject(2, ("covid-19",), b"b"),
+    DataObject(4, ("covid-19", "symptom", "vaccine"), b"c"),
+    DataObject(5, ("covid-19", "vaccine"), b"d"),
+    DataObject(6, ("symptom",), b"e"),
+    DataObject(7, ("sars-cov-2", "vaccine"), b"f"),
+)
+
+#: name -> (scheme, query text, expected verified ids)
+CASES = {
+    "vo_v2_smi_join": ("smi", "covid-19 AND vaccine", {4, 5}),
+    "vo_v2_smi_scan": ("smi", "symptom", {4, 6}),
+    "vo_v2_smi_dnf": (
+        "smi",
+        "(covid-19 AND symptom) OR sars-cov-2",
+        {1, 4, 7},
+    ),
+    "vo_v2_ci_join": ("ci", "covid-19 AND vaccine", {4, 5}),
+}
+
+
+def fixture_system(scheme):
+    system = HybridStorageSystem(
+        scheme=scheme, cvc_modulus_bits=512, seed=8, vo_version=2
+    )
+    system.add_objects(FIXTURE_DOCS)
+    return system
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_v2_fixture_decodes_verifies_and_reencodes(name):
+    scheme, text, expected = CASES[name]
+    payload = (FIXTURE_DIR / f"{name}.bin").read_bytes()
+    system = fixture_system(scheme)
+    codec = VOCodec(value_bytes=system.value_bytes)
+
+    vo = codec.decode(payload)
+    query = KeywordQuery.parse(text)
+    answer = system.process_query(query)
+    answer.vo = vo  # the fixture VO, not the freshly produced one
+    ps = system.chain_proof_system(query.all_keywords())
+    assert verify_query(query, answer, ps).ids == expected
+    assert codec.encode(vo) == payload
+
+
+def test_fixtures_are_plain_v2_frames():
+    """No fixture may carry a version marker: they pin the legacy path."""
+    for name in CASES:
+        payload = (FIXTURE_DIR / f"{name}.bin").read_bytes()
+        assert payload[0] < 0xF0
+
+
+def test_unknown_version_marker_on_fixture_rejected():
+    """A future-versioned frame is a clean reject, not a crash."""
+    payload = (FIXTURE_DIR / "vo_v2_smi_scan.bin").read_bytes()
+    codec = VOCodec(value_bytes=32)
+    with pytest.raises(ReproError, match="unsupported VO frame"):
+        codec.decode(bytes([0xF5]) + payload[1:])
+
+
+def _regenerate():
+    for name, (scheme, text, _) in CASES.items():
+        system = fixture_system(scheme)
+        codec = VOCodec(value_bytes=system.value_bytes)
+        answer = system.process_query(KeywordQuery.parse(text))
+        payload = codec.encode(answer.vo)
+        (FIXTURE_DIR / f"{name}.bin").write_bytes(payload)
+        print(f"wrote {name}.bin ({len(payload)} bytes)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

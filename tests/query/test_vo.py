@@ -34,9 +34,10 @@ class TestProvenEntry:
         with pytest.raises(TypeError):
             entry.byte_size()
 
-    def test_none_proof_costs_nothing_extra(self):
+    def test_none_proof_costs_only_framing(self):
         entry = ProvenEntry(object_id=1, object_hash=sha3(b"x"), proof=None)
-        assert entry.byte_size() == 40
+        # presence + id + hash + proof tag
+        assert entry.byte_size() == 1 + 8 + 32 + 1
 
 
 class TestJoinRoundSizes:
@@ -44,7 +45,8 @@ class TestJoinRoundSizes:
         sp = build_sp(20)
         lower, upper = sp.view("a").boundaries_proven(5)
         rnd = JoinRound(kind="probe", lower=lower, upper=upper)
-        assert rnd.byte_size() == 2 + lower.byte_size() + upper.byte_size()
+        # kind + probe index + both boundaries + absent next_target slot
+        assert rnd.byte_size() == 3 + lower.byte_size() + upper.byte_size()
 
     def test_skip_round_smaller_than_probe(self):
         sp = build_sp(20)
@@ -71,4 +73,5 @@ class TestAggregateSizes:
     def test_semi_join_probe_flags(self):
         absent = SemiJoinProbe(candidate_id=5, bloom_absent=True)
         assert not absent.matched
-        assert absent.byte_size() == 9
+        # id + flag + two absent boundary slots
+        assert absent.byte_size() == 11

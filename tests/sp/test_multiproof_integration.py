@@ -1,0 +1,104 @@
+"""Multiproof compression through the warmer and the affine pool.
+
+Two integration seams of the v3 VO path:
+
+* the :class:`~repro.sp.warmer.CacheWarmer` pre-verifies a keyword's
+  full cover and seeds the multiproof cache key, so a later compressed
+  query's fold is a cache hit;
+* shard-affine scatter-gather (including the Chameleon batched-ingest
+  path, whose witness computations coalesce through the
+  :class:`~repro.sp.scheduler.WitnessScheduler`) stays byte-identical
+  at any shard count with compression on.
+"""
+
+import pytest
+
+from repro.core.objects import DataObject
+from repro.core.query.parser import KeywordQuery
+from repro.core.system import HybridStorageSystem
+
+from tests.sp.test_sharding import QUERIES, build, make_docs
+
+
+class TestWarmerMultiproof:
+    def make_system(self):
+        system = HybridStorageSystem(
+            scheme="smi", seed=13, witness_warmer=True, warm_hot_threshold=0
+        )
+        for i in range(12):
+            kws = ("alpha", "beta") if i % 2 else ("alpha",)
+            system.add_object(DataObject(i, kws, b"x%d" % i))
+        return system
+
+    def test_warm_preverifies_the_query_multiproof(self):
+        system = self.make_system()
+        assert system.warm_pending() > 0
+        hits_before = system.verify_cache.hits
+        answer = system.process_query(KeywordQuery.parse('"alpha"'))
+        # The full scan compresses: one multiproof covering the tree —
+        # the very cover the warmer just folded and cached.
+        assert answer.vo.multiproofs
+        result = system.query('"alpha" AND "beta"')
+        assert result.verified
+        assert system.verify_cache.hits > hits_before
+
+    def test_unwarmed_query_folds_then_caches(self):
+        system = self.make_system()
+        first = system.query('"alpha"')
+        assert first.verified
+        hits_after_first = system.verify_cache.hits
+        second = system.query('"alpha"')
+        assert second.verified
+        assert system.verify_cache.hits > hits_after_first
+
+
+class TestAffineMultiproofParity:
+    """1 vs 8 affine shards must be byte-identical, compression on."""
+
+    def test_mi_v3_frames_identical_across_shards(self):
+        base, _ = build("mi", shards=1)
+        affine, _ = build("mi", shards=8, pool="affine")
+        try:
+            saw_multiproof = False
+            for text in QUERIES:
+                query = KeywordQuery.parse(text)
+                answer_base = base.process_query(query)
+                answer_affine = affine.process_query(query)
+                assert answer_base.result_ids == answer_affine.result_ids
+                saw_multiproof |= bool(answer_base.vo.multiproofs)
+                assert base._codec.encode(answer_base.vo) == affine._codec.encode(
+                    answer_affine.vo
+                )
+                assert base.query(text).verified
+                assert affine.query(text).verified
+            assert saw_multiproof, "no query exercised the v3 path"
+        finally:
+            base.close()
+            affine.close()
+
+    def test_ci_scheduler_batched_ingest_identical_across_shards(self):
+        serial = HybridStorageSystem(
+            scheme="ci", seed=13, shards=1, cvc_modulus_bits=512
+        )
+        affine = HybridStorageSystem(
+            scheme="ci", seed=13, shards=8, cvc_modulus_bits=512, pool="affine"
+        )
+        try:
+            docs = make_docs(10)
+            # Batched ingest routes every witness computation through the
+            # coalescing WitnessScheduler on both sides.
+            serial.add_objects_batched(docs)
+            affine.add_objects_batched(docs)
+            for text in QUERIES[:4]:
+                query = KeywordQuery.parse(text)
+                answer_serial = serial.process_query(query)
+                answer_affine = affine.process_query(query)
+                assert answer_serial.result_ids == answer_affine.result_ids
+                assert serial._codec.encode(
+                    answer_serial.vo
+                ) == affine._codec.encode(answer_affine.vo)
+                assert serial.query(text).verified
+                assert affine.query(text).verified
+        finally:
+            serial.close()
+            affine.close()
