@@ -12,6 +12,7 @@ from repro.analysis.concurrency import (
     PipeProtocolChecker,
 )
 from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.flatbuf import FlatbufNodeStorageChecker
 from repro.analysis.checkers.gas_integrality import GasIntegralityChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
 from repro.analysis.checkers.multiproof import MultiproofBatchedPathChecker
@@ -22,6 +23,7 @@ from repro.analysis.checkers.wallclock import WallClockChecker
 __all__ = [
     "CryptoHygieneChecker",
     "DeterminismChecker",
+    "FlatbufNodeStorageChecker",
     "ForkSafetyChecker",
     "GasIntegralityChecker",
     "LockDisciplineChecker",

@@ -24,15 +24,7 @@ Fig. 6 measures.
 
 from __future__ import annotations
 
-from repro.core.mbtree import (
-    DEFAULT_FANOUT,
-    InternalNode,
-    LeafNode,
-    MBTree,
-    _Node,
-    leaf_payload,
-    node_payload,
-)
+from repro.core.mbtree import DEFAULT_FANOUT, MBTree, NodeHandle
 from repro.crypto.hashing import word_count
 from repro.ethereum.contract import SmartContract
 from repro.ethereum.gas import GasMeter
@@ -48,45 +40,44 @@ class _BulkMergeObserver:
         self._meter = meter
         self._fanout = fanout
         self._visited: set[int] = set()
-        self._rehash_nodes: dict[int, _Node] = {}
+        self._rehash_nodes: dict[int, NodeHandle] = {}
 
-    def node_visited(self, node: _Node) -> None:
+    def node_visited(self, node: NodeHandle) -> None:
         """Charge for fetching a node's content word."""
-        if id(node) not in self._visited:
-            self._visited.add(id(node))
+        # Keyed by logical node (sequence number): a node freed and
+        # re-allocated by a split keeps its identity for dedup, exactly
+        # as Python object identity did in the object-graph days.
+        if node.seq not in self._visited:
+            self._visited.add(node.seq)
             self._meter.sload(1)
 
-    def entry_inserted(self, leaf: LeafNode) -> None:
+    def entry_inserted(self, leaf: NodeHandle) -> None:
         """Charge for storing the new entry."""
         self._meter.sstore(1)
 
-    def node_rehashed(self, node: _Node) -> None:
+    def node_rehashed(self, node: NodeHandle) -> None:
         # Deferred: each distinct node is re-hashed once, at merge end.
         """Charge for recomputing and storing a node hash."""
-        self._rehash_nodes[id(node)] = node
+        self._rehash_nodes[node.seq] = node
 
-    def node_split(self, original: _Node, new_sibling: _Node) -> None:
+    def node_split(self, original: NodeHandle, new_sibling: NodeHandle) -> None:
         """Charge for creating and wiring a split node."""
         self._meter.sstore(2)
         self._meter.supdate(1)
 
-    def root_replaced(self, new_root: _Node) -> None:
+    def root_replaced(self, new_root: NodeHandle) -> None:
         """Charge for materialising a new root node."""
         self._meter.sstore(2)
         self._meter.supdate(1)
 
     def finish(self) -> None:
         """Pay the deferred per-node re-hash costs."""
+        # Handles resolve through the store at read time, so each node's
+        # *final* width/payload is charged — the deferred-read semantics
+        # the object references used to provide.
         for node in self._rehash_nodes.values():
-            if isinstance(node, LeafNode):
-                children = len(node.entries)
-                payload = leaf_payload([e.digest() for e in node.entries])
-            else:
-                assert isinstance(node, InternalNode)
-                children = len(node.children)
-                payload = node_payload([c.digest for c in node.children])
-            self._meter.sload(children)
-            self._meter.hash(word_count(payload))
+            self._meter.sload(node.width)
+            self._meter.hash(word_count(node.payload()))
             self._meter.supdate(1)
 
 

@@ -576,6 +576,13 @@ def experiment_multiproof(**kwargs):
     return _multiproof(**kwargs)
 
 
+def experiment_flatbuf(**kwargs):
+    """Flat-buffer node storage bench (lazy import avoids a cycle)."""
+    from repro.bench.flatbuf import experiment_flatbuf as _flatbuf
+
+    return _flatbuf(**kwargs)
+
+
 def experiment_query(
     size: int = 400,
     keyword_counts: tuple[int, ...] = (2, 4, 6),
@@ -634,6 +641,7 @@ EXPERIMENTS = {
     "shard": experiment_shard,
     "query": experiment_query,
     "multiproof": experiment_multiproof,
+    "flatbuf": experiment_flatbuf,
 }
 
 

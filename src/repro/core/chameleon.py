@@ -25,10 +25,10 @@ and termination to ``pos == cnt`` (Algorithm 6).
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 
 from repro.core.mbtree import Entry, entry_digest
+from repro.core.nodestore import ChameleonStore
 from repro.crypto import vc
 from repro.crypto.prf import node_randomness
 from repro.errors import ReproError, VerificationError
@@ -301,18 +301,6 @@ class ChameleonTreeDO:
         return staged.to_proof(pi_pos, rho)
 
 
-@dataclass
-class _SPNode:
-    """SP-side record of one tree node."""
-
-    object_id: int
-    object_hash: bytes
-    commitment: int
-    slot1_proof: int
-    parent_link_proof: int
-    child_index: int
-
-
 @dataclass(frozen=True)
 class ChameleonBoundarySearch:
     """Boundary lookup result mirroring the MB-tree's, in proof form."""
@@ -329,39 +317,84 @@ class ChameleonBoundarySearch:
         return self.lower is not None and self.lower.key == self.target
 
 
+#: Group-element width for the default 1024-bit CVC modulus.
+DEFAULT_VALUE_BYTES = 128
+
+
 class ChameleonTreeSP:
     """The SP's complete copy of one keyword's Chameleon tree.
 
-    Stores the insertion proofs streamed by the DO, keeps the
-    ID-to-position map (positions equal ranks because IDs arrive in
-    order), and assembles membership proofs for query processing.
+    Stores the insertion proofs streamed by the DO and assembles
+    membership proofs for query processing.  All node material lives in
+    a flat :class:`~repro.core.nodestore.ChameleonStore` buffer —
+    positions are BFS-contiguous, so the position-to-record map and the
+    ID order are both pure index arithmetic over the records, and the
+    whole tree snapshots/ships as one buffer.  ``value_bytes`` is the
+    group-element width (``ceil(modulus_bits / 8)``).
     """
 
-    def __init__(self, root_commitment: int, arity: int = DEFAULT_ARITY) -> None:
-        self.root_commitment = root_commitment
-        self.arity = arity
-        self._nodes: dict[int, _SPNode] = {}
-        self._ids: list[int] = []  # _ids[k] is the ID at position k+1
+    def __init__(
+        self,
+        root_commitment: int,
+        arity: int = DEFAULT_ARITY,
+        value_bytes: int = DEFAULT_VALUE_BYTES,
+    ) -> None:
+        self.store = ChameleonStore.create(arity=arity, value_bytes=value_bytes)
+        self.store.root_commitment = root_commitment
+
+    # -- flat-buffer snapshots ----------------------------------------------------
+
+    def to_blob(self) -> bytes:
+        """Snapshot the whole tree as one nodestore-v1 buffer."""
+        return self.store.to_blob()
+
+    @classmethod
+    def from_blob(cls, blob: bytes | bytearray | memoryview) -> "ChameleonTreeSP":
+        """Restore a tree from :meth:`to_blob` output (one buffer read)."""
+        tree = cls.__new__(cls)
+        tree.store = ChameleonStore.from_blob(blob)
+        return tree
+
+    def __getstate__(self) -> dict:
+        return {"blob": self.to_blob()}
+
+    def __setstate__(self, state: dict) -> None:
+        self.store = ChameleonStore.from_blob(state["blob"])
+
+    @property
+    def root_commitment(self) -> int:
+        """The invariant root commitment ``c_0``."""
+        return self.store.root_commitment
+
+    @root_commitment.setter
+    def root_commitment(self, value: int) -> None:
+        self.store.root_commitment = value
+
+    @property
+    def arity(self) -> int:
+        """Tree arity ``q``."""
+        return self.store.arity
 
     def __len__(self) -> int:
-        return len(self._ids)
+        return self.store.count
 
     @property
     def count(self) -> int:
         """Number of objects in the tree (the on-chain ``cnt``)."""
-        return len(self._ids)
+        return self.store.count
 
     def apply_insertion(self, proof: InsertionProof) -> None:
         """Ingest one DO insertion proof (in position order)."""
-        expected = len(self._ids) + 1
+        count = self.store.count
+        expected = count + 1
         if proof.position != expected:
             raise ReproError(
                 f"insertion proofs must arrive in order; expected position "
                 f"{expected}, got {proof.position}"
             )
-        if self._ids and proof.object_id <= self._ids[-1]:
+        if count and proof.object_id <= self.store.object_id(count):
             raise ReproError("object IDs must be strictly increasing")
-        self._nodes[proof.position] = _SPNode(
+        self.store.append(
             object_id=proof.object_id,
             object_hash=proof.object_hash,
             commitment=proof.commitment,
@@ -369,65 +402,65 @@ class ChameleonTreeSP:
             parent_link_proof=proof.parent_link_proof,
             child_index=proof.child_index,
         )
-        self._ids.append(proof.object_id)
 
     def id_at_position(self, pos: int) -> int:
         """The object ID stored at a 1-based position."""
-        if not 1 <= pos <= len(self._ids):
-            raise ReproError(f"position {pos} outside tree of size {len(self._ids)}")
-        return self._ids[pos - 1]
+        if not 1 <= pos <= self.count:
+            raise ReproError(f"position {pos} outside tree of size {self.count}")
+        return self.store.object_id(pos)
 
     def position_of(self, object_id: int) -> int | None:
         """``getPos``: position of an exact ID, or None."""
-        idx = bisect.bisect_left(self._ids, object_id)
-        if idx < len(self._ids) and self._ids[idx] == object_id:
-            return idx + 1
+        rank = self.store.rank_of(object_id)  # IDs are position-sorted
+        if rank > 0 and self.store.object_id(rank) == object_id:
+            return rank
         return None
 
     def entry_at(self, pos: int) -> Entry:
         """The ``<id, h(o)>`` entry at a 1-based position."""
-        node = self._nodes[pos]
-        return Entry(key=node.object_id, value_hash=node.object_hash)
+        return Entry(
+            key=self.store.object_id(pos),
+            value_hash=self.store.object_hash(pos),
+        )
 
     def prove_membership(self, pos: int) -> MembershipProof:
         """Assemble ``Pi`` for the node at ``pos`` from stored material."""
-        if pos not in self._nodes:
+        if not 1 <= pos <= self.count:
             raise ReproError(f"no node at position {pos}")
-        node = self._nodes[pos]
+        store = self.store
         links: list[ChameleonLink] = []
         current = pos
         while current != 0:
-            record = self._nodes[current]
             links.append(
                 ChameleonLink(
-                    child_index=record.child_index,
-                    child_commitment=record.commitment,
-                    proof=record.parent_link_proof,
+                    child_index=store.child_index(current),
+                    child_commitment=store.commitment(current),
+                    proof=store.parent_link_proof(current),
                 )
             )
             current, _ = parent_position(current, self.arity)
         return MembershipProof(
             position=pos,
-            entry_commitment=node.commitment,
-            slot1_proof=node.slot1_proof,
+            entry_commitment=store.commitment(pos),
+            slot1_proof=store.slot1_proof(pos),
             links=tuple(links),
         )
 
     def first(self) -> tuple[Entry, MembershipProof] | None:
         """The first entry with its membership proof, or None."""
-        if not self._ids:
+        if not self.count:
             return None
         return self.entry_at(1), self.prove_membership(1)
 
     def last(self) -> tuple[Entry, MembershipProof] | None:
         """The last entry with its membership proof, or None."""
-        if not self._ids:
+        if not self.count:
             return None
         return self.entry_at(self.count), self.prove_membership(self.count)
 
     def boundaries(self, target: int) -> ChameleonBoundarySearch:
         """Boundary entries around ``target`` with membership proofs."""
-        idx = bisect.bisect_right(self._ids, target)  # count of ids <= target
+        idx = self.store.rank_of(target)  # count of ids <= target
         lower = None
         lower_proof = None
         upper = None
@@ -435,7 +468,7 @@ class ChameleonTreeSP:
         if idx > 0:
             lower = self.entry_at(idx)
             lower_proof = self.prove_membership(idx)
-        if idx < len(self._ids):
+        if idx < self.count:
             upper = self.entry_at(idx + 1)
             upper_proof = self.prove_membership(idx + 1)
         return ChameleonBoundarySearch(

@@ -316,11 +316,18 @@ class ChameleonSP:
     arity: int = DEFAULT_ARITY
     trees: dict[str, ChameleonTreeSP] = field(default_factory=dict)
 
+    @property
+    def _value_bytes(self) -> int:
+        """Group-element width for this modulus."""
+        return (self.pp.modulus.bit_length() + 7) // 8
+
     def register_keyword(self, keyword: str, root_commitment: int) -> None:
         """Register a keyword's root commitment."""
         if keyword not in self.trees:
             self.trees[keyword] = ChameleonTreeSP(
-                root_commitment, arity=self.arity
+                root_commitment,
+                arity=self.arity,
+                value_bytes=self._value_bytes,
             )
 
     def apply_insertion(self, keyword: str, proof) -> None:
@@ -336,7 +343,11 @@ class ChameleonSP:
         if tree is None:
             # Unknown keyword: an empty placeholder (len == 0 routes the
             # join engine to the emptiness short-circuit).
-            tree = ChameleonTreeSP(root_commitment=0, arity=self.arity)
+            tree = ChameleonTreeSP(
+                root_commitment=0,
+                arity=self.arity,
+                value_bytes=self._value_bytes,
+            )
         return ChameleonView(keyword=keyword, tree=tree)
 
 

@@ -8,6 +8,19 @@ carries a digest:
 * a *leaf node* hashes the concatenation of its entry digests;
 * an *internal node* hashes the concatenation of its child digests.
 
+Storage
+-------
+Nodes are not Python objects: the whole tree lives in one contiguous
+:class:`~repro.core.nodestore.NodeStore` buffer of fixed-width records
+(flat-buffer storage, nodestore v1).  Build, insert-spine update and
+path extraction are index arithmetic over that buffer; digests are
+stored inline, so a leaf re-hash concatenates stored entry digests
+instead of recomputing them.  The hash *preimages* —
+:func:`entry_payload`, :func:`leaf_payload`, :func:`node_payload` — are
+unchanged, so roots, proofs and metered gas are byte-identical to the
+object-graph representation this replaced.  :meth:`MBTree.to_blob` /
+:meth:`MBTree.from_blob` snapshot and restore the tree as one buffer.
+
 Proof machinery
 ---------------
 :class:`MerklePath` authenticates a single leaf entry and — crucially for
@@ -30,10 +43,10 @@ the identical logic the tests validate against the real tree.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 from typing import Callable, Iterator, Protocol
 
+from repro.core.nodestore import NIL, MBTreeStore
 from repro.crypto.hashing import EMPTY_DIGEST, sha3, tagged_hash
 from repro.errors import IntegrityError, ReproError
 
@@ -226,58 +239,66 @@ def paths_adjacent(left: MerklePath, right: MerklePath) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# Tree nodes
+# Node handles and the observer protocol
 # ---------------------------------------------------------------------------
 
 
-class _Node:
-    __slots__ = ("digest",)
+def _leaf_digests(view: MBTreeStore, index: int) -> list[bytes]:
+    """Entry digests of a leaf, recomputed from its stored entries.
 
-    def __init__(self) -> None:
-        self.digest: bytes = EMPTY_DIGEST
-
-    def min_key(self) -> int:  # pragma: no cover - overridden
-        """Smallest key stored under this node."""
-        raise NotImplementedError
-
-
-class LeafNode(_Node):
-    """A leaf node holding sorted ``<id, h(o)>`` entries."""
-    __slots__ = ("entries",)
-
-    def __init__(self, entries: list[Entry] | None = None) -> None:
-        super().__init__()
-        self.entries: list[Entry] = entries or []
-        self.rehash()
-
-    def min_key(self) -> int:
-        """Smallest key stored under this node."""
-        return self.entries[0].key
-
-    def rehash(self) -> None:
-        """Recompute this node's digest from its children."""
-        if self.entries:
-            self.digest = leaf_digest([e.digest() for e in self.entries])
-        else:
-            self.digest = EMPTY_DIGEST
+    The flat record stores only ``<key, value_hash>`` per slot; the
+    canonical entry digests it hashes into the leaf digest are cheap to
+    rederive and never persisted.
+    """
+    return [
+        entry_digest(view.leaf_key(index, slot), view.leaf_value_hash(index, slot))
+        for slot in range(view.count(index))
+    ]
 
 
-class InternalNode(_Node):
-    """An internal node holding child subtrees."""
-    __slots__ = ("children",)
+class NodeHandle:
+    """A stable reference to one logical tree node in the flat store.
 
-    def __init__(self, children: list[_Node]) -> None:
-        super().__init__()
-        self.children: list[_Node] = children
-        self.rehash()
+    Handed to :class:`InsertObserver` hooks in place of the node objects
+    the tree no longer has.  The handle pins the node's *sequence
+    number*, which survives the free-then-reallocate record moves a
+    split performs, so observers that defer work per logical node (the
+    GEM^2 bulk-merge meter) read the node's final state at settlement —
+    the same semantics object identity used to give them.
+    """
 
-    def min_key(self) -> int:
-        """Smallest key stored under this node."""
-        return self.children[0].min_key()
+    __slots__ = ("_view", "seq")
 
-    def rehash(self) -> None:
-        """Recompute this node's digest from its children."""
-        self.digest = node_digest([c.digest for c in self.children])
+    def __init__(self, view: MBTreeStore, seq: int) -> None:
+        self._view = view
+        self.seq = seq
+
+    @property
+    def index(self) -> int:
+        """The node's current record index."""
+        return self._view.index_of_seq(self.seq)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node is a leaf."""
+        return self._view.is_leaf(self.index)
+
+    @property
+    def width(self) -> int:
+        """Number of entries (leaf) or children (internal)."""
+        return self._view.count(self.index)
+
+    @property
+    def digest(self) -> bytes:
+        """The node's current digest."""
+        return self._view.digest(self.index)
+
+    def payload(self) -> bytes:
+        """The byte payload this node's digest is computed over."""
+        index = self.index
+        if self._view.is_leaf(index):
+            return leaf_payload(_leaf_digests(self._view, index))
+        return node_payload(self._view.child_digests(index))
 
 
 class InsertObserver(Protocol):
@@ -288,23 +309,23 @@ class InsertObserver(Protocol):
     SP-side trees pass no observer and pay nothing.
     """
 
-    def node_visited(self, node: _Node) -> None:
+    def node_visited(self, node: NodeHandle) -> None:
         """Hook: a node's content word was fetched."""
         ...
 
-    def entry_inserted(self, leaf: LeafNode) -> None:
+    def entry_inserted(self, leaf: NodeHandle) -> None:
         """Hook: a new entry was stored into ``leaf``."""
         ...
 
-    def node_rehashed(self, node: _Node) -> None:
+    def node_rehashed(self, node: NodeHandle) -> None:
         """Hook: a node's digest was recomputed and stored."""
         ...
 
-    def node_split(self, original: _Node, new_sibling: _Node) -> None:
+    def node_split(self, original: NodeHandle, new_sibling: NodeHandle) -> None:
         """Hook: an overflowing node was split."""
         ...
 
-    def root_replaced(self, new_root: _Node) -> None:
+    def root_replaced(self, new_root: NodeHandle) -> None:
         """Hook: the tree gained a new root node."""
         ...
 
@@ -331,20 +352,58 @@ class BoundarySearch:
 
 
 class MBTree:
-    """A Merkle B+-tree over ``<id, h(o)>`` entries.
+    """A Merkle B+-tree over ``<id, h(o)>`` entries, flat-buffer backed.
 
     Supports arbitrary-order insertion (splits propagate upward), though
     the paper's workload only ever appends monotonically increasing IDs.
+    All node state lives in ``self.store`` (an
+    :class:`~repro.core.nodestore.MBTreeStore`); the tree keeps only
+    scalar mirrors of the header fields for hot-path reads and writes
+    them through, so the store's buffer is always a complete snapshot.
     """
 
     def __init__(self, fanout: int = DEFAULT_FANOUT) -> None:
         if fanout < 3:
             raise ReproError("MB-tree fan-out must be at least 3")
         self.fanout = fanout
-        self._root: _Node | None = None
+        self.store = MBTreeStore.create(fanout)
+        self._root_idx = NIL
         self._count = 0
         self._max_key: int | None = None
-        self._keys: list[int] = []
+
+    # -- flat-buffer snapshots ----------------------------------------------------
+
+    def to_blob(self) -> bytes:
+        """Snapshot the whole tree as one nodestore-v1 buffer."""
+        return self.store.to_blob()
+
+    @classmethod
+    def from_blob(cls, blob: bytes | bytearray | memoryview) -> "MBTree":
+        """Restore a tree from :meth:`to_blob` output (one buffer read)."""
+        view = MBTreeStore.from_blob(blob)
+        tree = cls.__new__(cls)
+        tree.fanout = view.fanout
+        tree.store = view
+        top = view.store.root
+        tree._root_idx = top
+        tree._count = view.store.count
+        tree._max_key = view.store.max_key if tree._count else None
+        if tree._count and top == NIL:
+            raise IntegrityError("non-empty MB-tree blob lacks a root")
+        return tree
+
+    def __getstate__(self) -> dict:
+        # Pickling ships the buffer, not an object graph: no recursion,
+        # one memcpy, and the receiver revalidates the header.
+        return {"blob": self.to_blob()}
+
+    def __setstate__(self, state: dict) -> None:
+        restored = MBTree.from_blob(state["blob"])
+        self.fanout = restored.fanout
+        self.store = restored.store
+        self._root_idx = restored._root_idx
+        self._count = restored._count
+        self._max_key = restored._max_key
 
     # -- basic properties -----------------------------------------------------
 
@@ -354,9 +413,9 @@ class MBTree:
     @property
     def root_hash(self) -> bytes:
         """The tree's authenticated digest (EMPTY_DIGEST when empty)."""
-        if self._root is None:
+        if self._count == 0:
             return EMPTY_DIGEST
-        return self._root.digest
+        return self.store.digest(self._root_idx)
 
     @property
     def max_key(self) -> int | None:
@@ -366,12 +425,29 @@ class MBTree:
     @property
     def height(self) -> int:
         """Number of levels (0 for an empty tree)."""
-        levels = 0
-        node = self._root
-        while node is not None:
+        if self._count == 0:
+            return 0
+        levels = 1
+        node = self._root_idx
+        while not self.store.is_leaf(node):
             levels += 1
-            node = node.children[0] if isinstance(node, InternalNode) else None
+            node = self.store.child(node, 0)
         return levels
+
+    def _handle(self, index: int) -> NodeHandle:
+        return NodeHandle(self.store, self.store.seq(index))
+
+    def _set_root(self, index: int) -> None:
+        self._root_idx = index
+        self.store.store.root = index
+
+    def _set_count(self, value: int) -> None:
+        self._count = value
+        self.store.store.count = value
+
+    def _set_max_key(self, key: int) -> None:
+        self._max_key = key
+        self.store.store.max_key = key
 
     # -- insertion --------------------------------------------------------------
 
@@ -379,125 +455,121 @@ class MBTree:
         self, key: int, value_hash: bytes, observer: InsertObserver | None = None
     ) -> None:
         """Insert ``<key, value_hash>``; duplicate keys are rejected."""
-        entry = Entry(key=key, value_hash=value_hash)
-        if self._root is None:
-            self._root = LeafNode([entry])
-            self._count = 1
-            self._max_key = key
-            self._keys.append(key)
+        view = self.store
+        digest = entry_digest(key, value_hash)
+        if self._count == 0:
+            leaf = view.new_leaf()
+            view.leaf_insert(leaf, 0, key, value_hash)
+            view.set_digest(leaf, leaf_digest([digest]))
+            self._set_root(leaf)
+            self._set_count(1)
+            self._set_max_key(key)
             if observer is not None:
-                observer.root_replaced(self._root)
-                observer.node_rehashed(self._root)
+                observer.root_replaced(self._handle(leaf))
+                observer.node_rehashed(self._handle(leaf))
             return
         path = self._descend(key, observer)
         leaf = path[-1]
-        assert isinstance(leaf, LeafNode)
-        position = self._entry_position(leaf, key)
-        leaf.entries.insert(position, entry)
+        position, found = view.leaf_find(leaf, key)
+        if found:
+            raise ReproError(f"duplicate key {key} in MB-tree")
+        view.leaf_insert(leaf, position, key, value_hash)
         if observer is not None:
-            observer.entry_inserted(leaf)
-        self._count += 1
-        bisect.insort(self._keys, key)
+            observer.entry_inserted(self._handle(leaf))
+        self._set_count(self._count + 1)
         if self._max_key is None or key > self._max_key:
-            self._max_key = key
+            self._set_max_key(key)
         self._split_and_rehash(path, observer)
-
-    def _entry_position(self, leaf: LeafNode, key: int) -> int:
-        lo, hi = 0, len(leaf.entries)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            mid_key = leaf.entries[mid].key
-            if mid_key == key:
-                raise ReproError(f"duplicate key {key} in MB-tree")
-            if mid_key < key:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
 
     def _descend(
         self, key: int, observer: InsertObserver | None
-    ) -> list[_Node]:
-        """Root-to-leaf path guiding an insertion of ``key``."""
-        path: list[_Node] = []
-        node = self._root
+    ) -> list[int]:
+        """Root-to-leaf record path guiding an insertion of ``key``."""
+        view = self.store
+        path: list[int] = []
+        node = self._root_idx
         while True:
-            assert node is not None
             if observer is not None:
-                observer.node_visited(node)
+                observer.node_visited(self._handle(node))
             path.append(node)
-            if isinstance(node, LeafNode):
+            if view.is_leaf(node):
                 return path
-            child_index = len(node.children) - 1
-            for i in range(1, len(node.children)):
-                if key < node.children[i].min_key():
-                    child_index = i - 1
+            width = view.count(node)
+            slot = width - 1
+            for i in range(1, width):
+                if key < view.min_key(view.child(node, i)):
+                    slot = i - 1
                     break
-            node = node.children[child_index]
+            node = view.child(node, slot)
+
+    def _rehash(self, index: int) -> None:
+        view = self.store
+        if view.is_leaf(index):
+            if view.count(index):
+                view.set_digest(
+                    index, leaf_digest(_leaf_digests(view, index))
+                )
+            else:
+                view.set_digest(index, EMPTY_DIGEST)
+        else:
+            view.set_digest(index, node_digest(view.child_digests(index)))
 
     def _split_and_rehash(
-        self, path: list[_Node], observer: InsertObserver | None
+        self, path: list[int], observer: InsertObserver | None
     ) -> None:
         """Walk the insert path bottom-up, splitting overflowing nodes."""
+        view = self.store
         half = (self.fanout + 2) // 2  # ceil((F + 1) / 2), paper's policy
-        carry: list[_Node] | None = None  # replacement for the child below
+        carry: tuple[int, tuple[int, int]] | None = None
         for depth in range(len(path) - 1, -1, -1):
             node = path[depth]
             if carry is not None:
-                assert isinstance(node, InternalNode)
-                child = path[depth + 1]
-                idx = node.children.index(child)
-                node.children[idx : idx + 1] = carry
+                view.replace_child(node, carry[0], carry[1])
             carry = None
-            if isinstance(node, LeafNode):
-                overflow = len(node.entries) > self.fanout
-            else:
-                overflow = len(node.children) > self.fanout
-            if overflow:
-                sibling = self._split_node(node, half)
+            if view.count(node) > self.fanout:
+                left, right = view.split(node, half)
+                self._rehash(left)
+                self._rehash(right)
                 if observer is not None:
-                    observer.node_split(node, sibling)
-                    observer.node_rehashed(node)
-                    observer.node_rehashed(sibling)
-                carry = [node, sibling]
+                    observer.node_split(self._handle(left), self._handle(right))
+                    observer.node_rehashed(self._handle(left))
+                    observer.node_rehashed(self._handle(right))
+                carry = (node, (left, right))
             else:
-                node.rehash()
+                if not view.is_leaf(node):
+                    view.set_min_key(node, view.min_key(view.child(node, 0)))
+                self._rehash(node)
                 if observer is not None:
-                    observer.node_rehashed(node)
+                    observer.node_rehashed(self._handle(node))
         if carry is not None:
-            new_root = InternalNode(carry)
-            self._root = new_root
+            root = view.new_internal()
+            view.set_children(root, list(carry[1]))
+            self._rehash(root)
+            self._set_root(root)
             if observer is not None:
-                observer.root_replaced(new_root)
-                observer.node_rehashed(new_root)
-
-    def _split_node(self, node: _Node, half: int) -> _Node:
-        if isinstance(node, LeafNode):
-            sibling = LeafNode(node.entries[half:])
-            node.entries = node.entries[:half]
-        else:
-            assert isinstance(node, InternalNode)
-            sibling = InternalNode(node.children[half:])
-            node.children = node.children[:half]
-        node.rehash()
-        return sibling
+                observer.root_replaced(self._handle(root))
+                observer.node_rehashed(self._handle(root))
 
     # -- lookups -----------------------------------------------------------------
 
     def iter_entries(self) -> Iterator[Entry]:
         """All entries in key order."""
+        view = self.store
 
-        def walk(node: _Node) -> Iterator[Entry]:
+        def walk(index: int) -> Iterator[Entry]:
             """Depth-first in-order traversal."""
-            if isinstance(node, LeafNode):
-                yield from node.entries
+            if view.is_leaf(index):
+                for slot in range(view.count(index)):
+                    yield Entry(
+                        key=view.leaf_key(index, slot),
+                        value_hash=view.leaf_value_hash(index, slot),
+                    )
             else:
-                assert isinstance(node, InternalNode)
-                for child in node.children:
+                for child in view.children(index):
                     yield from walk(child)
 
-        if self._root is not None:
-            yield from walk(self._root)
+        if self._count:
+            yield from walk(self._root_idx)
 
     def first_entry(self) -> tuple[Entry, MerklePath] | None:
         """The smallest entry with its path, or None for an empty tree."""
@@ -512,18 +584,21 @@ class MBTree:
         return self._entry_at_edge(leftmost=False)
 
     def _entry_at_edge(self, leftmost: bool) -> tuple[Entry, MerklePath]:
-        node = self._root
+        view = self.store
+        node = self._root_idx
         steps: list[PathStep] = []
-        assert node is not None
-        while isinstance(node, InternalNode):
-            idx = 0 if leftmost else len(node.children) - 1
-            steps.append(self._node_step(node, idx))
-            node = node.children[idx]
-        assert isinstance(node, LeafNode)
-        idx = 0 if leftmost else len(node.entries) - 1
-        steps.append(self._leaf_step(node, idx))
+        while not view.is_leaf(node):
+            slot = 0 if leftmost else view.count(node) - 1
+            steps.append(self._node_step(node, slot))
+            node = view.child(node, slot)
+        slot = 0 if leftmost else view.count(node) - 1
+        steps.append(self._leaf_step(node, slot))
         steps.reverse()
-        return node.entries[idx], MerklePath(steps=tuple(steps))
+        entry = Entry(
+            key=view.leaf_key(node, slot),
+            value_hash=view.leaf_value_hash(node, slot),
+        )
+        return entry, MerklePath(steps=tuple(steps))
 
     def prove(self, key: int) -> tuple[Entry, MerklePath]:
         """Membership proof for an existing key."""
@@ -537,13 +612,12 @@ class MBTree:
         """Locate the boundary entries around ``target`` with paths.
 
         ``lower`` = largest entry with key <= target (the match, if any);
-        ``upper`` = smallest entry with key > target.  The sorted key
-        registry picks the boundary keys in O(log n); each proof is a
-        fresh O(log n) descent.
+        ``upper`` = smallest entry with key > target.  One O(log n)
+        descent finds both boundary keys (the cached per-record minimum
+        keys replace the old global sorted-key registry); each proof is
+        a fresh O(log n) descent.
         """
-        position = bisect.bisect_right(self._keys, target)
-        lower_key = self._keys[position - 1] if position > 0 else None
-        upper_key = self._keys[position] if position < len(self._keys) else None
+        lower_key, upper_key = self._boundary_keys(target)
         lower = self._prove_by_key(lower_key) if lower_key is not None else None
         upper = self._prove_by_key(upper_key) if upper_key is not None else None
         return BoundarySearch(
@@ -554,42 +628,73 @@ class MBTree:
             upper_path=upper[1] if upper else None,
         )
 
-    def _prove_by_key(self, key: int) -> tuple[Entry, MerklePath]:
-        node = self._root
-        steps: list[PathStep] = []
-        assert node is not None
-        while isinstance(node, InternalNode):
-            idx = len(node.children) - 1
-            for i in range(1, len(node.children)):
-                if key < node.children[i].min_key():
-                    idx = i - 1
+    def _boundary_keys(self, target: int) -> tuple[int | None, int | None]:
+        """The keys bracketing ``target``: (largest <=, smallest >)."""
+        if self._count == 0:
+            return None, None
+        view = self.store
+        node = self._root_idx
+        successor_subtree: int | None = None
+        while not view.is_leaf(node):
+            width = view.count(node)
+            slot = width - 1
+            for i in range(1, width):
+                if target < view.min_key(view.child(node, i)):
+                    slot = i - 1
                     break
-            steps.append(self._node_step(node, idx))
-            node = node.children[idx]
-        assert isinstance(node, LeafNode)
-        for i, entry in enumerate(node.entries):
-            if entry.key == key:
-                steps.append(self._leaf_step(node, i))
-                steps.reverse()
-                return entry, MerklePath(steps=tuple(steps))
-        raise ReproError(f"key {key} vanished during proof construction")
+            if slot + 1 < width:
+                # Deepest right sibling on the path: its subtree minimum
+                # is the successor when the reached leaf tops out.
+                successor_subtree = view.child(node, slot + 1)
+            node = view.child(node, slot)
+        position, found = view.leaf_find(node, target)
+        rank = position + 1 if found else position  # leaf keys <= target
+        lower_key = view.leaf_key(node, rank - 1) if rank > 0 else None
+        if rank < view.count(node):
+            upper_key: int | None = view.leaf_key(node, rank)
+        elif successor_subtree is not None:
+            upper_key = view.min_key(successor_subtree)
+        else:
+            upper_key = None
+        return lower_key, upper_key
 
-    @staticmethod
-    def _node_step(node: InternalNode, idx: int) -> PathStep:
-        digests = [c.digest for c in node.children]
+    def _prove_by_key(self, key: int) -> tuple[Entry, MerklePath]:
+        view = self.store
+        node = self._root_idx
+        steps: list[PathStep] = []
+        while not view.is_leaf(node):
+            width = view.count(node)
+            slot = width - 1
+            for i in range(1, width):
+                if key < view.min_key(view.child(node, i)):
+                    slot = i - 1
+                    break
+            steps.append(self._node_step(node, slot))
+            node = view.child(node, slot)
+        position, found = view.leaf_find(node, key)
+        if not found:
+            raise ReproError(f"key {key} vanished during proof construction")
+        steps.append(self._leaf_step(node, position))
+        steps.reverse()
+        entry = Entry(
+            key=key, value_hash=view.leaf_value_hash(node, position)
+        )
+        return entry, MerklePath(steps=tuple(steps))
+
+    def _node_step(self, index: int, slot: int) -> PathStep:
+        digests = self.store.child_digests(index)
         return PathStep(
-            index=idx,
-            before=tuple(digests[:idx]),
-            after=tuple(digests[idx + 1 :]),
+            index=slot,
+            before=tuple(digests[:slot]),
+            after=tuple(digests[slot + 1 :]),
         )
 
-    @staticmethod
-    def _leaf_step(leaf: LeafNode, idx: int) -> PathStep:
-        digests = [e.digest() for e in leaf.entries]
+    def _leaf_step(self, index: int, slot: int) -> PathStep:
+        digests = _leaf_digests(self.store, index)
         return PathStep(
-            index=idx,
-            before=tuple(digests[:idx]),
-            after=tuple(digests[idx + 1 :]),
+            index=slot,
+            before=tuple(digests[:slot]),
+            after=tuple(digests[slot + 1 :]),
         )
 
     # -- suppressed maintenance (Algorithms 1 & 2) --------------------------------
@@ -605,16 +710,16 @@ class MBTree:
             raise ReproError(
                 "UpdVO generation requires monotonically increasing keys"
             )
-        internal_levels: list[tuple[bytes, ...]] = []
-        node = self._root
-        if node is None:
+        if self._count == 0:
             return UpdateSpine(internal_levels=(), leaf_entries=())
-        while isinstance(node, InternalNode):
-            digests = [c.digest for c in node.children]
+        view = self.store
+        internal_levels: list[tuple[bytes, ...]] = []
+        node = self._root_idx
+        while not view.is_leaf(node):
+            digests = view.child_digests(node)
             internal_levels.append(tuple(digests[:-1]))
-            node = node.children[-1]
-        assert isinstance(node, LeafNode)
-        leaf_entries = tuple(e.digest() for e in node.entries)
+            node = view.child(node, view.count(node) - 1)
+        leaf_entries = tuple(_leaf_digests(view, node))
         return UpdateSpine(
             internal_levels=tuple(internal_levels), leaf_entries=leaf_entries
         )

@@ -22,15 +22,7 @@ IV-A cost analysis places it:
 from __future__ import annotations
 
 from repro import obs
-from repro.core.mbtree import (
-    DEFAULT_FANOUT,
-    InternalNode,
-    LeafNode,
-    MBTree,
-    _Node,
-    leaf_payload,
-    node_payload,
-)
+from repro.core.mbtree import DEFAULT_FANOUT, MBTree, NodeHandle
 from repro.core.objects import ObjectMetadata
 from repro.crypto.hashing import word_count
 from repro.ethereum.contract import SmartContract
@@ -44,35 +36,28 @@ class _ChargingObserver:
         self._meter = meter
         self._fanout = fanout
 
-    def node_visited(self, node: _Node) -> None:
+    def node_visited(self, node: NodeHandle) -> None:
         """Charge for fetching a node's content word."""
         self._meter.sload(1)  # fetch the node's content word
 
-    def entry_inserted(self, leaf: LeafNode) -> None:
+    def entry_inserted(self, leaf: NodeHandle) -> None:
         """Charge for storing the new entry."""
         self._meter.sstore(1)  # store the new <id, h(o)> entry
 
-    def node_rehashed(self, node: _Node) -> None:
+    def node_rehashed(self, node: NodeHandle) -> None:
         """Charge for recomputing and storing a node hash."""
-        if isinstance(node, LeafNode):
-            children = len(node.entries)
-            payload = leaf_payload([e.digest() for e in node.entries])
-        else:
-            assert isinstance(node, InternalNode)
-            children = len(node.children)
-            payload = node_payload([c.digest for c in node.children])
-        self._meter.sload(children)  # load the child/entry hash words
-        self._meter.hash(word_count(payload))
+        self._meter.sload(node.width)  # load the child/entry hash words
+        self._meter.hash(word_count(node.payload()))
         self._meter.supdate(1)  # write the refreshed node hash
 
-    def node_split(self, original: _Node, new_sibling: _Node) -> None:
+    def node_split(self, original: NodeHandle, new_sibling: NodeHandle) -> None:
         """Charge for creating and wiring a split node."""
         self._meter.sstore(2)  # new node: content word + hash word
         self._meter.sload(self._fanout)  # read entries for redistribution
         self._meter.supdate(1)  # rewrite the original node's content
         self._meter.supdate(1)  # parent gains a child pointer
 
-    def root_replaced(self, new_root: _Node) -> None:
+    def root_replaced(self, new_root: NodeHandle) -> None:
         """Charge for materialising a new root node."""
         self._meter.sstore(2)  # new root node: content + hash
         self._meter.supdate(1)  # root pointer word

@@ -31,12 +31,15 @@ import base64
 import json
 from pathlib import Path
 
+from repro.core.nodestore import NODESTORE_VERSION
 from repro.core.objects import DataObject
 from repro.core.system import HybridStorageSystem
 from repro.errors import ReproError
 
-#: Manifest schema version.
-MANIFEST_VERSION = 2
+#: Manifest schema version.  v3 adds the node-store format version (the
+#: flat-buffer record layout trees persist/snapshot in); v1 and v2
+#: manifests are still readable.
+MANIFEST_VERSION = 3
 
 #: System constructor arguments captured in a v2 manifest — the full
 #: configuration surface (everything except ``seed``, stored top-level,
@@ -105,6 +108,7 @@ def save_system(
         "version": MANIFEST_VERSION,
         "scheme": system.scheme.value,
         "seed": seed,
+        "node_store": NODESTORE_VERSION,
         "config": {
             field: getattr(system, field) for field in _CONFIG_FIELDS
         },
@@ -134,7 +138,17 @@ def _kwargs_from_manifest(manifest: dict) -> dict:
             bits = manifest["cvc_modulus_bits"]
             kwargs["cvc_modulus_bits"] = (bits + 7) // 8 * 8
         return kwargs
+    if version == 2:
+        # v2 is v3 without the node-store field (object-graph era trees
+        # rebuild from the object stream regardless of layout).
+        return dict(manifest["config"])
     if version == MANIFEST_VERSION:
+        node_store = manifest.get("node_store", NODESTORE_VERSION)
+        if node_store > NODESTORE_VERSION:
+            raise ReproError(
+                f"manifest requires node-store format {node_store}; this "
+                f"build supports up to {NODESTORE_VERSION}"
+            )
         return dict(manifest["config"])
     raise ReproError(f"unsupported manifest version {version!r}")
 
@@ -156,7 +170,8 @@ def load_system(
         raise ReproError(f"no manifest at {manifest_path}")
     manifest = json.loads(manifest_path.read_text())
     kwargs = _kwargs_from_manifest(manifest)
-    if kwargs.get("engine") == "disk":
+    declared_engine = kwargs.get("engine")
+    if declared_engine == "disk":
         if engine_dir is None:
             kwargs["engine"] = "memory"
         else:
@@ -164,6 +179,11 @@ def load_system(
     system = HybridStorageSystem(
         scheme=manifest["scheme"], seed=manifest["seed"], **kwargs
     )
+    if declared_engine is not None and system.engine != declared_engine:
+        # The in-memory downgrade is a runtime substitution only; keep
+        # the declared engine on the system so a re-save does not
+        # rewrite the manifest's configuration.
+        system.engine = declared_engine
     objects_path = path / "objects.jsonl"
     count = 0
     if objects_path.exists():

@@ -586,6 +586,43 @@ class ShardedStorageProvider:
             vo = compress_query_vo(vo)
         return vo
 
+    def compact(self) -> dict:
+        """Checkpoint + truncate every durable shard journal.
+
+        Each disk engine snapshots its state (flat-buffer tree blobs,
+        one write) and swaps in a fresh journal; memory engines are
+        skipped.  Works in both pool modes — affine engines forward the
+        request to their resident worker, which compacts the journal it
+        owns.  Totals are returned and mirrored to the ``sp.compact.*``
+        observability counters.
+        """
+        totals = {
+            "shards_compacted": 0,
+            "reclaimed": 0,
+            "journal_bytes_before": 0,
+            "journal_bytes_after": 0,
+            "checkpoint_bytes": 0,
+        }
+        with obs.span("sp.compact", shards=len(self.engines)):
+            self.flush_mutations()
+            for engine in self.engines:
+                stats = engine.compact()
+                if stats is None:
+                    continue
+                totals["shards_compacted"] += 1
+                for key in (
+                    "reclaimed",
+                    "journal_bytes_before",
+                    "journal_bytes_after",
+                    "checkpoint_bytes",
+                ):
+                    totals[key] += stats[key]
+        obs.inc("sp.compact.runs")
+        obs.inc("sp.compact.shards", totals["shards_compacted"])
+        obs.inc("sp.compact.reclaimed.bytes", totals["reclaimed"])
+        obs.inc("sp.compact.checkpoint.bytes", totals["checkpoint_bytes"])
+        return totals
+
     def close(self) -> None:
         """Release engines, workers and warmers (idempotent).
 

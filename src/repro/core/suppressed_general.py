@@ -32,8 +32,6 @@ from repro.core.mbtree import (
     DEFAULT_FANOUT,
     Entry,
     HashFn,
-    InternalNode,
-    LeafNode,
     MBTree,
     MerklePath,
     PathStep,
@@ -126,20 +124,22 @@ def generate_general_update(tree: MBTree, key: int) -> GeneralUpdateProof:
     """
     if digests_equal(tree.root_hash, EMPTY_DIGEST):
         return GeneralUpdateProof(levels=(), leaf_entries=(), insert_index=0)
-    node = tree._root
+    view = tree.store
+    node = view.store.root
     levels: list[tuple[int, tuple[bytes, ...]]] = []
-    while isinstance(node, InternalNode):
-        child_index = len(node.children) - 1
-        for i in range(1, len(node.children)):
-            if key < node.children[i].min_key():
+    while not view.is_leaf(node):
+        width = view.count(node)
+        child_index = width - 1
+        for i in range(1, width):
+            if key < view.min_key(view.child(node, i)):
                 child_index = i - 1
                 break
-        levels.append(
-            (child_index, tuple(c.digest for c in node.children))
-        )
-        node = node.children[child_index]
-    assert isinstance(node, LeafNode)
-    entries = tuple(node.entries)
+        levels.append((child_index, tuple(view.child_digests(node))))
+        node = view.child(node, child_index)
+    entries = tuple(
+        Entry(key=view.leaf_key(node, s), value_hash=view.leaf_value_hash(node, s))
+        for s in range(view.count(node))
+    )
     insert_index = 0
     for i, entry in enumerate(entries):
         if entry.key == key:

@@ -645,6 +645,17 @@ class HybridStorageSystem:
             return vc.prewarm_tables(self._cvc.pp, pairs=True)
         return 0
 
+    def compact(self) -> dict:
+        """Checkpoint + truncate every durable shard journal.
+
+        Takes the write lock: compaction swaps journal files underneath
+        the engines, which must not race an ingest batch.  Returns the
+        aggregate stats from
+        :meth:`~repro.core.sp_frontend.ShardedStorageProvider.compact`.
+        """
+        with self._rwlock.write():
+            return self._sp.compact()
+
     def close(self) -> None:
         """Release the executor pool, warmers and shard engines."""
         if self.warmer is not None:

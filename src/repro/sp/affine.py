@@ -128,6 +128,7 @@ def _resident_state_types() -> tuple:
     from repro.core.chameleon_index import ChameleonSP
     from repro.core.mbtree import MBTree
     from repro.core.merkle_family import MerkleInvertedSP
+    from repro.core.nodestore import NodeStore, TreeView
 
     return (
         MBTree,
@@ -135,6 +136,8 @@ def _resident_state_types() -> tuple:
         MerkleInvertedSP,
         ChameleonSP,
         IndexShardEngine,
+        NodeStore,
+        TreeView,
     )
 
 
@@ -197,6 +200,14 @@ def _handle(engine: IndexShardEngine, op: str, payload: Any) -> object:
                     conjunctive_join(views, order=order, plan=plan)
                 )
         return outcomes
+    if op == "adopt":
+        from repro.sp.engine import tree_from_blob
+
+        keyword, blob, entries = payload
+        engine.adopt_tree(keyword, tree_from_blob(blob), entries)
+        return len(entries)
+    if op == "compact":
+        return engine.compact()
     if op == "views":
         return {keyword: engine.view(keyword) for keyword in payload}
     if op == "tree":
@@ -614,10 +625,25 @@ class AffineEngineProxy:
     def adopt_tree(
         self, keyword: str, tree: object, entries: Iterable[Any]
     ) -> None:
-        """Affine ingest never moves trees: ship the postings instead."""
+        """Ship a bulk-built tree as one flat buffer, not a pickled graph.
+
+        The parent already paid to build the tree (executor task); its
+        node store is a single contiguous blob, so adoption sends
+        ``bytes`` — the guarded pickler stays satisfied and the worker
+        installs the tree with one buffer read, journaling the postings
+        for replay.  Trees without a flat store fall back to shipping
+        the raw postings.
+        """
         self.flush()
+        to_blob = getattr(tree, "to_blob", None)
+        if to_blob is None:
+            self.pool.dispatch(
+                [(self.shard_id, "bulk", [(keyword, list(entries))])],
+                ingest=True,
+            )
+            return
         self.pool.dispatch(
-            [(self.shard_id, "bulk", [(keyword, list(entries))])],
+            [(self.shard_id, "adopt", (keyword, to_blob(), list(entries)))],
             ingest=True,
         )
 
@@ -653,6 +679,11 @@ class AffineEngineProxy:
     def all_object_ids(self) -> list[int]:
         self.flush()
         return self.pool.request(self.shard_id, "object_ids")
+
+    def compact(self) -> dict | None:
+        """Checkpoint + truncate the resident engine's journal."""
+        self.flush()
+        return self.pool.request(self.shard_id, "compact")
 
     def close(self) -> None:
         """Flush any tail records; worker shutdown is the pool's job."""

@@ -459,3 +459,47 @@ class TestMultiproofBatchedPath:
     def test_unrelated_calls_are_clean(self):
         src = "vo = QueryVO(conjuncts=())\n"
         assert lint_source(src, module="core/query/vo.py") == []
+
+
+# -- flatbuf-node-storage -----------------------------------------------------
+
+FLATBUF_BAD = """\
+class LeafNode:
+    def __init__(self, entries):
+        self.entries = entries
+
+
+def _rehash(view, index):
+    entries = [Entry(key=k, value_hash=h) for k, h in view.slots(index)]
+    return LeafNode(entries)
+"""
+
+FLATBUF_GOOD = """\
+def _rehash(view, index):
+    view.set_digest(index, leaf_digest(_leaf_digests(view, index)))
+
+
+def iter_entries(view, index):
+    for slot in range(view.count(index)):
+        yield Entry(
+            key=view.leaf_key(index, slot),
+            value_hash=view.leaf_value_hash(index, slot),
+        )
+"""
+
+
+class TestFlatbufNodeStorage:
+    def test_flags_node_class_and_hot_path_entries(self):
+        findings = lint_source(FLATBUF_BAD, module="core/mbtree.py")
+        assert rules(findings) == [
+            "flatbuf-node-storage",
+            "flatbuf-node-storage",
+            "flatbuf-node-storage",
+        ]
+        assert lines(findings) == [1, 7, 8]
+
+    def test_read_side_entry_materialisation_is_clean(self):
+        assert lint_source(FLATBUF_GOOD, module="core/mbtree.py") == []
+
+    def test_other_modules_are_out_of_scope(self):
+        assert lint_source(FLATBUF_BAD, module="baselines/gem2.py") == []

@@ -83,6 +83,7 @@ class TestExperimentSmoke:
             "shard",
             "query",
             "multiproof",
+            "flatbuf",
         }
         assert set(ABLATIONS) == {
             "abl-fanout",

@@ -1,6 +1,7 @@
 """Tests for the ``repro`` operational CLI."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -88,6 +89,83 @@ class TestAddAndQuery:
 
     def test_query_missing_directory(self, tmp_path, capsys):
         assert main(["query", str(tmp_path / "nope"), "a"]) == 1
+
+
+class TestCompact:
+    @pytest.fixture()
+    def disk_registry(self, tmp_path):
+        directory = str(tmp_path / "disk-registry")
+        assert (
+            main(
+                [
+                    "init",
+                    directory,
+                    "--scheme",
+                    "smi",
+                    "--seed",
+                    "3",
+                    "--shards",
+                    "2",
+                    "--engine",
+                    "disk",
+                ]
+            )
+            == 0
+        )
+        for object_id in ("1", "2", "3"):
+            assert (
+                main(
+                    [
+                        "add",
+                        directory,
+                        "--id",
+                        object_id,
+                        "--keywords",
+                        "a,b",
+                        "--content",
+                        f"doc{object_id}",
+                    ]
+                )
+                == 0
+            )
+        return directory
+
+    def test_compact_truncates_journals(self, disk_registry, capsys):
+        capsys.readouterr()
+        assert main(["compact", disk_registry, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["shards_compacted"] == 2
+        assert report["journal_bytes_after"] < report["journal_bytes_before"]
+        assert report["reclaimed"] > 0
+        assert report["checkpoint_bytes"] > 0
+        ckpts = sorted(
+            p.name
+            for p in (Path(disk_registry) / "shard-journals").glob("*.ckpt")
+        )
+        assert ckpts == ["shard-000.ckpt", "shard-001.ckpt"]
+
+    def test_queries_verify_after_compaction(self, disk_registry, capsys):
+        assert main(["compact", disk_registry]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 2 shard journal(s)" in out
+        assert main(["query", disk_registry, "a AND b", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verified"]
+        assert payload["result_ids"] == [1, 2, 3]
+
+    def test_compact_is_idempotent(self, disk_registry, capsys):
+        assert main(["compact", disk_registry]) == 0
+        capsys.readouterr()
+        assert main(["compact", disk_registry, "--json"]) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert again["shards_compacted"] == 2
+        assert again["reclaimed"] >= 0
+
+    def test_memory_engine_has_nothing_to_compact(self, registry, capsys):
+        assert main(["compact", registry]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to compact" in out
+        assert not (Path(registry) / "shard-journals").exists()
 
 
 class TestObsSubcommands:

@@ -1,0 +1,201 @@
+"""Tests for the flat-buffer node store underneath the ADS trees.
+
+Covers the storage invariants the trees rely on but never observe
+directly: free-list reuse during split-heavy builds, blob round-trips
+that preserve roots and proofs byte for byte, and a golden fixture
+pinning the v1 record layout so a layout change cannot slip through as
+a silent format break.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.mbtree import MBTree
+from repro.core.nodestore import (
+    HEADER_SIZE,
+    KIND_CHAMELEON,
+    KIND_MBTREE,
+    NIL,
+    NODESTORE_VERSION,
+    ChameleonStore,
+    NodeStore,
+    mb_record_size,
+)
+from repro.crypto.hashing import sha3
+from repro.errors import IntegrityError
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+
+#: Root hash of the golden fixture tree (fanout 4, keys 1..10 with
+#: ``sha3(b"obj-<key>")`` value hashes) — pinned, not recomputed.
+GOLDEN_ROOT = "ec70cd6b32e190ab533d4b1cc94930e49e94964d6592734652183d7b2925bb8f"
+
+
+def build_tree(n: int, fanout: int = 4) -> MBTree:
+    tree = MBTree(fanout=fanout)
+    for key in range(1, n + 1):
+        tree.insert(key, sha3(b"obj-%d" % key))
+    return tree
+
+
+class TestNodeStoreAllocation:
+    def test_alloc_grows_then_free_list_reuses_lifo(self):
+        store = NodeStore(KIND_MBTREE, mb_record_size(4), param=4)
+        a, b, c = store.alloc(), store.alloc(), store.alloc()
+        assert (a, b, c) == (0, 1, 2)
+        store.free(b)
+        store.free(a)
+        assert store.free_count() == 2
+        assert store.alloc() == a  # last freed, first reused
+        assert store.alloc() == b
+        assert store.free_count() == 0
+        assert store.allocated == 3
+
+    def test_free_zeroes_the_record(self):
+        store = NodeStore(KIND_MBTREE, mb_record_size(4), param=4)
+        index = store.alloc()
+        off = store.offset(index)
+        store.blob[off + 10 : off + 20] = b"\xaa" * 10
+        store.free(index)
+        # Everything except the free-list next pointer must be zero.
+        record = bytes(store.blob[off : off + store.record_size])
+        assert record[8:] == bytes(store.record_size - 8)
+
+    def test_split_heavy_build_leaves_no_dead_records(self):
+        # Sequential inserts split the right spine over and over; each
+        # split frees the original record and the next allocation must
+        # reuse it, or the blob would grow with every rebuild.
+        tree = build_tree(2000)
+        store = tree.store.store
+        view = tree.store
+
+        def live(index: int) -> int:
+            if view.is_leaf(index):
+                return 1
+            return 1 + sum(live(child) for child in view.children(index))
+
+        assert store.free_count() == 0
+        assert store.allocated == live(store.root)
+
+    def test_header_round_trip(self):
+        store = NodeStore(KIND_MBTREE, mb_record_size(4), param=4, param2=5)
+        store.alloc()
+        store.root = 0
+        store.count = 1
+        store.max_key = 99
+        clone = NodeStore.from_blob(store.to_bytes())
+        assert clone.kind == KIND_MBTREE
+        assert clone.record_size == mb_record_size(4)
+        assert (clone.param, clone.param2) == (4, 5)
+        assert (clone.root, clone.count, clone.max_key) == (0, 1, 99)
+        assert clone.allocated == 1
+
+    def test_from_blob_rejects_bad_magic(self):
+        store = NodeStore(KIND_MBTREE, mb_record_size(4), param=4)
+        blob = bytearray(store.to_bytes())
+        blob[:4] = b"NOPE"
+        with pytest.raises(IntegrityError):
+            NodeStore.from_blob(blob)
+
+
+class TestMBTreeBlobRoundTrip:
+    def test_root_and_proofs_identical(self):
+        tree = build_tree(300)
+        clone = MBTree.from_blob(tree.to_blob())
+        assert clone.root_hash == tree.root_hash
+        assert len(clone) == len(tree)
+        assert list(clone.iter_entries()) == list(tree.iter_entries())
+        for key in (1, 150, 300):
+            entry_a, path_a = tree.prove(key)
+            entry_b, path_b = clone.prove(key)
+            assert entry_a == entry_b
+            assert path_a == path_b
+            assert path_b.compute_root(entry_b) == tree.root_hash
+
+    def test_reserialisation_is_byte_identical(self):
+        tree = build_tree(57)
+        blob = tree.to_blob()
+        assert MBTree.from_blob(blob).to_blob() == blob
+
+    def test_empty_tree_round_trips(self):
+        tree = MBTree(fanout=4)
+        clone = MBTree.from_blob(tree.to_blob())
+        assert len(clone) == 0
+        assert clone.root_hash == tree.root_hash
+        clone.insert(1, sha3(b"x"))
+        assert len(clone) == 1
+
+    def test_loaded_tree_keeps_growing_identically(self):
+        grown = build_tree(120)
+        half = build_tree(60)
+        resumed = MBTree.from_blob(half.to_blob())
+        for key in range(61, 121):
+            resumed.insert(key, sha3(b"obj-%d" % key))
+        assert resumed.root_hash == grown.root_hash
+        assert resumed.to_blob() == grown.to_blob()
+
+
+class TestChameleonBlobRoundTrip:
+    def test_fields_survive(self):
+        store = ChameleonStore.create(arity=2, value_bytes=16)
+        store.root_commitment = 0xDEADBEEF
+        for pos in range(1, 8):
+            store.append(
+                object_id=pos * 10,
+                object_hash=sha3(b"o%d" % pos),
+                commitment=1000 + pos,
+                slot1_proof=2000 + pos,
+                parent_link_proof=3000 + pos,
+                child_index=(pos % 2) + 1,
+            )
+        clone = ChameleonStore.from_blob(store.to_blob())
+        assert clone.arity == 2
+        assert clone.value_bytes == 16
+        assert clone.count == 7
+        assert clone.root_commitment == 0xDEADBEEF
+        for pos in range(1, 8):
+            assert clone.object_id(pos) == pos * 10
+            assert clone.object_hash(pos) == sha3(b"o%d" % pos)
+            assert clone.commitment(pos) == 1000 + pos
+            assert clone.slot1_proof(pos) == 2000 + pos
+            assert clone.parent_link_proof(pos) == 3000 + pos
+            assert clone.child_index(pos) == (pos % 2) + 1
+        assert clone.rank_of(35) == 3
+
+    def test_kind_confusion_rejected(self):
+        mb = build_tree(5).to_blob()
+        with pytest.raises(IntegrityError):
+            ChameleonStore.from_blob(mb)
+
+
+class TestGoldenV1Layout:
+    """The committed fixture pins the v1 record layout byte for byte.
+
+    If this test fails after a layout change, bump
+    :data:`~repro.core.nodestore.NODESTORE_VERSION`, teach
+    ``from_blob`` to read the old layout, and regenerate the fixture —
+    do not just refresh the bytes.
+    """
+
+    fixture = FIXTURES / "nodestore_v1_mbtree.bin"
+
+    def test_fixture_loads_with_pinned_root(self):
+        tree = MBTree.from_blob(self.fixture.read_bytes())
+        assert NODESTORE_VERSION == 1
+        assert tree.root_hash.hex() == GOLDEN_ROOT
+        assert len(tree) == 10
+        assert [e.key for e in tree.iter_entries()] == list(range(1, 11))
+
+    def test_fresh_build_reproduces_fixture_bytes(self):
+        assert build_tree(10).to_blob() == self.fixture.read_bytes()
+
+    def test_fixture_header_fields(self):
+        blob = self.fixture.read_bytes()
+        store = NodeStore.from_blob(blob)
+        assert blob[:4] == b"RNS1"
+        assert int.from_bytes(blob[4:6], "big") == NODESTORE_VERSION
+        assert store.kind == KIND_MBTREE
+        assert store.record_size == mb_record_size(4)
+        assert store.root != NIL
+        assert len(blob) == HEADER_SIZE + store.allocated * store.record_size

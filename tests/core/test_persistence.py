@@ -156,12 +156,19 @@ class TestLegacyManifests:
         # replaying them on top of the object-log replay would
         # double-apply every record.
         restored = load_system(tmp_path / "snap")
-        assert restored.engine == "memory"
+        assert all(e.kind == "memory" for e in restored._sp.engines)
+        # The runtime substitution must not leak into the recorded
+        # configuration: a re-save keeps the declared disk engine.
+        assert restored.engine == "disk"
+        resaved = save_system(restored, tmp_path / "resnap", seed=3)
+        remanifest = json.loads((resaved / "manifest.json").read_text())
+        assert remanifest["config"]["engine"] == "disk"
         assert restored.query("a AND b").result_ids == [1]
         fresh = load_system(
             tmp_path / "snap", engine_dir=tmp_path / "fresh-journals"
         )
         assert fresh.engine == "disk"
+        assert all(e.kind == "disk" for e in fresh._sp.engines)
         assert fresh.query("a AND b").result_ids == [1]
         original.close()
         restored.close()
